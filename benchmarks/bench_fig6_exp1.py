@@ -1,0 +1,49 @@
+"""Figure 6 / Experiment 1: point Toeplitz (m = 1) on a 16-PE T3D.
+
+Paper: a 4096 × 4096 point Toeplitz matrix, NP = 16, time-to-factor vs.
+``b`` (adjacent blocks per PE, Versions 1–2).  Reported shape: a sharp
+initial fall as ``b`` grows (the per-block shift latency amortizes),
+best time at ``b = 16``, rising again at ``b = 32, 64`` as the loss of
+parallelism outweighs the cheaper communication.
+"""
+
+import numpy as np
+
+from repro.bench import ascii_plot, bench_scale, format_series, write_result
+from repro.parallel import simulate_factorization
+from repro.toeplitz import kms_toeplitz
+
+B_VALUES = (1, 2, 4, 8, 16, 32, 64)
+NP = 16
+
+
+def run_experiment(n: int) -> dict[int, float]:
+    t = kms_toeplitz(n, 0.5)
+    return {b: simulate_factorization(t, nproc=NP, b=b,
+                                      collect=False).time
+            for b in B_VALUES}
+
+
+def test_fig6_experiment1(benchmark):
+    n = bench_scale(quick=1024, full=4096)
+    times = benchmark.pedantic(run_experiment, args=(n,),
+                               rounds=1, iterations=1)
+    text = format_series(
+        "b", list(B_VALUES),
+        {"time_to_factor_s": [times[b] for b in B_VALUES]},
+        title=(f"Figure 6 / Experiment 1 — {n}×{n} point Toeplitz "
+               f"(m=1), NP={NP}, simulated T3D"))
+    plot = ascii_plot(list(B_VALUES),
+                      {"time (s)": [times[b] for b in B_VALUES]},
+                      title="shape (paper: sharp fall, min at b=16, rise)",
+                      x_label="b")
+    write_result("fig6_exp1", text + "\n\n" + plot)
+
+    series = np.array([times[b] for b in B_VALUES])
+    best = B_VALUES[int(np.argmin(series))]
+    # paper shape: sharp initial fall …
+    assert times[1] > 1.1 * min(times.values())
+    # … interior optimum (paper: b = 16 at n = 4096) …
+    assert 4 <= best <= 32
+    # … and a rise once parallelism is lost.
+    assert times[64] > min(times.values())

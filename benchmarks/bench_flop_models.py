@@ -1,0 +1,116 @@
+"""Operation-count tables: eqs. (25)–(32) and the §6.5 ``4·m_s·n²`` rule.
+
+Regenerates, for each block representation, the paper's *blocking* and
+*application* flop totals at ``k = m``, checks the printed rankings
+(YTYᵀ cheapest to block, second VY form cheapest to apply, the naive
+``U`` scheme most expensive on both axes), and cross-validates the
+closed forms against instrumented flop counts from the actual
+implementation.
+"""
+
+from repro.bench import format_table, write_result
+from repro.blas import primitives as blas
+from repro.core import flops as F
+from repro.core.schur_spd import SchurOptions, schur_spd_factor
+from repro.toeplitz import kms_toeplitz
+
+REPS = ("yty", "vy2", "vy1", "dense")
+
+
+def test_blocking_flops_table_eqs25_28(benchmark):
+    def run():
+        return {m: {r: F.blocking_flops(r, m) for r in REPS}
+                for m in (2, 4, 8, 16, 32, 64)}
+
+    table = benchmark.pedantic(run, rounds=1, iterations=1)
+    rows = [[m] + [int(table[m][r]) for r in REPS]
+            for m in sorted(table)]
+    text = format_table(
+        ["m"] + [f"{r}_flops" for r in REPS], rows,
+        title=("Blocking flops at k = m (eqs. 25–28) — paper ranking: "
+               "YTYᵀ < VY2 < VY1 < naive U"))
+    write_result("flops_blocking", text)
+    for m in table:
+        v = table[m]
+        assert v["yty"] < v["vy2"] < v["vy1"] < v["dense"]
+
+
+def test_application_flops_table_eqs29_32(benchmark):
+    p = 32
+
+    def run():
+        return {m: {r: F.application_flops(r, m, p) for r in REPS}
+                for m in (2, 4, 8, 16, 32)}
+
+    table = benchmark.pedantic(run, rounds=1, iterations=1)
+    rows = [[m] + [int(table[m][r]) for r in REPS]
+            for m in sorted(table)]
+    text = format_table(
+        ["m"] + [f"{r}_flops" for r in REPS], rows,
+        title=(f"Application flops to a 2m × {p}m generator at k = m "
+               "(eqs. 29–32) — paper ranking: VY2 ≤ VY1 < YTYᵀ < U"))
+    write_result("flops_application", text)
+    for m in table:
+        v = table[m]
+        # equality only at the degenerate m = 2 corner (YTYᵀ and U tie)
+        assert v["vy2"] <= v["vy1"] < v["yty"] <= v["dense"]
+        if m >= 4:
+            assert v["yty"] < v["dense"]
+
+
+def test_counted_vs_closed_form(benchmark):
+    """Instrumented counts from the real code vs. the model."""
+    n, m = 128, 4
+
+    def run():
+        out = {}
+        t = kms_toeplitz(n, 0.5).regroup(m)
+        for rep in ("vy1", "vy2", "yty"):
+            with blas.counting() as c:
+                schur_spd_factor(t, options=SchurOptions(
+                    representation=rep))
+            out[rep] = (c.total,
+                        F.factorization_flops(n, m, representation=rep))
+        return out
+
+    table = benchmark.pedantic(run, rounds=1, iterations=1)
+    rows = [[rep, counted, int(model), f"{counted / model:.3f}"]
+            for rep, (counted, model) in table.items()]
+    text = format_table(
+        ["representation", "counted_flops", "model_flops", "ratio"],
+        rows,
+        title=(f"Counted vs closed-form flops, n={n}, m={m} "
+               "(ratio ≈ 1 ⇒ the paper's formulas describe the "
+               "implementation)"))
+    write_result("flops_counted_vs_model", text)
+    for _, (counted, model) in table.items():
+        assert 0.3 < counted / model < 3.0
+
+
+def test_total_cost_linear_in_ms(benchmark):
+    """§6.5: total operation count grows ≈ linearly in m_s (4·m_s·n²)."""
+    n = 256
+
+    def run():
+        t = kms_toeplitz(n, 0.5)
+        out = {}
+        for ms in (1, 2, 4, 8, 16):
+            with blas.counting() as c:
+                schur_spd_factor(t.regroup(ms))
+            out[ms] = c.total
+        return out
+
+    counted = benchmark.pedantic(run, rounds=1, iterations=1)
+    rows = [[ms, counted[ms], int(F.nominal_total_flops(n, ms)),
+             f"{counted[ms] / (ms * n * n):.3f}"]
+            for ms in sorted(counted)]
+    text = format_table(
+        ["m_s", "counted_flops", "nominal_4msn2", "counted/(ms*n^2)"],
+        rows,
+        title=(f"§6.5 block-size cost rule, n={n}: counted flops per "
+               "m_s·n² stays ≈ constant (linear growth in m_s)"))
+    write_result("flops_ms_scaling", text)
+
+    ratios = [counted[ms] / ms for ms in (2, 4, 8, 16)]
+    # per-m_s normalized cost must be flat within 2×
+    assert max(ratios) / min(ratios) < 2.0

@@ -1,0 +1,43 @@
+"""Ablation: the block-reflector representation trade-off (Section 6).
+
+Real wall-clock timing (pytest-benchmark, repeated runs) of the full
+factorization under each representation at a fixed, level-3-friendly
+block size — the implementation choice the paper's Sections 4 and 6
+analyze.  The unblocked (pure level-2) path is included as the baseline
+blocking is supposed to beat.
+"""
+
+import pytest
+
+from repro.core.block_reflector import REPRESENTATIONS
+from repro.core.schur_spd import SchurOptions, schur_spd_factor
+from repro.toeplitz import kms_toeplitz
+
+N, M = 1024, 16
+
+
+@pytest.fixture(scope="module")
+def matrix():
+    return kms_toeplitz(N, 0.5).regroup(M)
+
+
+@pytest.mark.parametrize("rep", REPRESENTATIONS)
+def test_representation_timing(benchmark, matrix, rep):
+    opts = SchurOptions(representation=rep)
+    fact = benchmark(schur_spd_factor, matrix, options=opts)
+    assert fact.r.shape == (N, N)
+
+
+@pytest.mark.parametrize("panel", [2, 4, 8, 16])
+def test_two_level_blocking_timing(benchmark, matrix, panel):
+    """Section 6.2's two-level blocking: panel width k ≤ m."""
+    opts = SchurOptions(representation="vy2", panel=panel)
+    fact = benchmark(schur_spd_factor, matrix, options=opts)
+    assert fact.r.shape == (N, N)
+
+
+def test_in_place_vs_shift_timing(benchmark, matrix):
+    """Section 6.4: the in-place variant avoids the Phase-3 shift copy."""
+    opts = SchurOptions(in_place=False)
+    fact = benchmark(schur_spd_factor, matrix, options=opts)
+    assert fact.r.shape == (N, N)

@@ -1,0 +1,24 @@
+"""Benchmark harness configuration.
+
+Each ``bench_*`` module reproduces one table or figure from the paper's
+evaluation: it regenerates the rows/series, prints them, writes them to
+``benchmarks/results/``, and asserts the paper's qualitative shape
+(where the winner is, where the optimum falls).
+
+Default sizes are scaled down to keep the suite fast while preserving
+the shapes; set ``REPRO_BENCH_FULL=1`` for the exact paper sizes
+(n = 4096 T3D runs take ~20 s per data point in the simulator).
+"""
+
+import os
+
+import pytest
+
+RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+
+
+@pytest.fixture(autouse=True, scope="session")
+def _results_dir():
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    os.environ.setdefault("REPRO_RESULTS_DIR", RESULTS_DIR)
+    yield

@@ -1,0 +1,71 @@
+"""Automated configuration choice (the paper's §7 closing program).
+
+The paper ends by saying that a performance analysis over problem size,
+block size and machine size "decides which of the three schemes is best
+suited".  `repro.tuning` is that analysis; this example runs it across
+the paper's three experiment configurations and verifies the
+recommendations against the event simulator.
+
+Run:  python examples/autotune.py
+"""
+
+from repro import kms_toeplitz
+from repro.parallel import simulate_factorization
+from repro.tuning import choose_distribution, tune
+
+
+def main():
+    experiments = [
+        ("Experiment 1 (point Toeplitz)", 4096, 1, 16, "b = 16"),
+        ("Experiment 2 (m = 8)", 4096, 8, 64, "b = 1 (Version 1)"),
+        ("Experiment 3 (m = 32)", 4096, 32, 64, "spread (Version 3)"),
+    ]
+    for name, n, m, nproc, paper in experiments:
+        best, choices = choose_distribution(n, m, nproc)
+        scheme = ("Version 3, spread " + str(int(round(1 / best.b)))
+                  if best.b < 1 else
+                  ("Version 1" if best.b == 1
+                   else f"Version 2, b = {int(best.b)}"))
+        print(f"{name}: n={n}, m={m}, NP={nproc}")
+        print(f"  tuner pick : {scheme}  "
+              f"({best.predicted_seconds * 1e3:.1f} ms predicted)")
+        print(f"  paper found: {paper}")
+        top3 = ", ".join(f"b={c.b}:{c.predicted_seconds * 1e3:.1f}ms"
+                         for c in choices[:3])
+        print(f"  top 3      : {top3}\n")
+
+    # verify one recommendation in the event simulator (scaled down)
+    n, m, nproc = 512, 8, 16
+    t = kms_toeplitz(n, 0.5).regroup(m)
+    best, choices = choose_distribution(n, m, nproc, verify_top=3,
+                                        matrix=t)
+    print(f"simulator-verified pick for n={n}, m={m}, NP={nproc}: "
+          f"b = {best.b}")
+    for c in choices[:3]:
+        sim = (f"{c.simulated_seconds * 1e3:.2f} ms simulated"
+               if c.simulated_seconds is not None else "not simulated")
+        print(f"  b={c.b:<6} predicted "
+              f"{c.predicted_seconds * 1e3:.2f} ms, {sim}")
+
+    # end-to-end: full configuration for a serial run on this machine
+    res = tune(1024, 1, nproc=1)
+    print(f"\nserial configuration for n=1024 point Toeplitz "
+          f"(T3D node model): {res.describe()}")
+
+    # sanity: the recommended parallel configuration really is fastest
+    # among the alternatives it beat (spot check two)
+    best, choices = choose_distribution(1024, 8, 16)
+    t = kms_toeplitz(1024, 0.5).regroup(8)
+    t_best = simulate_factorization(t, nproc=16, b=best.b,
+                                    collect=False).time
+    worst = choices[-1]
+    t_worst = simulate_factorization(t, nproc=16, b=worst.b,
+                                     collect=False).time
+    print(f"\nspot check n=1024 m=8 NP=16: picked b={best.b} "
+          f"({t_best * 1e3:.1f} ms) vs rejected b={worst.b} "
+          f"({t_worst * 1e3:.1f} ms)")
+    assert t_best < t_worst
+
+
+if __name__ == "__main__":
+    main()

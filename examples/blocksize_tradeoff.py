@@ -1,0 +1,74 @@
+"""The structural-vs-algorithmic block size trade-off (Section 6.5).
+
+Measures the real wall-clock factorization time at several algorithmic
+block sizes ``m_s``, fits an empirical BLAS performance model of *this*
+host (the approach the authors used for their Y-MP analysis), and
+compares the model's predicted optimum with the measured one.
+
+Run:  python examples/blocksize_tradeoff.py
+"""
+
+import time
+
+import numpy as np
+
+from repro import kms_toeplitz, schur_spd_factor
+from repro.blas.cray import cray_ymp_model
+from repro.blas.empirical import measure_host_model
+from repro.core.flops import nominal_total_flops
+from repro.core.regroup import choose_block_size
+
+
+def measure(t, ms_values, repeats=3):
+    out = {}
+    for ms in ms_values:
+        ts = t.regroup(ms)
+        best = np.inf
+        for _ in range(repeats):
+            t0 = time.perf_counter()
+            schur_spd_factor(ts)
+            best = min(best, time.perf_counter() - t0)
+        out[ms] = best
+    return out
+
+
+def main():
+    n = 1024
+    ms_values = (1, 2, 4, 8, 16, 32, 64)
+    t = kms_toeplitz(n, 0.5)
+
+    print(f"factoring a {n}×{n} point Toeplitz matrix at several "
+          f"algorithmic block sizes m_s:\n")
+    measured = measure(t, ms_values)
+    print(f"{'m_s':>4}  {'time':>10}  {'flops (4·m_s·n²)':>18}  "
+          f"{'achieved MFLOPS':>16}")
+    for ms in ms_values:
+        fl = nominal_total_flops(n, ms)
+        print(f"{ms:>4}  {measured[ms] * 1e3:8.2f}ms  {fl:18.3e}  "
+              f"{fl / measured[ms] / 1e6:16.1f}")
+    best_measured = min(measured, key=measured.get)
+    print(f"\nmeasured optimum: m_s = {best_measured} "
+          f"(speedup over m_s=1: "
+          f"{measured[1] / measured[best_measured]:.2f}×)")
+
+    print("\nfitting an empirical BLAS model of this host "
+          "(quick calibration) …")
+    host = measure_host_model(quick=True)
+    best_model, preds = choose_block_size(n, 1, host,
+                                          candidates=list(ms_values))
+    print(f"{'m_s':>4}  {'modeled time':>13}  {'modeled MFLOPS':>15}")
+    for p in preds:
+        print(f"{p.block_size:>4}  {p.seconds * 1e3:11.2f}ms  "
+              f"{p.mflops:15.1f}")
+    print(f"host-model recommendation: m_s = {best_model}")
+
+    print("\nthe paper's Cray Y-MP model for comparison "
+          "(MFLOPS rise steeply with m_s — Figure 10):")
+    _, ymp = choose_block_size(4096, 1, cray_ymp_model(),
+                               candidates=[1, 2, 4, 8, 16, 32])
+    for p in ymp:
+        print(f"  m_s={p.block_size:<3} {p.mflops:8.1f} MFLOPS")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,80 @@
+"""Channel equalization: a *nonsymmetric* block Toeplitz system.
+
+An FIR channel turns a transmitted multichannel signal into
+``y = H x`` where ``H`` is block Toeplitz but **not symmetric** (the
+channel is causal).  Recovering ``x`` is a deconvolution — solved here
+with the GKO Cauchy-like LU (`solve_toeplitz_gko`), the displacement-
+framework companion of the paper's symmetric Schur algorithm, with
+partial pivoting and no symmetry or definiteness assumptions.
+
+Run:  python examples/deconvolution.py
+"""
+
+import numpy as np
+
+from repro import solve_toeplitz_gko
+from repro.toeplitz import BlockToeplitz
+
+
+def build_channel_matrix(taps, p):
+    """Block Toeplitz H with H[i, j] = taps[i − j] (causal channel)."""
+    m = taps[0].shape[0]
+    zero = np.zeros((m, m))
+    col = [taps[i] if i < len(taps) else zero for i in range(p)]
+    row = [taps[0]] + [zero] * (p - 1)
+    return BlockToeplitz(col, row)
+
+
+def main():
+    rng = np.random.default_rng(11)
+    m = 2            # channels
+    p = 128          # symbols
+    taps = [np.eye(m) + 0.1 * rng.standard_normal((m, m)),
+            0.5 * rng.standard_normal((m, m)),
+            0.2 * rng.standard_normal((m, m))]
+
+    h = build_channel_matrix(taps, p)
+    print(f"channel matrix: {h.order}×{h.order} block Toeplitz "
+          f"(m={m}, {len(taps)} taps), nonsymmetric: "
+          f"{not np.allclose(h.dense(), h.dense().T)}")
+
+    x_true = rng.choice([-1.0, 1.0], size=h.order)   # BPSK-ish symbols
+    noise = 1e-6 * rng.standard_normal(h.order)
+    y = h.dense() @ x_true + noise
+
+    x_hat = solve_toeplitz_gko(h, y)
+    err = np.max(np.abs(x_hat - x_true))
+    print(f"equalized with GKO Cauchy-like LU: max symbol error "
+          f"{err:.2e}")
+    recovered = np.sign(x_hat)
+    print(f"symbol decisions correct: "
+          f"{int(np.sum(recovered == x_true))}/{h.order}")
+
+    ref = np.linalg.solve(h.dense(), y)
+    print(f"agreement with dense LU: "
+          f"{np.max(np.abs(x_hat - ref)):.2e}")
+
+    # --- noisy case: structured least squares -----------------------------
+    # With real noise the right formulation is min ‖Cx − y‖₂ over the
+    # *tall* convolution operator; its normal equations are exactly block
+    # Toeplitz, solved by the SPD Schur factorization (+ semi-normal
+    # refinement).
+    from repro.toeplitz import toeplitz_lstsq
+
+    n_in = 200
+    x_true = rng.choice([-1.0, 1.0], size=n_in * m)
+    taps_arr = np.stack(taps)
+    from repro.toeplitz import ConvolutionOperator
+    op = ConvolutionOperator(taps_arr, n_in)
+    y_noisy = op.matvec(x_true) + 0.05 * rng.standard_normal(op.shape[0])
+    x_ls = toeplitz_lstsq(taps_arr, y_noisy, n_in)
+    ref, *_ = np.linalg.lstsq(op.dense(), y_noisy, rcond=None)
+    print(f"\nnoisy LS deconvolution (n_in={n_in}, SNR ~ 26 dB):")
+    print(f"  structured LS vs dense lstsq: "
+          f"{np.max(np.abs(x_ls - ref)):.2e}")
+    print(f"  symbol decisions correct: "
+          f"{int(np.sum(np.sign(x_ls) == x_true))}/{n_in * m}")
+
+
+if __name__ == "__main__":
+    main()

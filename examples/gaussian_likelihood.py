@@ -1,0 +1,55 @@
+"""Exact Gaussian likelihood of a long-memory time series in O(m·n)
+memory via the streaming Schur factorization.
+
+Evaluating the exact likelihood of a stationary Gaussian process needs
+``xᵀT⁻¹x`` and ``log det T`` for a (block) Toeplitz covariance ``T`` —
+the classical application of Schur/Levinson recursions.  The streaming
+whitener never materializes the O(n²) triangular factor, so maximum-
+likelihood estimation scales to long series.
+
+Here: estimate the Hurst index of fractional Gaussian noise by
+maximizing the streamed exact likelihood over a grid.
+
+Run:  python examples/gaussian_likelihood.py
+"""
+
+import numpy as np
+
+from repro import gaussian_loglikelihood
+from repro.toeplitz import fgn_toeplitz
+
+
+def sample_fgn(n, hurst, rng):
+    """Exact fGn sample via Cholesky of the covariance (fine at this n)."""
+    t = fgn_toeplitz(n, hurst)
+    c = np.linalg.cholesky(t.dense())
+    return c @ rng.standard_normal(n)
+
+
+def main():
+    rng = np.random.default_rng(42)
+    n = 1024
+    h_true = 0.78
+
+    print(f"sampling fractional Gaussian noise: n={n}, H={h_true}")
+    x = sample_fgn(n, h_true, rng)
+
+    grid = np.round(np.arange(0.55, 0.96, 0.025), 3)
+    print("\nexact log-likelihood over a Hurst grid "
+          "(streaming block Schur, never storing R):")
+    lls = []
+    for h in grid:
+        t = fgn_toeplitz(n, h).regroup(8)   # m_s = 8: level-3 kernels
+        ll = gaussian_loglikelihood(t, x)
+        lls.append(ll)
+        bar = "#" * max(0, int(60 + (ll - max(lls)) / 4))
+        print(f"  H={h:5.3f}  logL={ll:12.3f}  {bar}")
+
+    h_hat = grid[int(np.argmax(lls))]
+    print(f"\nmaximum-likelihood estimate: Ĥ = {h_hat} "
+          f"(true H = {h_true})")
+    assert abs(h_hat - h_true) < 0.06
+
+
+if __name__ == "__main__":
+    main()

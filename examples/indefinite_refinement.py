@@ -1,0 +1,66 @@
+"""Section 8 end-to-end: indefinite Toeplitz systems with singular
+principal minors, solved by perturbed factorization + iterative
+refinement.
+
+Reproduces the paper's worked example (eq. 50) and then runs the same
+pipeline on a larger randomly generated singular-minor system.
+
+Run:  python examples/indefinite_refinement.py
+"""
+
+import numpy as np
+
+from repro import (
+    ldlt,
+    paper_example_matrix,
+    singular_minor_toeplitz,
+    solve_refined,
+)
+from repro.baselines import pcg
+
+
+def show_case(name, t, x_true):
+    d = t.dense()
+    b = d @ x_true
+    print(f"\n=== {name} (order {t.order}) ===")
+    print(f"leading 2×2 minor determinant: "
+          f"{np.linalg.det(d[:2, :2]):.2e}")
+
+    fact = ldlt(t)
+    for ev in fact.perturbations:
+        print(f"perturbation at scalar pivot {ev.scalar_index}: "
+              f"hyperbolic norm {ev.norm_before:.2e} → "
+              f"{ev.norm_after:.2e} (relative δ = {ev.delta:.2e})")
+    print(f"interchanges: {len(fact.interchanges)}, "
+          f"inertia (n₊, n₋) = {fact.inertia}")
+    print(f"‖(RᵀDR − T)‖ / ‖T‖ = "
+          f"{np.max(np.abs(fact.reconstruct() - d)) / np.linalg.norm(d):.2e}"
+          f"   (the O(∛ε) designed backward error)")
+
+    res = solve_refined(t, b, keep_history=True)
+    print("iterative refinement trace (‖x − x_i‖):")
+    for i, xi in enumerate(res.history, start=1):
+        print(f"  x_{i}: {np.linalg.norm(x_true - xi):.4e}")
+    print(f"converged in {res.iterations} correction steps "
+          f"(paper: typically two suffice)")
+
+    cg = pcg(t, b, preconditioner=fact, tol=1e-12)
+    print(f"preconditioned CG comparator: {cg.iterations} iterations, "
+          f"error {np.linalg.norm(cg.x - x_true):.2e}")
+
+
+def main():
+    # The paper's 6×6 example: first row (1, 1, .5297, .6711, .0077,
+    # .3834) with the singular minor [[1, 1], [1, 1]].
+    show_case("paper eq. (50)", paper_example_matrix(), np.ones(6))
+
+    # A random 40×40 symmetric Toeplitz with an exactly singular leading
+    # 2×2 minor.
+    rng = np.random.default_rng(1)
+    t = singular_minor_toeplitz(40, minor=2, seed=5)
+    show_case("random singular-minor system", t,
+              rng.standard_normal(40))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,85 @@
+"""Beyond Toeplitz: factoring any low displacement-rank matrix.
+
+The paper's algorithm is one instance of the Kailath displacement
+framework [8]: any symmetric matrix whose displacement ``A − ZᵀAZ`` has
+small rank α factors in ``O(α n²)`` by the same generator/hyperbolic-
+reflector recursion.  A Toeplitz matrix has α = 2; realistic
+"almost-Toeplitz" matrices — a Toeplitz covariance plus a few rank-one
+corrections from calibration errors or known interferers — have α only
+slightly larger and keep the fast factorization.
+
+Run:  python examples/low_displacement_rank.py
+"""
+
+import time
+
+import numpy as np
+
+from repro import (
+    generalized_schur_factor,
+    generator_from_dense,
+    kms_toeplitz,
+)
+from repro.core.displacement_rank import displacement_rank
+
+
+def main():
+    rng = np.random.default_rng(3)
+    n = 512
+
+    # A Toeplitz covariance contaminated by two rank-one interferers.
+    base = kms_toeplitz(n, 0.7).dense()
+    v1 = np.sin(0.31 * np.arange(n)) / np.sqrt(n)
+    v2 = rng.standard_normal(n) / np.sqrt(n)
+    a = base + 6.0 * np.outer(v1, v1) + 2.0 * np.outer(v2, v2)
+
+    alpha = displacement_rank(a)
+    print(f"matrix: {n}×{n} Toeplitz + 2 rank-one terms")
+    print(f"displacement rank α = {alpha}   (pure Toeplitz would be 2; "
+          f"each rank-one term adds ≤ 2)")
+
+    g, w = generator_from_dense(a)
+    print(f"generator: {g.shape[0]} × {g.shape[1]}, signature {w}")
+
+    t0 = time.perf_counter()
+    fact = generalized_schur_factor(g, w)
+    t_schur = time.perf_counter() - t0
+
+    t0 = time.perf_counter()
+    import scipy.linalg as sla
+    r_dense = sla.cholesky(a)
+    t_dense = time.perf_counter() - t0
+
+    err = np.max(np.abs(fact.reconstruct() - a))
+    print(f"generalized Schur: {t_schur * 1e3:8.2f} ms   "
+          f"max|RᵀDR − A| = {err:.2e}")
+    print(f"dense Cholesky:    {t_dense * 1e3:8.2f} ms")
+    np.testing.assert_allclose(np.abs(fact.r), np.abs(r_dense),
+                               atol=1e-7 * np.linalg.norm(a))
+
+    # Empirical scaling: the structured path grows like n², dense like
+    # n³ (LAPACK's constant is far smaller, so the crossover sits at
+    # large n — complexity, not constants, is the point here).
+    def timed(fn):
+        t0 = time.perf_counter()
+        fn()
+        return time.perf_counter() - t0
+
+    n2 = 2 * n
+    base2 = kms_toeplitz(n2, 0.7).dense()
+    w1 = np.sin(0.31 * np.arange(n2)) / np.sqrt(n2)
+    a2 = base2 + 6.0 * np.outer(w1, w1)
+    g2, sig2 = generator_from_dense(a2)
+    t_schur2 = timed(lambda: generalized_schur_factor(g2, sig2))
+    t_dense2 = timed(lambda: sla.cholesky(a2))
+    print(f"doubling n: structured time ×{t_schur2 / t_schur:.1f} "
+          f"(O(n²) ⇒ ≈ 4), dense ×{t_dense2 / t_dense:.1f} "
+          f"(O(n³) ⇒ ≈ 8)")
+
+    b = rng.standard_normal(n)
+    x = fact.solve(b)
+    print(f"solve residual: max|Ax − b| = {np.max(np.abs(a @ x - b)):.2e}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,107 @@
+"""Multichannel linear prediction with block Toeplitz normal equations.
+
+The workload that motivates block Toeplitz solvers: fitting an
+order-``q`` vector autoregressive predictor to an ``m``-channel signal.
+The Yule–Walker normal equations have the *block Toeplitz* coefficient
+matrix ``[Γ_{j−i}]`` built from the channel autocovariances, solved here
+with the block Schur factorization and cross-checked against the block
+Levinson recursion.
+
+Run:  python examples/multichannel_prediction.py
+"""
+
+import time
+
+import numpy as np
+
+from repro import SymmetricBlockToeplitz, cholesky
+from repro.baselines import block_levinson_solve
+
+
+def simulate_var(a_coeffs, sigma, steps, rng):
+    """Simulate x_t = Σ_k A_k x_{t−k} + w_t, cov(w) = Σ."""
+    m = sigma.shape[0]
+    order = len(a_coeffs)
+    chol = np.linalg.cholesky(sigma)
+    x = np.zeros((steps + order, m))
+    for t in range(order, steps + order):
+        acc = chol @ rng.standard_normal(m)
+        for k, a in enumerate(a_coeffs, start=1):
+            acc += a @ x[t - k]
+        x[t] = acc
+    return x[order:]
+
+
+def sample_autocovariances(x, lags):
+    """Biased sample autocovariances Γ̂_k = (1/N) Σ x_{t+k} x_tᵀ."""
+    n = x.shape[0]
+    return [x[k:].T @ x[:n - k] / n for k in range(lags + 1)]
+
+
+def main():
+    rng = np.random.default_rng(7)
+    m, order = 3, 6          # channels, predictor order
+    steps = 200_000
+
+    # Ground-truth VAR(2) system.
+    a1 = np.array([[0.5, 0.1, 0.0],
+                   [0.0, 0.3, 0.2],
+                   [0.1, 0.0, 0.4]])
+    a2 = np.array([[0.2, 0.0, 0.1],
+                   [0.1, 0.1, 0.0],
+                   [0.0, 0.2, 0.1]])
+    sigma = np.diag([1.0, 0.5, 0.8])
+
+    print(f"simulating a {m}-channel VAR(2) process, {steps} samples …")
+    x = simulate_var([a1, a2], sigma, steps, rng)
+
+    # Yule–Walker normal equations for an order-q predictor:
+    #   [Γ_{j−i}]_{i,j=1..q} · vec(A) = [Γ_1; …; Γ_q]
+    gammas = sample_autocovariances(x, order)
+    t = SymmetricBlockToeplitz([0.5 * (gammas[0] + gammas[0].T)]
+                               + gammas[1:order])
+    rhs = np.vstack([g.T for g in gammas[1:order + 1]])  # (q·m, m)
+
+    print(f"normal-equation matrix: order {t.order} "
+          f"(block size {m}, {order} block rows)")
+
+    # --- solve with the block Schur factorization ------------------------
+    t0 = time.perf_counter()
+    fact = cholesky(t)
+    coef = fact.solve(rhs)          # stacked [A_1ᵀ; …; A_qᵀ]
+    t_schur = time.perf_counter() - t0
+
+    # --- cross-check with block Levinson ---------------------------------
+    t0 = time.perf_counter()
+    lev = block_levinson_solve(t, rhs)
+    t_lev = time.perf_counter() - t0
+    print(f"Schur vs Levinson predictor coefficients agree: "
+          f"{np.allclose(coef, lev.x, atol=1e-8)}  "
+          f"(schur {t_schur * 1e3:.2f} ms, levinson {t_lev * 1e3:.2f} ms)")
+
+    a_hat = [coef[k * m:(k + 1) * m].T for k in range(order)]
+    print(f"‖Â₁ − A₁‖ = {np.linalg.norm(a_hat[0] - a1):.3f}   "
+          f"‖Â₂ − A₂‖ = {np.linalg.norm(a_hat[1] - a2):.3f}   "
+          f"(sampling error shrinks with more data)")
+
+    # --- prediction error covariance --------------------------------------
+    # Σ̂ = Γ₀ − Σ_k Â_k Γ_kᵀ ; should approach the innovation covariance.
+    sig_hat = gammas[0].copy()
+    for k, a in enumerate(a_hat, start=1):
+        sig_hat -= a @ gammas[k].T
+    print("innovation covariance (true diagonal): "
+          f"{np.diag(sigma)}")
+    print("prediction error covariance (estimated diagonal): "
+          f"{np.round(np.diag(sig_hat), 3)}")
+
+    # predictor whitening check on held-out data
+    y = simulate_var([a1, a2], sigma, 20_000, rng)
+    resid = y[order:].copy()
+    for k, a in enumerate(a_hat, start=1):
+        resid -= y[order - k:-k] @ a.T
+    print(f"held-out residual variance per channel: "
+          f"{np.round(resid.var(axis=0), 3)}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,62 @@
+"""Quickstart: factor and solve a symmetric positive definite block
+Toeplitz system with the block Schur algorithm.
+
+Run:  python examples/quickstart.py
+"""
+
+import numpy as np
+
+from repro import (
+    SchurOptions,
+    ar_block_toeplitz,
+    cholesky,
+    schur_spd_factor,
+    solve,
+)
+
+
+def main():
+    rng = np.random.default_rng(0)
+
+    # An SPD block Toeplitz matrix: the autocovariance matrix of a
+    # stable 4-channel vector AR process, 32 block rows (order 128).
+    t = ar_block_toeplitz(num_blocks=32, block_size=4, seed=0)
+    print(f"matrix: order {t.order}, block size {t.block_size}, "
+          f"{t.num_blocks} block rows")
+
+    # --- Cholesky factorization T = Rᵀ R --------------------------------
+    fact = cholesky(t)
+    resid = np.max(np.abs(fact.reconstruct() - t.dense()))
+    print(f"factorization residual  max|RᵀR − T| = {resid:.2e}")
+    print(f"log det T = {fact.logdet():.6f}")
+
+    # --- solving --------------------------------------------------------
+    b = rng.standard_normal(t.order)
+    x = fact.solve(b)
+    print(f"solve residual          max|Tx − b|  = "
+          f"{np.max(np.abs(t.dense() @ x - b)):.2e}")
+
+    # one-call variant (auto-detects SPD / indefinite):
+    x2 = solve(t, b)
+    print(f"solve() agrees with factored solve:   "
+          f"{np.allclose(x, x2)}")
+
+    # --- implementation choices (Section 4/6 of the paper) --------------
+    # Pick a block hyperbolic Householder representation and panel width:
+    for rep in ("vy1", "vy2", "yty"):
+        f = schur_spd_factor(t, options=SchurOptions(representation=rep,
+                                                     panel=2))
+        err = np.max(np.abs(f.r - fact.r))
+        print(f"representation {rep:>4}: factor agrees to {err:.1e}")
+
+    # --- forgoing structure (Section 6.5) --------------------------------
+    # Treat the matrix as if its block size were 8 (twice the structural
+    # block size) — more flops, bigger level-3 kernels, same factor:
+    t8 = t.regroup(8)
+    f8 = schur_spd_factor(t8)
+    print(f"m_s = 8 factor agrees:  "
+          f"{np.allclose(f8.r, fact.r, atol=1e-8)}")
+
+
+if __name__ == "__main__":
+    main()

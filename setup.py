@@ -1,0 +1,11 @@
+"""Legacy setup shim.
+
+The canonical metadata lives in ``pyproject.toml``; this file exists so
+``pip install -e .`` / ``python setup.py develop`` work on environments
+whose setuptools predates PEP-660 editable wheels (no ``wheel`` package
+available offline).
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,37 @@
+"""Baselines the paper compares against (or that validate our results).
+
+* :mod:`repro.baselines.levinson` — a from-scratch block Levinson–Durbin
+  solver (the classical ``O(p² m³)`` alternative to the Schur approach;
+  the Concus–Saylor perturbation idea was developed for this algorithm);
+* :mod:`repro.baselines.dense_chol` — dense LAPACK Cholesky / LDLᵀ via
+  SciPy, the ``O(n³)`` reference for accuracy and crossover timing;
+* :mod:`repro.baselines.pcg` — preconditioned conjugate gradients with
+  the perturbed ``Rᵀ D R`` factorization as preconditioner, the
+  Section 8 comparator for iterative refinement.
+"""
+
+from repro.baselines.levinson import block_levinson_solve, LevinsonResult
+from repro.baselines.dense_chol import (
+    dense_cholesky_solve,
+    dense_ldl_solve,
+)
+from repro.baselines.pcg import pcg, PCGResult
+from repro.baselines.circulant import (
+    CirculantPreconditioner,
+    strang_preconditioner,
+    tchan_preconditioner,
+    circulant_pcg,
+)
+
+__all__ = [
+    "block_levinson_solve",
+    "LevinsonResult",
+    "dense_cholesky_solve",
+    "dense_ldl_solve",
+    "pcg",
+    "PCGResult",
+    "CirculantPreconditioner",
+    "strang_preconditioner",
+    "tchan_preconditioner",
+    "circulant_pcg",
+]

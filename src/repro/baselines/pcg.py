@@ -1,0 +1,116 @@
+"""Preconditioned conjugate gradients with a factored preconditioner.
+
+The Section 8 comparator: Concus & Saylor use the perturbed direct
+factorization as a *preconditioner* for CG on indefinite symmetric
+Toeplitz systems.  The paper's refinement scheme does strictly less work
+per iteration (one factored solve + one fast matvec versus the same plus
+the CG vector recurrences); the benchmark harness counts both.
+
+This is a from-scratch PCG with work counters, using the FFT fast matvec
+for the operator.  With the ``Rᵀ D R`` preconditioner the preconditioned
+operator is a tiny perturbation of the identity, so CG converges in a
+handful of iterations even for (mildly) indefinite ``T``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import ConvergenceError, ShapeError
+from repro.toeplitz.block_toeplitz import SymmetricBlockToeplitz
+from repro.toeplitz.matvec import BlockCirculantEmbedding
+
+__all__ = ["PCGResult", "pcg"]
+
+
+@dataclass
+class PCGResult:
+    """Solution and work accounting for one PCG run."""
+
+    x: np.ndarray
+    iterations: int
+    converged: bool
+    residual_norms: list[float] = field(default_factory=list)
+    #: number of operator applications (fast matvecs)
+    matvecs: int = 0
+    #: number of preconditioner solves
+    precond_solves: int = 0
+
+
+def pcg(t: SymmetricBlockToeplitz, b: np.ndarray, *,
+        preconditioner=None,
+        tol: float = 1e-12, max_iter: int | None = None,
+        raise_on_fail: bool = False) -> PCGResult:
+    """Solve ``T x = b`` by (preconditioned) conjugate gradients.
+
+    Parameters
+    ----------
+    t : SymmetricBlockToeplitz
+        System matrix (applied via the FFT embedding).
+    preconditioner : object with ``solve``, optional
+        E.g. an :class:`~repro.core.schur_indefinite.IndefiniteFactorization`
+        of ``T + δT``.
+    tol : float
+        Relative residual stopping tolerance ``‖r‖ ≤ tol·‖b‖``.
+    max_iter : int
+        Iteration cap (default ``2n``).
+    raise_on_fail : bool
+        Raise :class:`~repro.errors.ConvergenceError` instead of
+        returning ``converged=False``.
+    """
+    n = t.order
+    b = np.asarray(b, dtype=np.float64)
+    if b.shape != (n,):
+        raise ShapeError(f"b must have shape ({n},), got {b.shape}")
+    if max_iter is None:
+        max_iter = 2 * n
+    emb = BlockCirculantEmbedding(t)
+    res = PCGResult(x=np.zeros(n), iterations=0, converged=False)
+
+    bnorm = float(np.linalg.norm(b))
+    if bnorm == 0.0:
+        res.converged = True
+        return res
+    x = np.zeros(n)
+    r = b.copy()
+    if preconditioner is not None:
+        z = preconditioner.solve(r)
+        res.precond_solves += 1
+    else:
+        z = r.copy()
+    p = z.copy()
+    rz = float(r @ z)
+    res.residual_norms.append(float(np.linalg.norm(r)))
+    for it in range(1, max_iter + 1):
+        ap = emb(p)
+        res.matvecs += 1
+        pap = float(p @ ap)
+        if pap == 0.0:
+            break
+        alpha = rz / pap
+        x += alpha * p
+        r -= alpha * ap
+        rnorm = float(np.linalg.norm(r))
+        res.residual_norms.append(rnorm)
+        res.iterations = it
+        if rnorm <= tol * bnorm:
+            res.converged = True
+            break
+        if preconditioner is not None:
+            z = preconditioner.solve(r)
+            res.precond_solves += 1
+        else:
+            z = r.copy()
+        rz_new = float(r @ z)
+        beta = rz_new / rz if rz != 0.0 else 0.0
+        p = z + beta * p
+        rz = rz_new
+    res.x = x
+    if not res.converged and raise_on_fail:
+        raise ConvergenceError(
+            f"PCG failed to reach tol={tol} in {res.iterations} iterations",
+            iterations=res.iterations,
+            residual=res.residual_norms[-1])
+    return res

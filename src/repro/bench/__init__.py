@@ -1,0 +1,8 @@
+"""Shared helpers for the benchmark harness (table formatting, sizing)."""
+
+from repro.bench.tables import format_table, format_series, write_result
+from repro.bench.runner import bench_scale, full_scale
+from repro.bench.plots import ascii_plot
+
+__all__ = ["format_table", "format_series", "write_result",
+           "bench_scale", "full_scale", "ascii_plot"]

@@ -1,0 +1,99 @@
+"""ASCII charts for the benchmark outputs.
+
+The paper's evaluation is figures; the harness renders each regenerated
+series as a terminal plot next to the numeric table so the shape (falls,
+optima, crossovers) is visible at a glance in ``benchmarks/results/``.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+__all__ = ["ascii_plot"]
+
+_MARKS = "ox+*#@%&"
+
+
+def _fmt(v: float) -> str:
+    return f"{v:.3g}"
+
+
+def ascii_plot(xs: Sequence[float], series: dict[str, Sequence[float]],
+               *, width: int = 64, height: int = 16,
+               logy: bool = False, title: str | None = None,
+               x_label: str = "x") -> str:
+    """Render series as a character-grid scatter/line chart.
+
+    ``xs`` are placed at even horizontal spacing (category axis — the
+    benches sweep log-spaced parameters), values on a linear or log
+    vertical axis.
+    """
+    xs = list(xs)
+    if not xs or not series:
+        return "(no data)"
+    vals = [v for s in series.values() for v in s
+            if v is not None and not math.isnan(v)]
+    if not vals:
+        return "(no data)"
+    lo, hi = min(vals), max(vals)
+    if logy:
+        if lo <= 0:
+            raise ValueError("logy requires positive values")
+        lo, hi = math.log10(lo), math.log10(hi)
+    if hi <= lo:
+        hi = lo + 1.0
+    grid = [[" "] * width for _ in range(height)]
+
+    def put(col, row, ch):
+        if 0 <= col < width and 0 <= row < height:
+            grid[row][col] = ch
+
+    n = len(xs)
+    for si, (name, ys) in enumerate(series.items()):
+        mark = _MARKS[si % len(_MARKS)]
+        last = None
+        for i, y in enumerate(ys):
+            if y is None or math.isnan(y):
+                last = None
+                continue
+            yv = math.log10(y) if logy else y
+            col = int(i / max(n - 1, 1) * (width - 1))
+            row = height - 1 - int((yv - lo) / (hi - lo) * (height - 1))
+            # connect to the previous point with a sparse line
+            if last is not None:
+                c0, r0 = last
+                steps = max(abs(col - c0), abs(row - r0))
+                for s in range(1, steps):
+                    put(c0 + (col - c0) * s // steps,
+                        r0 + (row - r0) * s // steps, "·")
+            put(col, row, mark)
+            last = (col, row)
+
+    top = 10 ** hi if logy else hi
+    bot = 10 ** lo if logy else lo
+    lines = []
+    if title:
+        lines.append(title)
+    axis_w = max(len(_fmt(top)), len(_fmt(bot)))
+    for r, rowchars in enumerate(grid):
+        label = ""
+        if r == 0:
+            label = _fmt(top)
+        elif r == height - 1:
+            label = _fmt(bot)
+        lines.append(f"{label:>{axis_w}} |" + "".join(rowchars))
+    lines.append(" " * axis_w + " +" + "-" * width)
+    ticks = " " * (axis_w + 2)
+    tick_line = list(ticks + " " * width)
+    for i, x in enumerate(xs):
+        col = axis_w + 2 + int(i / max(n - 1, 1) * (width - 1))
+        s = _fmt(float(x)) if isinstance(x, (int, float)) else str(x)
+        for j, ch in enumerate(s):
+            if col + j < len(tick_line):
+                tick_line[col + j] = ch
+    lines.append("".join(tick_line) + f"   [{x_label}]")
+    legend = "   ".join(f"{_MARKS[i % len(_MARKS)]} {name}"
+                        for i, name in enumerate(series))
+    lines.append(" " * (axis_w + 2) + legend)
+    return "\n".join(lines)

@@ -1,0 +1,23 @@
+"""Benchmark sizing: quick (CI-friendly) versus full (paper-scale) runs.
+
+The paper's T3D experiments use ``n = 4096``; simulating those takes tens
+of seconds per data point.  By default the harness runs a scaled-down but
+shape-preserving configuration; set ``REPRO_BENCH_FULL=1`` to reproduce
+the exact paper sizes.
+"""
+
+from __future__ import annotations
+
+import os
+
+__all__ = ["full_scale", "bench_scale"]
+
+
+def full_scale() -> bool:
+    """True when the harness should run exact paper-scale experiments."""
+    return os.environ.get("REPRO_BENCH_FULL", "0") not in ("0", "", "false")
+
+
+def bench_scale(quick: int, full: int) -> int:
+    """Pick the quick or full value of a size parameter."""
+    return full if full_scale() else quick

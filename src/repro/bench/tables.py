@@ -1,0 +1,58 @@
+"""Plain-text table/series formatting for the benchmark harness.
+
+Every reproduction bench prints the rows/series the paper's table or
+figure reports and mirrors them to ``benchmarks/results/<name>.txt`` so
+the output survives pytest's capture.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Sequence
+
+__all__ = ["format_table", "format_series", "write_result"]
+
+
+def format_table(headers: Sequence[str], rows: Sequence[Sequence],
+                 title: str | None = None) -> str:
+    """Fixed-width table with a header rule."""
+    cells = [[str(h) for h in headers]]
+    for row in rows:
+        cells.append([f"{v:.6g}" if isinstance(v, float) else str(v)
+                      for v in row])
+    widths = [max(len(r[c]) for r in cells) for c in range(len(headers))]
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.rjust(w) for h, w in zip(cells[0], widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in cells[1:]:
+        lines.append("  ".join(v.rjust(w) for v, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def format_series(x_label: str, xs: Sequence, series: dict[str, Sequence],
+                  title: str | None = None) -> str:
+    """A figure as a table: one x column, one column per series."""
+    headers = [x_label] + list(series.keys())
+    rows = [[x] + [series[k][i] for k in series] for i, x in enumerate(xs)]
+    return format_table(headers, rows, title=title)
+
+
+def write_result(name: str, text: str, *, directory: str | None = None,
+                 echo: bool = True) -> str:
+    """Print ``text`` and persist it under ``benchmarks/results/``."""
+    if directory is None:
+        directory = os.environ.get(
+            "REPRO_RESULTS_DIR",
+            os.path.join(os.path.dirname(os.path.dirname(os.path.dirname(
+                os.path.dirname(os.path.abspath(__file__))))),
+                "benchmarks", "results"))
+    os.makedirs(directory, exist_ok=True)
+    path = os.path.join(directory, f"{name}.txt")
+    with open(path, "w", encoding="utf-8") as fh:
+        fh.write(text.rstrip() + "\n")
+    if echo:
+        print("\n" + text)
+        print(f"[written to {path}]")
+    return path

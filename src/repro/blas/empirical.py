@@ -1,0 +1,134 @@
+"""Empirical on-host BLAS characterization.
+
+Section 6.5: *"If this is not the case the analysis can be modified to
+use an empirical characterization of the primitives performance.  (This
+approach was taken when we analyzed the effect of block size choice on
+our Cray Y-MP implementations.)"*
+
+:func:`measure_host_model` times NumPy's dot/gemv/ger/gemm on a grid of
+shapes and fits a per-level Hockney model by least squares on the
+reciprocal rates; the result plugs into the same trade-off analysis as
+the parametric Cray models, but describes the machine the tests are
+actually running on.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from repro.blas.perf_model import BlasPerformanceModel, HockneyRate
+from repro.utils.rng import default_rng
+
+__all__ = ["EmpiricalBlasModel", "measure_host_model"]
+
+
+def _time_call(fn, min_time: float = 2e-3, max_reps: int = 200) -> float:
+    """Median-of-repetitions wall time of ``fn()`` in seconds."""
+    fn()  # warm-up (allocations, cache)
+    times = []
+    total = 0.0
+    while total < min_time and len(times) < max_reps:
+        t0 = time.perf_counter()
+        fn()
+        dt = time.perf_counter() - t0
+        times.append(dt)
+        total += dt
+    return float(np.median(times))
+
+
+def _fit_hockney(lengths: np.ndarray, rates: np.ndarray,
+                 floor_rate: float = 1e6) -> HockneyRate:
+    """Least-squares fit of ``1/rate = 1/r_∞ + n_½/(r_∞ ℓ)``.
+
+    Linear in ``(1, 1/ℓ)`` against ``1/rate``.
+    """
+    rates = np.maximum(rates, floor_rate)
+    a = np.column_stack([np.ones_like(lengths, dtype=float), 1.0 / lengths])
+    coef, *_ = np.linalg.lstsq(a, 1.0 / rates, rcond=None)
+    inv_rinf = max(coef[0], 1.0 / (rates.max() * 4.0))
+    r_inf = 1.0 / inv_rinf
+    n_half = max(coef[1] * r_inf, 0.0)
+    return HockneyRate(r_inf=float(r_inf), n_half=float(n_half))
+
+
+class EmpiricalBlasModel(BlasPerformanceModel):
+    """A :class:`BlasPerformanceModel` fitted from host measurements."""
+
+
+def measure_host_model(*, seed=0, quick: bool = True) -> EmpiricalBlasModel:
+    """Time NumPy kernels on this host and fit per-level Hockney models.
+
+    ``quick`` keeps the measurement under ~1 second; the full grid takes
+    a few seconds and tightens the fit.
+    """
+    rng = default_rng(seed)
+    lengths = np.array([8, 32, 128, 512, 2048] if quick
+                       else [4, 8, 16, 32, 64, 128, 256, 512, 1024,
+                             2048, 8192])
+
+    # Level 1: axpy
+    l1_rates = []
+    for n in lengths:
+        x = rng.standard_normal(n)
+        y = rng.standard_normal(n)
+        t = _time_call(lambda x=x, y=y: y + 2.0 * x)
+        l1_rates.append(2 * n / t)
+    level1 = _fit_hockney(lengths.astype(float), np.array(l1_rates))
+
+    # Level 2: gemv with square-ish operands of the given short dimension
+    l2_rates = []
+    for n in lengths:
+        wide = min(4 * n, 4096)
+        a = rng.standard_normal((n, wide))
+        x = rng.standard_normal(wide)
+        t = _time_call(lambda a=a, x=x: a @ x)
+        l2_rates.append(2 * n * wide / t)
+    level2 = _fit_hockney(lengths.astype(float), np.array(l2_rates))
+
+    # Level 3: gemm with constraining dimension n
+    l3_rates = []
+    for n in lengths:
+        wide = min(4 * n, 4096)
+        a = rng.standard_normal((n, n))
+        b = rng.standard_normal((n, wide))
+        t = _time_call(lambda a=a, b=b: a @ b)
+        l3_rates.append(2 * n * n * wide / t)
+    level3 = _fit_hockney(lengths.astype(float), np.array(l3_rates))
+
+    # Per-call overhead from a tiny kernel
+    x1 = rng.standard_normal(2)
+    latency = _time_call(lambda: x1 @ x1)
+
+    model = EmpiricalBlasModel(
+        name="host-empirical",
+        level1=level1, level2=level2, level3=level3,
+        call_latency=float(latency))
+
+    # Per-elimination-step driver overhead: time a real m = 1 step of
+    # the Schur loop and subtract the modeled primitive cost.  On
+    # interpreter-driven hosts this fixed cost (allocation, views,
+    # dispatch) dominates the small-m_s regime — the analog of the
+    # library-call overheads the paper found on the Y-MP BLAS3.
+    from repro.core.flops import primitive_calls_for_step
+    from repro.core.schur_spd import eliminate_block
+    from repro.core.signature import block_schur_signature
+
+    width = 512
+    w = block_schur_signature(1)
+    upper0 = rng.standard_normal((1, width)) + 5.0
+    lower0 = rng.standard_normal((1, width))
+
+    def one_step():
+        eliminate_block(np.abs(upper0) + 5.0, lower0.copy(), w)
+
+    t_step = _time_call(one_step)
+    modeled = model.time_many(primitive_calls_for_step(1, width))
+    # the copy in one_step is measurement harness cost, roughly one axpy
+    overhead = max(0.0, t_step - modeled - model.level1.time(width, width))
+    return EmpiricalBlasModel(
+        name="host-empirical",
+        level1=level1, level2=level2, level3=level3,
+        call_latency=float(latency),
+        step_overhead=float(overhead))

@@ -1,0 +1,102 @@
+"""Parametric BLAS performance models.
+
+The paper's implementation-choice analysis (Sections 6.5, 7) needs a map
+from *primitive call with shape* to *time*.  We use the classic Hockney
+characterization: a primitive streaming vectors of length ``ℓ`` runs at
+
+    ``rate(ℓ) = r_∞ · ℓ / (ℓ + n_½)``
+
+where ``r_∞`` is the asymptotic rate and ``n_½`` the vector length at
+half performance.  Each BLAS level gets its own ``(r_∞, n_½)`` pair —
+level 3 far above level 1 on the machines of interest — and matrix
+primitives are priced by their *constraining* dimension (the smallest
+operand dimension), which is exactly the mechanism behind the paper's
+observation that short-and-wide level-3 products underperform and that a
+larger algorithmic block size ``m_s`` pays superlinearly (Figure 10).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.flops import PrimitiveCall
+from repro.errors import ShapeError
+
+__all__ = ["HockneyRate", "BlasPerformanceModel", "PrimitiveCall"]
+
+
+@dataclass(frozen=True)
+class HockneyRate:
+    """``rate(ℓ) = r_∞ · ℓ / (ℓ + n_½)`` (flops/second)."""
+
+    r_inf: float
+    n_half: float
+
+    def rate(self, length: float) -> float:
+        """Achieved flops/second at vector length ``length``."""
+        if length <= 0:
+            raise ShapeError(f"vector length must be positive, got {length}")
+        return self.r_inf * length / (length + self.n_half)
+
+    def time(self, flops: float, length: float) -> float:
+        """Seconds for ``flops`` operations at vector length ``length``."""
+        return flops / self.rate(length)
+
+
+@dataclass(frozen=True)
+class BlasPerformanceModel:
+    """Per-level Hockney rates plus a fixed per-call startup cost.
+
+    Attributes
+    ----------
+    name : str
+        Label used in reports.
+    level1, level2, level3 : HockneyRate
+        Rates for vector, matrix–vector and matrix–matrix primitives.
+    call_latency : float
+        Fixed overhead per primitive invocation (seconds) — the term that
+        punishes a sea of tiny calls (small ``m``).
+    step_overhead : float
+        Fixed overhead per *elimination step* outside the primitives
+        (driver/loop/dispatch cost).  Zero for pure-library machine
+        models; the empirical host characterization measures it — it is
+        the dominant small-``m_s`` cost on interpreter-driven hosts and
+        the analog of the per-call library overheads the paper observed
+        on the Y-MP.
+    """
+
+    name: str
+    level1: HockneyRate
+    level2: HockneyRate
+    level3: HockneyRate
+    call_latency: float = 0.0
+    step_overhead: float = 0.0
+
+    def time(self, call: PrimitiveCall) -> float:
+        """Seconds to execute one primitive call of the given shape."""
+        s = call.shape
+        fl = call.flops
+        if call.name in ("dot", "axpy", "scal"):
+            return self.call_latency + self.level1.time(fl, s[0])
+        if call.name in ("gemv", "ger"):
+            # constraining dimension: the shorter operand axis
+            length = max(1, min(s[0], s[1]))
+            return self.call_latency + self.level2.time(fl, length)
+        if call.name == "gemm":
+            length = max(1, min(s))
+            return self.call_latency + self.level3.time(fl, length)
+        if call.name == "trsm":
+            length = max(1, min(s[0], s[1]))
+            return self.call_latency + self.level3.time(fl, length)
+        raise ShapeError(f"unknown primitive {call.name!r}")
+
+    def time_many(self, calls) -> float:
+        """Total seconds over an iterable of primitive calls."""
+        return sum(self.time(c) for c in calls)
+
+    def achieved_mflops(self, calls) -> float:
+        """Aggregate rate (MFLOPS) over a primitive mix."""
+        calls = list(calls)
+        fl = sum(c.flops for c in calls)
+        t = self.time_many(calls)
+        return fl / t / 1e6 if t > 0 else float("inf")

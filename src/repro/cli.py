@@ -1,0 +1,293 @@
+"""Command-line interface: ``python -m repro <command> …``.
+
+Commands
+--------
+``info <matrix>``
+    Structure report: order, block size, displacement rank, definiteness,
+    condition estimate.
+``factor <matrix> [-o out.npz]``
+    Factor (SPD Cholesky or indefinite RᵀDR with perturbation) and
+    report diagnostics; optionally save the factor.
+``solve <matrix> <rhs> [-o x.npy]``
+    Solve ``T x = b`` with the automatic SPD → indefinite+refinement
+    pipeline (or ``--method gko`` / ``levinson``).
+``simulate <matrix> --nproc NP [--b B]``
+    Run the distributed factorization on the simulated T3D and print the
+    time/phase breakdown.
+``tune <matrix> [--nproc NP]``
+    Recommend a configuration (block size, representation, data
+    distribution) for this problem on the modeled machine.
+``bench-info``
+    List the paper figures/tables and the benchmark that regenerates
+    each.
+
+Matrix files: ``.npy``/``.npz``/``.txt``.  A 1-D array is the first row
+of a scalar symmetric Toeplitz matrix; a 2-D array is a dense symmetric
+block Toeplitz matrix (pass ``--block-size``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+import numpy as np
+
+from repro import __version__
+from repro.errors import ReproError
+
+__all__ = ["main", "build_parser"]
+
+
+def _load_array(path: str) -> np.ndarray:
+    if path.endswith(".npz"):
+        with np.load(path) as data:
+            key = list(data.keys())[0]
+            return np.asarray(data[key], dtype=np.float64)
+    if path.endswith(".npy"):
+        return np.asarray(np.load(path), dtype=np.float64)
+    return np.loadtxt(path, dtype=np.float64)
+
+
+def _load_matrix(path: str, block_size: int | None):
+    from repro.toeplitz import SymmetricBlockToeplitz, \
+        symmetric_from_dense
+    arr = _load_array(path)
+    if arr.ndim == 1:
+        t = SymmetricBlockToeplitz.from_first_row(arr)
+        if block_size and block_size > 1:
+            t = t.regroup(block_size)
+        return t
+    return symmetric_from_dense(arr, block_size or 1)
+
+
+def _cmd_info(args) -> int:
+    from repro.core.condest import condest
+    from repro.core.displacement_rank import displacement_rank
+    t = _load_matrix(args.matrix, args.block_size)
+    print(f"order:              {t.order}")
+    print(f"block size:         {t.block_size}")
+    print(f"block rows:         {t.num_blocks}")
+    if t.order <= 2048:
+        d = t.dense()
+        eig = np.linalg.eigvalsh(d)
+        kind = ("positive definite" if eig[0] > 0 else
+                "negative definite" if eig[-1] < 0 else "indefinite")
+        print(f"definiteness:       {kind} "
+              f"(λmin={eig[0]:.3e}, λmax={eig[-1]:.3e})")
+        print(f"displacement rank:  {displacement_rank(d)}")
+    try:
+        print(f"cond₁ estimate:     {condest(t):.3e}")
+    except ReproError as exc:
+        print(f"cond₁ estimate:     unavailable ({exc})")
+    return 0
+
+
+def _cmd_factor(args) -> int:
+    from repro.core.solve import cholesky, ldlt
+    from repro.errors import NotPositiveDefiniteError
+    t = _load_matrix(args.matrix, args.block_size)
+    try:
+        fact = cholesky(t, representation=args.representation)
+        d = np.ones(t.order, dtype=np.int8)
+        print(f"SPD Cholesky factorization T = RᵀR "
+              f"(representation {args.representation})")
+        print(f"log det T = {fact.logdet():.6e}")
+        r = fact.r
+    except NotPositiveDefiniteError:
+        ifact = ldlt(t)
+        r, d = ifact.r, ifact.d
+        print(f"indefinite factorization T ≈ RᵀDR: "
+              f"inertia {ifact.inertia}, "
+              f"{len(ifact.perturbations)} perturbation(s), "
+              f"{len(ifact.interchanges)} interchange(s)")
+        if ifact.perturbed:
+            print("note: factorization is of a nearby matrix; solve "
+                  "with iterative refinement (`repro solve`)")
+    resid = np.max(np.abs(r.T @ (d.astype(float)[:, None] * r)
+                          - t.dense())) if t.order <= 2048 else None
+    if resid is not None:
+        print(f"max |RᵀDR − T| = {resid:.3e}")
+    if args.output:
+        np.savez(args.output, r=r, d=d)
+        print(f"factor written to {args.output}")
+    return 0
+
+
+def _cmd_solve(args) -> int:
+    t = _load_matrix(args.matrix, args.block_size)
+    b = _load_array(args.rhs)
+    if args.method == "auto":
+        from repro.core.solve import solve_refined
+        res = solve_refined(t, b)
+        x = res.x
+        print(f"solved with perturbed RᵀDR + refinement: "
+              f"{res.iterations} correction step(s), "
+              f"converged={res.converged}")
+    elif args.method == "gko":
+        from repro.core.gko import solve_toeplitz_gko
+        x = solve_toeplitz_gko(t, b)
+        print("solved with GKO Cauchy-like LU (partial pivoting)")
+    elif args.method == "levinson":
+        from repro.baselines import block_levinson_solve
+        x = block_levinson_solve(t, b).x
+        print("solved with block Levinson recursion")
+    else:
+        raise ReproError(f"unknown method {args.method!r}")
+    from repro.toeplitz.matvec import BlockCirculantEmbedding
+    resid = float(np.linalg.norm(BlockCirculantEmbedding(t)(x) - b))
+    print(f"‖T x − b‖₂ = {resid:.3e}")
+    if args.output:
+        np.save(args.output, x)
+        print(f"solution written to {args.output}")
+    else:
+        np.set_printoptions(precision=6, suppress=False, threshold=20)
+        print(f"x = {x}")
+    return 0
+
+
+def _cmd_simulate(args) -> int:
+    from repro.parallel import simulate_factorization
+    t = _load_matrix(args.matrix, args.block_size)
+    run = simulate_factorization(t, nproc=args.nproc, b=args.b,
+                                 collect=False,
+                                 representation=args.representation)
+    scheme = "v3" if args.b < 1 else ("v1" if args.b == 1 else "v2")
+    print(f"simulated T3D: NP={args.nproc}, b={args.b} ({scheme}), "
+          f"m={t.block_size}")
+    print(f"time to factor: {run.time * 1e3:.3f} ms (virtual)")
+    print("slowest-PE phase breakdown:")
+    for k, v in sorted(run.breakdown().items(), key=lambda kv: -kv[1]):
+        print(f"  {k:<12} {v * 1e3:9.3f} ms")
+    return 0
+
+
+def _cmd_tune(args) -> int:
+    from repro.tuning import tune
+    t = _load_matrix(args.matrix, args.block_size)
+    res = tune(t.order, t.block_size, nproc=args.nproc)
+    print(f"problem: n={t.order}, m={t.block_size}, NP={args.nproc}")
+    print("recommendation:", res.describe())
+    if res.distribution is not None:
+        print("top distribution candidates:")
+        seen = set()
+        for rep, c in res.candidates:
+            key = (rep, c.b)
+            if key in seen:
+                continue
+            seen.add(key)
+            print(f"  rep={rep:<4} b={c.b:<6} version {c.version}: "
+                  f"{c.seconds * 1e3:9.3f} ms")
+            if len(seen) >= 8:
+                break
+    return 0
+
+
+def _cmd_bench_info(_args) -> int:
+    rows = [
+        ("Figure 6 / Exp 1", "bench_fig6_exp1.py",
+         "4096 point Toeplitz, NP=16, time vs b"),
+        ("Figure 7 / Exp 2", "bench_fig7_exp2.py",
+         "m=8, NP=64, all three distribution schemes"),
+        ("Figure 8 / Exp 3", "bench_fig8_exp3.py",
+         "m=32, NP=64, Version-3 spreads"),
+        ("Figure 9", "bench_fig9_blocksize.py",
+         "m=2 vs m=4 crossover over NP"),
+        ("Figure 10", "bench_fig10_ymp.py",
+         "performance vs m_s (real + Y-MP model)"),
+        ("§8.2 example", "bench_section8_refinement.py",
+         "eq.-50 matrix, perturbation + refinement"),
+        ("eqs. 25–32", "bench_flop_models.py",
+         "blocking/application flop tables"),
+        ("§6.3 volume", "bench_comm_volume.py",
+         "representation message volumes"),
+        ("§8.1 comparator", "bench_refinement_vs_pcg.py",
+         "refinement vs preconditioned CG"),
+        ("eq. 45 ablation", "bench_delta_ablation.py",
+         "perturbation size sweep"),
+        ("ablations", "bench_representations.py / bench_real_blocksize.py",
+         "representation / panel / m_s wall-clock"),
+        ("complexity", "bench_solver_comparison.py",
+         "structured O(n²) vs dense O(n³)"),
+    ]
+    width = max(len(r[0]) for r in rows)
+    w2 = max(len(r[1]) for r in rows)
+    for name, bench, desc in rows:
+        print(f"{name:<{width}}  {bench:<{w2}}  {desc}")
+    print("\nrun: pytest benchmarks/ --benchmark-only "
+          "[REPRO_BENCH_FULL=1 for paper sizes]")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the argparse command tree."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Block Schur solvers for (block) Toeplitz systems "
+                    "(ICPP'94 reproduction)")
+    parser.add_argument("--version", action="version",
+                        version=f"repro {__version__}")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def add_matrix_args(p):
+        p.add_argument("matrix", help="matrix file (.npy/.npz/.txt)")
+        p.add_argument("--block-size", type=int, default=None,
+                       help="block size m (required for dense input; "
+                            "optional regrouping for first-row input)")
+
+    p = sub.add_parser("info", help="structure report")
+    add_matrix_args(p)
+    p.set_defaults(func=_cmd_info)
+
+    p = sub.add_parser("factor", help="factor the matrix")
+    add_matrix_args(p)
+    p.add_argument("--representation", default="vy2",
+                   choices=["vy1", "vy2", "yty", "unblocked", "dense"])
+    p.add_argument("-o", "--output", help="write factor to .npz")
+    p.set_defaults(func=_cmd_factor)
+
+    p = sub.add_parser("solve", help="solve T x = b")
+    add_matrix_args(p)
+    p.add_argument("rhs", help="right-hand side file")
+    p.add_argument("--method", default="auto",
+                   choices=["auto", "gko", "levinson"])
+    p.add_argument("-o", "--output", help="write solution to .npy")
+    p.set_defaults(func=_cmd_solve)
+
+    p = sub.add_parser("simulate",
+                       help="factor on the simulated T3D")
+    add_matrix_args(p)
+    p.add_argument("--nproc", type=int, required=True)
+    p.add_argument("--b", type=float, default=1.0,
+                   help="distribution parameter (b<1 ⇒ Version 3)")
+    p.add_argument("--representation", default="vy2",
+                   choices=["vy1", "vy2", "yty"])
+    p.set_defaults(func=_cmd_simulate)
+
+    p = sub.add_parser("tune", help="recommend a configuration")
+    add_matrix_args(p)
+    p.add_argument("--nproc", type=int, default=1)
+    p.set_defaults(func=_cmd_tune)
+
+    p = sub.add_parser("bench-info",
+                       help="list paper artifacts and their benches")
+    p.set_defaults(func=_cmd_bench_info)
+    return parser
+
+
+def main(argv=None) -> int:
+    """CLI entry point; returns a process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.func(args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    except OSError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

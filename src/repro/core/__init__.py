@@ -1,0 +1,135 @@
+"""Core contribution: the block Schur algorithm and its building blocks.
+
+Layout mirrors the paper:
+
+* :mod:`repro.core.signature` — signature matrices ``W`` (Section 3).
+* :mod:`repro.core.hyperbolic` — scalar hyperbolic Householder reflectors
+  (Section 3, eqs. 14–16).
+* :mod:`repro.core.block_reflector` — the three block representations of
+  reflector products (Section 4, Lemmas 4.0.1–4.0.3).
+* :mod:`repro.core.generator` — generators and displacement structure
+  (Section 2, eqs. 4–10, 21).
+* :mod:`repro.core.schur_spd` — the SPD factorization loop (Sections 5–6).
+* :mod:`repro.core.schur_indefinite` — indefinite/LDLᵀ extension with
+  perturbation of singular minors (Section 8.2).
+* :mod:`repro.core.refinement` — iterative refinement (Section 8.1).
+* :mod:`repro.core.regroup` — structural vs. algorithmic block size
+  (Section 6.5).
+* :mod:`repro.core.flops` — the paper's closed-form flop models
+  (eqs. 25–32).
+* :mod:`repro.core.solve` — the high-level user API.
+"""
+
+from repro.core.signature import (
+    signature_vector,
+    hyperbolic_norm_squared,
+    signature_matrix,
+    block_schur_signature,
+)
+from repro.core.hyperbolic import (
+    HyperbolicHouseholder,
+    reflector_annihilating,
+)
+from repro.core.block_reflector import (
+    BlockReflector,
+    VYFirstAccumulator,
+    VYSecondAccumulator,
+    YTYAccumulator,
+    UnblockedAccumulator,
+    DenseAccumulator,
+    make_accumulator,
+    REPRESENTATIONS,
+)
+from repro.core.generator import (
+    spd_generator,
+    indefinite_generator,
+    displacement,
+    generator_to_full,
+)
+from repro.core.schur_spd import schur_spd_factor, SchurOptions, SPDFactorization
+from repro.core.schur_indefinite import (
+    schur_indefinite_factor,
+    IndefiniteFactorization,
+    PerturbationEvent,
+)
+from repro.core.refinement import refine, RefinementResult
+from repro.core.solve import (
+    cholesky,
+    ldlt,
+    solve,
+    solve_refined,
+)
+from repro.core.regroup import regrouped_factor, choose_block_size
+from repro.core.displacement_rank import (
+    displacement_rank,
+    generator_from_dense,
+    matrix_from_generator,
+    generalized_schur_factor,
+    GeneralizedFactorization,
+)
+from repro.core.streaming import (
+    iter_r_block_rows,
+    streaming_whiten,
+    streaming_logdet,
+    gaussian_loglikelihood,
+)
+from repro.core.condest import condest, one_norm, invnorm_estimate
+from repro.core.gko import (
+    cauchy_like_lu,
+    CauchyLikeLU,
+    solve_toeplitz_gko,
+    toeplitz_to_cauchy,
+)
+from repro.core import flops
+
+__all__ = [
+    "signature_vector",
+    "hyperbolic_norm_squared",
+    "signature_matrix",
+    "block_schur_signature",
+    "HyperbolicHouseholder",
+    "reflector_annihilating",
+    "BlockReflector",
+    "VYFirstAccumulator",
+    "VYSecondAccumulator",
+    "YTYAccumulator",
+    "UnblockedAccumulator",
+    "DenseAccumulator",
+    "make_accumulator",
+    "REPRESENTATIONS",
+    "spd_generator",
+    "indefinite_generator",
+    "displacement",
+    "generator_to_full",
+    "schur_spd_factor",
+    "SchurOptions",
+    "SPDFactorization",
+    "schur_indefinite_factor",
+    "IndefiniteFactorization",
+    "PerturbationEvent",
+    "refine",
+    "RefinementResult",
+    "cholesky",
+    "ldlt",
+    "solve",
+    "solve_refined",
+    "regrouped_factor",
+    "choose_block_size",
+    "displacement_rank",
+    "generator_from_dense",
+    "matrix_from_generator",
+    "generalized_schur_factor",
+    "GeneralizedFactorization",
+    "iter_r_block_rows",
+    "streaming_whiten",
+    "streaming_logdet",
+    "gaussian_loglikelihood",
+    "condest",
+    "one_norm",
+    "invnorm_estimate",
+    "cauchy_like_lu",
+    "CauchyLikeLU",
+    "solve_toeplitz_gko",
+    "toeplitz_to_cauchy",
+    "flops",
+]

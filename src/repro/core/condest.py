@@ -1,0 +1,94 @@
+"""Condition-number estimation from the structured factorization.
+
+The refinement analysis of Section 8 hinges on
+``γ = ‖ΔT·T⁻¹‖ ≤ (‖ΔT‖/‖T‖)·cond(T)`` (eq. 46) being small.  This
+module estimates ``cond₁(T) = ‖T‖₁ ‖T⁻¹‖₁`` without forming ``T⁻¹``:
+``‖T‖₁`` comes from the stored first block row; ``‖T⁻¹‖₁`` from the
+Hager–Higham power iteration driven by factored solves (``O(1)`` solves
+of ``O(n²)`` each — far below the ``O(n³)`` of an explicit inverse).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ShapeError
+from repro.toeplitz.block_toeplitz import SymmetricBlockToeplitz
+
+__all__ = ["one_norm", "invnorm_estimate", "condest"]
+
+
+def one_norm(t: SymmetricBlockToeplitz) -> float:
+    """Exact ``‖T‖₁`` (max column sum) from the defining blocks.
+
+    Column ``j`` of a symmetric block Toeplitz matrix touches blocks
+    ``T̂_{1±d}``; the column sums are assembled in ``O(m n)`` from the
+    first block row without densifying.
+    """
+    m, p = t.block_size, t.num_blocks
+    # abs-column-sums of each defining block and of its transpose
+    upper = [np.abs(b).sum(axis=0) for b in t.top_blocks]   # T̂_{d+1}
+    lower = [np.abs(b.T).sum(axis=0) for b in t.top_blocks]  # T̂ᵀ
+    best = 0.0
+    for j in range(p):
+        s = np.zeros(m)
+        for i in range(p):
+            d = j - i
+            s += upper[d] if d >= 0 else lower[-d]
+        best = max(best, float(np.max(s)))
+    return best
+
+
+def invnorm_estimate(solve, n: int, *, max_iter: int = 8,
+                     seed: int = 0) -> float:
+    """Hager–Higham estimate of ``‖A⁻¹‖₁`` given a ``solve`` callable.
+
+    For symmetric ``A``, ``A⁻ᵀ = A⁻¹`` so a single solve per iteration
+    suffices.  Lower bound, usually within a small factor of the truth.
+    """
+    if n <= 0:
+        raise ShapeError(f"n must be positive, got {n}")
+    x = np.full(n, 1.0 / n)
+    est = 0.0
+    last_sign = np.zeros(n)
+    for _ in range(max_iter):
+        y = solve(x)
+        est_new = float(np.sum(np.abs(y)))
+        sign = np.sign(y)
+        sign[sign == 0] = 1.0
+        if np.array_equal(sign, last_sign):
+            break
+        last_sign = sign
+        z = solve(sign)
+        j = int(np.argmax(np.abs(z)))
+        if float(np.abs(z[j])) <= float(z @ x):
+            est = max(est, est_new)
+            break
+        x = np.zeros(n)
+        x[j] = 1.0
+        est = max(est, est_new)
+    # final refinement with the classic alternating-sign probe
+    v = np.array([(-1.0) ** i * (1.0 + i / max(n - 1, 1))
+                  for i in range(n)])
+    est = max(est, 2.0 * float(np.sum(np.abs(solve(v)))) / (3.0 * n))
+    return est
+
+
+def condest(t: SymmetricBlockToeplitz, factorization=None, *,
+            max_iter: int = 8) -> float:
+    """Estimate ``cond₁(T)`` using a (possibly precomputed) factorization.
+
+    When no factorization is supplied, the SPD path is tried first and
+    the indefinite extension used as the fallback.
+    """
+    if factorization is None:
+        from repro.core.schur_spd import schur_spd_factor
+        from repro.core.schur_indefinite import schur_indefinite_factor
+        from repro.errors import NotPositiveDefiniteError
+        try:
+            factorization = schur_spd_factor(t)
+        except NotPositiveDefiniteError:
+            factorization = schur_indefinite_factor(t)
+    inv = invnorm_estimate(factorization.solve, t.order,
+                           max_iter=max_iter)
+    return one_norm(t) * inv

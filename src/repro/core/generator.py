@@ -1,0 +1,194 @@
+"""Generator matrices and displacement structure (Section 2).
+
+The displacement of a block Toeplitz matrix ``T − ZᵀTZ`` (with ``Z`` the
+block right-shift, eq. 3) has rank at most ``2m`` (eq. 4) and factors as
+
+    ``T − ZᵀTZ = Genᵀ · diag(Σ, −Σ) · Gen``          (eqs. 9–10)
+
+with the compact ``2m × mp`` generator
+
+    ``Gen = [[T_1, T_2, …, T_p], [0, T_2, …, T_p]]``,   ``T_j = (L_1Σ)⁻¹ T̂_j``
+
+where ``T̂_1 = L_1 Σ L_1ᵀ`` is the signed Cholesky factorization of the
+diagonal block (``Σ = I`` in the SPD case).  The Schur algorithm
+triangularizes this generator with block hyperbolic Householder
+transformations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+import scipy.linalg as sla
+
+from repro.blas import primitives as blas
+from repro.core.signature import block_schur_signature, signature_vector
+from repro.errors import (
+    NotPositiveDefiniteError,
+    ShapeError,
+    SingularMinorError,
+)
+from repro.toeplitz.block_toeplitz import SymmetricBlockToeplitz
+from repro.utils.lintools import solve_lower_triangular
+
+__all__ = [
+    "Generator",
+    "spd_generator",
+    "indefinite_generator",
+    "signed_cholesky",
+    "displacement",
+    "block_shift_matrix",
+    "generator_to_full",
+]
+
+
+@dataclass
+class Generator:
+    """Compact generator of a symmetric block Toeplitz matrix.
+
+    Attributes
+    ----------
+    gen : (2m, mp) array
+        Rows ``0:m`` hold ``[T_1 … T_p]``; rows ``m:2m`` hold
+        ``[0 T_2 … T_p]``.
+    w : (2m,) ±1 array
+        Window signature ``diag(Σ, −Σ)``.
+    sigma : (m,) ±1 array
+        Signature of the diagonal block factorization (``+1``s when SPD).
+    block_size : int
+    num_blocks : int
+    """
+
+    gen: np.ndarray
+    w: np.ndarray
+    sigma: np.ndarray
+    block_size: int
+    num_blocks: int
+
+    def copy(self) -> "Generator":
+        """Deep copy (the factorizations mutate their working copy)."""
+        return Generator(np.array(self.gen), self.w.copy(),
+                         self.sigma.copy(), self.block_size, self.num_blocks)
+
+
+def signed_cholesky(a: np.ndarray, *,
+                    singular_tol: float = 1e-13
+                    ) -> tuple[np.ndarray, np.ndarray]:
+    """Factor a symmetric matrix as ``A = L Σ Lᵀ`` with diagonal ``Σ = ±1``.
+
+    This is the unpivoted LDLᵀ with ``|D|`` folded into ``L``; it exists
+    exactly when every leading principal submatrix of ``A`` is nonsingular
+    (the paper's standing assumption for the diagonal block).  Raises
+    :class:`~repro.errors.SingularMinorError` otherwise.
+    """
+    a = np.asarray(a, dtype=np.float64)
+    m = a.shape[0]
+    if a.shape != (m, m):
+        raise ShapeError(f"expected a square block, got shape {a.shape}")
+    scale = float(np.max(np.abs(a))) or 1.0
+    l = np.zeros((m, m))
+    d = np.zeros(m)
+    for k in range(m):
+        lk = l[k, :k]
+        dk = a[k, k] - np.dot(lk * d[:k], lk)
+        if abs(dk) <= singular_tol * scale:
+            raise SingularMinorError(
+                f"leading principal minor {k + 1} of the diagonal block is "
+                f"numerically singular (pivot {dk:.3e})", step=k)
+        d[k] = dk
+        l[k, k] = 1.0
+        if k + 1 < m:
+            rest = a[k + 1:, k] - l[k + 1:, :k] @ (d[:k] * lk)
+            l[k + 1:, k] = rest / dk
+    sigma = np.where(d > 0, 1, -1).astype(np.int8)
+    l_signed = l * np.sqrt(np.abs(d))[None, :]
+    blas.charge(m ** 3 // 3, "potrf")
+    return l_signed, sigma
+
+
+def spd_generator(t: SymmetricBlockToeplitz) -> Generator:
+    """Generator of an SPD block Toeplitz matrix (eq. 21).
+
+    Raises :class:`~repro.errors.NotPositiveDefiniteError` when the
+    diagonal block ``T̂_1`` is not positive definite (a necessary condition
+    for positive definiteness of ``T``).
+    """
+    m, p = t.block_size, t.num_blocks
+    t1 = np.array(t.top_blocks[0])
+    try:
+        l1 = sla.cholesky(t1, lower=True, check_finite=False)
+    except sla.LinAlgError as exc:
+        raise NotPositiveDefiniteError(
+            "diagonal block T̂_1 is not positive definite") from exc
+    blas.charge(m ** 3 // 3, "potrf")
+    strip = t.row_strip(m)  # [T̂_1 T̂_2 … T̂_p], shape m × mp
+    tj = solve_lower_triangular(l1, strip)
+    blas.charge(m * m * (m * p), "trsm")
+    gen = np.zeros((2 * m, m * p))
+    gen[:m] = tj
+    gen[m:, m:] = tj[:, m:]
+    return Generator(gen, block_schur_signature(m), np.ones(m, dtype=np.int8),
+                     m, p)
+
+
+def indefinite_generator(t: SymmetricBlockToeplitz, *,
+                         singular_tol: float = 1e-13) -> Generator:
+    """Generator for the symmetric indefinite case (eq. 11).
+
+    Uses the signed Cholesky ``T̂_1 = L_1 Σ L_1ᵀ`` and
+    ``T_j = (L_1 Σ)⁻¹ T̂_j = Σ L_1⁻¹ T̂_j``; the window signature becomes
+    ``diag(Σ, −Σ)``.
+    """
+    m, p = t.block_size, t.num_blocks
+    l1, sigma = signed_cholesky(np.array(t.top_blocks[0]),
+                                singular_tol=singular_tol)
+    strip = t.row_strip(m)
+    tj = solve_lower_triangular(l1, strip)
+    blas.charge(m * m * (m * p), "trsm")
+    tj = sigma.astype(np.float64)[:, None] * tj
+    gen = np.zeros((2 * m, m * p))
+    gen[:m] = tj
+    gen[m:, m:] = tj[:, m:]
+    return Generator(gen, block_schur_signature(m, sigma), sigma, m, p)
+
+
+def block_shift_matrix(m: int, p: int) -> np.ndarray:
+    """The block right-shift ``Z`` of eq. (3) (dense, for tests)."""
+    n = m * p
+    z = np.zeros((n, n))
+    for i in range(p - 1):
+        z[i * m:(i + 1) * m, (i + 1) * m:(i + 2) * m] = np.eye(m)
+    return z
+
+
+def displacement(t: SymmetricBlockToeplitz) -> np.ndarray:
+    """Dense displacement ``T − ZᵀTZ`` (eq. 4) — test/diagnostic helper."""
+    dense = t.dense()
+    m, p = t.block_size, t.num_blocks
+    out = np.array(dense)
+    # ZᵀTZ shifts T down-right by one block row/column.
+    out[m:, m:] -= dense[:-m, :-m]
+    return out
+
+
+def generator_to_full(g: Generator) -> tuple[np.ndarray, np.ndarray]:
+    """Expand the compact generator into the full ``(G, W_mp)`` of eq. (7).
+
+    ``G`` stacks the two upper-triangular block Toeplitz matrices
+    ``G_1`` (from row block 1) and ``G_2`` (from row block 2); the
+    signature is ``W_mp = diag(I_p ⊗ Σ, −I_p ⊗ Σ)``.  Satisfies
+    ``T = Gᵀ W_mp G`` (eq. 6) — used by tests and the error analysis.
+    """
+    m, p = g.block_size, g.num_blocks
+    n = m * p
+    g1 = np.zeros((n, n))
+    g2 = np.zeros((n, n))
+    top = g.gen[:m]
+    bot = g.gen[m:]
+    for i in range(p):
+        g1[i * m:(i + 1) * m, i * m:] = top[:, :n - i * m]
+        g2[i * m:(i + 1) * m, i * m:] = bot[:, :n - i * m]
+    gfull = np.vstack([g1, g2])
+    sig = np.concatenate([np.tile(g.sigma, p), -np.tile(g.sigma, p)])
+    return gfull, signature_vector(sig)

@@ -1,0 +1,168 @@
+"""Scalar hyperbolic Householder reflectors (Section 3).
+
+For a signature ``W`` and a vector ``x`` with ``xᵀWx ≠ 0``, the reflector
+
+    ``U_x = W − 2 x xᵀ / (xᵀ W x)``                                (eq. 14)
+
+is W-unitary (``U_xᵀ W U_x = W``).  Given ``u`` with ``W_jj · uᵀWu > 0``,
+choosing ``σ² = W_jj · uᵀWu`` and ``x = W u + σ e_j`` yields
+``U_x u = −σ e_j`` (eqs. 15–16 generalized to indefinite targets).
+
+The sign of σ is chosen so that ``σ u_j`` has the same sign as ``uᵀWu``,
+which keeps ``xᵀWx = 2(uᵀWu + σ u_j)`` away from cancellation for *any*
+signature; in the positive-definite case this reduces exactly to the
+paper's eq. (16).
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.blas import primitives as blas
+from repro.core.signature import hyperbolic_norm_squared, signature_vector
+from repro.errors import BreakdownError, ShapeError
+
+__all__ = ["HyperbolicHouseholder", "reflector_annihilating"]
+
+
+class HyperbolicHouseholder:
+    """A single hyperbolic Householder reflector ``U = W + β x xᵀ``.
+
+    Parameters
+    ----------
+    x : (n,) array
+        Reflector vector; must have nonzero hyperbolic norm.
+    w : (n,) ±1 array
+        Signature.
+    support : array of int, optional
+        Indices where ``x`` is nonzero.  When given, applications exploit
+        the sparsity (the Schur pivot pattern of Figure 1: one diagonal
+        entry plus the lower half).
+
+    Notes
+    -----
+    ``β = −2 / (xᵀWx)``; application to a matrix ``A`` is
+    ``U A = W A + β x (xᵀ A)`` — a sign flip, one gemv and one rank-1
+    update.
+    """
+
+    def __init__(self, x: np.ndarray, w: np.ndarray,
+                 support: np.ndarray | None = None):
+        x = np.asarray(x, dtype=np.float64)
+        w = signature_vector(w)
+        if x.ndim != 1 or x.shape[0] != w.shape[0]:
+            raise ShapeError(
+                f"x has shape {x.shape}, signature has length {w.shape[0]}")
+        xwx = hyperbolic_norm_squared(x, w)
+        if xwx == 0.0:
+            raise BreakdownError("reflector vector has zero hyperbolic norm")
+        self.x = x
+        self.w = w
+        self.xwx = xwx
+        self.beta = -2.0 / xwx
+        self.support = (np.asarray(support, dtype=np.intp)
+                        if support is not None else None)
+
+    @property
+    def n(self) -> int:
+        return self.x.shape[0]
+
+    def matrix(self) -> np.ndarray:
+        """Dense ``U = W − 2xxᵀ/(xᵀWx)`` (for tests and small problems)."""
+        u = np.diag(self.w.astype(np.float64))
+        u += self.beta * np.outer(self.x, self.x)
+        return u
+
+    def apply_left(self, a: np.ndarray, out: np.ndarray | None = None
+                   ) -> np.ndarray:
+        """Compute ``U a`` for a vector or matrix ``a``.
+
+        When ``out`` is ``a`` itself the update is done in place.
+        """
+        a = np.asarray(a, dtype=np.float64)
+        if a.shape[0] != self.n:
+            raise ShapeError(
+                f"operand has {a.shape[0]} rows, expected {self.n}")
+        if out is None:
+            out = np.array(a)
+        elif out is not a:
+            np.copyto(out, a)
+        wf = self.w.astype(np.float64)
+        if self.support is None:
+            if a.ndim == 1:
+                coef = self.beta * blas.dot(self.x, a)
+                out *= 1.0  # keep dtype/contiguity
+                out[:] = wf * a
+                blas.axpy(coef, self.x, out)
+            else:
+                xa = blas.gemv(a, self.x, trans=True)
+                out[:] = wf[:, None] * a
+                blas.ger(self.beta, self.x, xa, out)
+            return out
+        # Sparse path: only rows in `support` carry reflector mass.
+        idx = self.support
+        xs = self.x[idx]
+        if a.ndim == 1:
+            coef = self.beta * blas.dot(xs, a[idx])
+            out[:] = wf * a
+            out[idx] += coef * xs
+        else:
+            xa = blas.gemv(a[idx], xs, trans=True)
+            out[:] = wf[:, None] * a
+            sub = out[idx]
+            blas.ger(self.beta, xs, xa, sub)
+            out[idx] = sub
+        return out
+
+    def is_w_unitary(self, rtol: float = 1e-10) -> bool:
+        """Check ``UᵀWU = W`` numerically (diagnostic)."""
+        u = self.matrix()
+        wmat = np.diag(self.w.astype(np.float64))
+        return np.allclose(u.T @ wmat @ u, wmat,
+                           rtol=rtol, atol=rtol * max(1.0, self.xwx))
+
+
+def reflector_annihilating(u: np.ndarray, w: np.ndarray, j: int, *,
+                           support: np.ndarray | None = None,
+                           breakdown_tol: float = 0.0
+                           ) -> tuple[HyperbolicHouseholder, float]:
+    """Reflector mapping ``u`` to ``−σ e_j``; returns ``(U, σ)``.
+
+    Requires ``W_jj · uᵀWu > 0`` (same hyperbolic norm sign as the target
+    axis).  ``breakdown_tol`` is an absolute threshold on
+    ``|uᵀWu| / ‖u‖²`` below which the pivot is declared numerically
+    singular (:class:`~repro.errors.BreakdownError`).
+    """
+    u = np.asarray(u, dtype=np.float64)
+    w = signature_vector(w)
+    n = u.shape[0]
+    if not (0 <= j < n):
+        raise ShapeError(f"target index {j} out of range for n={n}")
+    h = hyperbolic_norm_squared(u, w)
+    unorm2 = float(np.dot(u, u))
+    if unorm2 == 0.0:
+        raise BreakdownError("cannot annihilate the zero vector")
+    if abs(h) <= breakdown_tol * unorm2:
+        raise BreakdownError(
+            f"pivot column has (numerically) zero hyperbolic norm "
+            f"(uᵀWu = {h:.3e}, ‖u‖² = {unorm2:.3e})")
+    wjj = float(w[j])
+    if wjj * h <= 0.0:
+        raise BreakdownError(
+            f"target axis sign W_jj={wjj:+.0f} incompatible with "
+            f"uᵀWu={h:.3e}; interchange rows first")
+    sigma = math.sqrt(wjj * h)
+    # Stable sign: make σ·u_j agree in sign with uᵀWu so that
+    # xᵀWx = 2(uᵀWu + σ u_j) has no cancellation.
+    if u[j] != 0.0:
+        sigma = math.copysign(sigma, h * u[j])
+    x = w.astype(np.float64) * u
+    x[j] += sigma
+    blas.charge(3 * n + 8, "reflector-setup")  # paper's per-step x cost
+    if support is not None:
+        support = np.asarray(support, dtype=np.intp)
+        if j not in support:
+            support = np.sort(np.append(support, j))
+    return HyperbolicHouseholder(x, w, support=support), sigma

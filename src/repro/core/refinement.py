@@ -1,0 +1,119 @@
+"""Iterative refinement (Section 8.1).
+
+Given an (approximate) factorization of ``T + δT`` and the *original*
+``T``, the loop
+
+    solve ``L D Lᵀ Δx_i = r_i``;  ``x_{i+1} = x_i + Δx_i``;
+    ``r_{i+1} = b − T x_{i+1}``
+
+converges linearly with factor ``γ = ‖ΔT T⁻¹‖`` (eq. 41) to a residual at
+the level of a backward-stable solver (eq. 42).  With the perturbation
+size ``δ = ∛ε`` the paper predicts (and Section 8.2's example shows)
+convergence in 2–3 steps.
+
+Residuals are computed with the FFT fast matvec
+(:class:`~repro.toeplitz.matvec.BlockCirculantEmbedding`) — ``O(n log n)``
+per iteration, which is why refinement is much cheaper per step than the
+preconditioned conjugate-gradient alternative it is compared against.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import ShapeError
+from repro.toeplitz.block_toeplitz import SymmetricBlockToeplitz
+from repro.toeplitz.matvec import BlockCirculantEmbedding
+
+__all__ = ["RefinementResult", "refine"]
+
+
+@dataclass
+class RefinementResult:
+    """Outcome of :func:`refine`.
+
+    Attributes
+    ----------
+    x : ndarray
+        Final solution estimate.
+    iterations : int
+        Number of correction steps actually applied.
+    converged : bool
+        True when the stopping rule ``‖Δx‖ < tol·‖x‖`` fired (or the
+        correction stagnated at rounding level).
+    residual_norms : list of float
+        ``‖b − T x_i‖₂`` after each iterate (index 0 = initial solve).
+    correction_norms : list of float
+        ``‖Δx_i‖₂`` for each refinement step.
+    history : list of ndarray
+        The iterates ``x_1, x_2, …`` (kept only when ``keep_history``).
+    """
+
+    x: np.ndarray
+    iterations: int
+    converged: bool
+    residual_norms: list[float] = field(default_factory=list)
+    correction_norms: list[float] = field(default_factory=list)
+    history: list[np.ndarray] = field(default_factory=list)
+
+
+def refine(factorization, t: SymmetricBlockToeplitz, b: np.ndarray, *,
+           tol: float | None = None, max_iter: int = 25,
+           keep_history: bool = False) -> RefinementResult:
+    """Solve ``T x = b`` by factored solve + iterative refinement.
+
+    Parameters
+    ----------
+    factorization : object with ``solve``
+        Typically an :class:`~repro.core.schur_indefinite.IndefiniteFactorization`
+        of ``T + δT`` (or an SPD factorization).
+    t : SymmetricBlockToeplitz
+        The original, unperturbed matrix (drives the residuals).
+    b : array
+        Right-hand side.
+    tol : float
+        Relative correction tolerance; defaults to ``4·ε``.
+    max_iter : int
+        Refinement step cap; the loop also stops when corrections stop
+        shrinking (rounding floor reached).
+    """
+    b = np.asarray(b, dtype=np.float64)
+    n = t.order
+    if b.shape[0] != n:
+        raise ShapeError(f"b has {b.shape[0]} rows, expected {n}")
+    if tol is None:
+        tol = 4.0 * float(np.finfo(np.float64).eps)
+    emb = BlockCirculantEmbedding(t)
+    x = factorization.solve(b)
+    r = b - emb(x)
+    res_norms = [float(np.linalg.norm(r))]
+    corr_norms: list[float] = []
+    history: list[np.ndarray] = [x.copy()] if keep_history else []
+    converged = False
+    for _ in range(max_iter):
+        dx = factorization.solve(r)
+        dx_norm = float(np.linalg.norm(dx))
+        x_norm = float(np.linalg.norm(x))
+        corr_norms.append(dx_norm)
+        if dx_norm < tol * max(x_norm, 1e-300):
+            converged = True
+            break
+        x = x + dx
+        r = b - emb(x)
+        res_norms.append(float(np.linalg.norm(r)))
+        if keep_history:
+            history.append(x.copy())
+        # Stagnation: corrections no longer shrinking ⇒ rounding floor.
+        if len(corr_norms) >= 2 and dx_norm > 0.5 * corr_norms[-2]:
+            converged = True
+            break
+    return RefinementResult(
+        x=x,
+        iterations=len(corr_norms),
+        converged=converged,
+        residual_norms=res_norms,
+        correction_norms=corr_norms,
+        history=history,
+    )

@@ -1,0 +1,97 @@
+"""Structural versus algorithmic block size (Section 6.5).
+
+A block Toeplitz matrix with structural block size ``m`` may be factored
+as if its block size were any ``m_s`` that is a multiple of ``m`` dividing
+``n``.  The flop count grows ≈ linearly in ``m_s`` (``4 m_s n²``), but on
+architectures whose level-3 primitives run much faster at larger block
+dimensions the *time* can fall — superlinearly on the Cray Y-MP
+(Figure 10).  :func:`choose_block_size` automates the paper's trade-off
+analysis against a machine performance model (parametric or empirical).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core import flops as flops_mod
+from repro.core.schur_spd import SchurOptions, SPDFactorization, \
+    schur_spd_factor
+from repro.errors import ShapeError
+from repro.toeplitz.block_toeplitz import SymmetricBlockToeplitz
+
+__all__ = ["regrouped_factor", "choose_block_size", "BlockSizePrediction"]
+
+
+def regrouped_factor(t: SymmetricBlockToeplitz, algorithmic_block_size: int,
+                     *, representation: str = "vy2",
+                     panel: int | None = None) -> SPDFactorization:
+    """Factor ``t`` with algorithmic block size ``m_s`` ≥ structural ``m``.
+
+    The returned factor is of the same matrix — only the elimination
+    granularity changes.
+    """
+    ts = t.regroup(algorithmic_block_size)
+    opts = SchurOptions(representation=representation, panel=panel)
+    return schur_spd_factor(ts, options=opts)
+
+
+@dataclass(frozen=True)
+class BlockSizePrediction:
+    """Model evaluation for one candidate algorithmic block size."""
+
+    block_size: int
+    flops: float
+    seconds: float
+    mflops: float
+
+
+def valid_block_sizes(n: int, m: int, *, max_size: int | None = None
+                      ) -> list[int]:
+    """Multiples of ``m`` dividing ``n`` (the legal ``m_s`` values)."""
+    if n % m != 0:
+        raise ShapeError(f"n={n} not a multiple of m={m}")
+    cap = max_size if max_size is not None else n
+    return [ms for ms in range(m, min(n, cap) + 1, m) if n % ms == 0]
+
+
+def choose_block_size(n: int, m: int, model, *,
+                      representation: str = "vy2",
+                      candidates: list[int] | None = None,
+                      max_size: int | None = None
+                      ) -> tuple[int, list[BlockSizePrediction]]:
+    """Pick the algorithmic block size minimizing *modeled* time.
+
+    Parameters
+    ----------
+    n, m : int
+        Problem order and structural block size.
+    model : BlasPerformanceModel-like
+        Must provide ``time(call)`` for a
+        :class:`~repro.core.flops.PrimitiveCall`.
+    candidates : list of int
+        Block sizes to evaluate; defaults to every multiple of ``m``
+        dividing ``n`` up to ``max_size`` (or 64·m).
+
+    Returns
+    -------
+    (best_block_size, predictions)
+        Predictions for every candidate, in candidate order.
+    """
+    if candidates is None:
+        cap = max_size if max_size is not None else min(n, 64 * m)
+        candidates = valid_block_sizes(n, m, max_size=cap)
+    if not candidates:
+        raise ShapeError("no valid candidate block sizes")
+    preds: list[BlockSizePrediction] = []
+    for ms in candidates:
+        calls = flops_mod.primitive_calls_for_factorization(
+            n, ms, representation=representation)
+        fl = sum(c.flops for c in calls)
+        sec = sum(model.time(c) for c in calls)
+        # fixed per-elimination-step driver overhead (p − 1 steps)
+        sec += getattr(model, "step_overhead", 0.0) * (n // ms - 1)
+        preds.append(BlockSizePrediction(
+            block_size=ms, flops=fl, seconds=sec,
+            mflops=fl / sec / 1e6 if sec > 0 else float("inf")))
+    best = min(preds, key=lambda pr: pr.seconds)
+    return best.block_size, preds

@@ -1,0 +1,320 @@
+"""The block Schur factorization for SPD block Toeplitz matrices.
+
+Implements the three-phase loop of Sections 5–6:
+
+1. **Phase 1** — build the ``2m × 2m`` block hyperbolic Householder
+   transformation ``U`` that eliminates the leading block of the lower
+   generator row against the (upper-triangular) pivot block, using one of
+   the representations of Section 4 and optional two-level blocking
+   (panel width ``k ≤ m``, Section 6.2);
+2. **Phase 2** — apply ``U`` to the remainder of the generator and copy
+   the upper row into the triangular factor;
+3. **Phase 3** — shift the upper row one block right.  The default
+   implementation is the *in-place* variant of Section 6.4 (used by the
+   authors on the Cray Y-MP): instead of physically shifting, ``U`` is
+   applied to offset views of the two generator rows, so Phase 3
+   disappears.  The explicit-shift variant (what a distributed memory
+   implementation must do) is kept behind ``in_place=False`` and tested
+   equal.
+
+The factorization satisfies ``T = Rᵀ R`` with ``R`` upper triangular
+(eq. 8); ``L = Rᵀ`` is the Cholesky factor.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.blas import primitives as blas
+from repro.core.block_reflector import BlockReflector, make_accumulator
+from repro.core.generator import Generator, spd_generator
+from repro.core.hyperbolic import reflector_annihilating
+from repro.errors import (
+    BreakdownError,
+    NotPositiveDefiniteError,
+    ShapeError,
+)
+from repro.toeplitz.block_toeplitz import SymmetricBlockToeplitz
+from repro.utils.lintools import solve_upper_triangular
+
+__all__ = [
+    "SchurOptions",
+    "SPDFactorization",
+    "schur_spd_factor",
+    "eliminate_block",
+]
+
+
+@dataclass(frozen=True)
+class SchurOptions:
+    """Tuning knobs for the factorization (the paper's trade-off axes).
+
+    Attributes
+    ----------
+    representation : str
+        Block reflector representation: ``"vy1"``, ``"vy2"``, ``"yty"``,
+        ``"unblocked"`` or ``"dense"``.
+    panel : int or None
+        Two-level blocking width ``k`` (Section 6.2); ``None`` means one
+        panel of the full block size ``m``.
+    in_place : bool
+        Use the shift-free in-place update of Section 6.4 (default) or
+        the explicit Phase-3 shift.
+    normalize_diagonal : bool
+        Flip generator rows after each elimination so the pivot (and thus
+        the Cholesky) diagonal stays positive.
+    breakdown_tol : float
+        Relative threshold below which a pivot's hyperbolic norm is
+        treated as zero.
+    """
+
+    representation: str = "vy2"
+    panel: int | None = None
+    in_place: bool = True
+    normalize_diagonal: bool = True
+    breakdown_tol: float = 1e-14
+
+
+@dataclass
+class SPDFactorization:
+    """Result of :func:`schur_spd_factor`: ``T = Rᵀ R``."""
+
+    r: np.ndarray
+    block_size: int
+    num_blocks: int
+    options: SchurOptions
+    #: Block reflectors produced at each step (kept only on request).
+    reflectors: list[BlockReflector] = field(default_factory=list)
+
+    @property
+    def order(self) -> int:
+        return self.r.shape[0]
+
+    @property
+    def l(self) -> np.ndarray:
+        """Lower-triangular Cholesky factor ``L = Rᵀ``."""
+        return self.r.T
+
+    def solve(self, b: np.ndarray) -> np.ndarray:
+        """Solve ``T x = b`` via ``Rᵀ (R x) = b``."""
+        b = np.asarray(b, dtype=np.float64)
+        if b.shape[0] != self.order:
+            raise ShapeError(
+                f"b has {b.shape[0]} rows, expected {self.order}")
+        y = solve_upper_triangular(self.r, b, trans=True)
+        return solve_upper_triangular(self.r, y)
+
+    def reconstruct(self) -> np.ndarray:
+        """Dense ``Rᵀ R`` (diagnostic)."""
+        return self.r.T @ self.r
+
+    def logdet(self) -> float:
+        """``log det T = 2 Σ log R_ii``."""
+        return 2.0 * float(np.sum(np.log(np.abs(np.diag(self.r)))))
+
+
+def _apply_reflector_pair(refl, upper: np.ndarray, lower: np.ndarray,
+                          pivot_row: int, *,
+                          wu_identity: bool | None = None,
+                          wl_negidentity: bool | None = None) -> None:
+    """Apply one sparse reflector to the (upper, lower) column views.
+
+    The reflector vector is supported on row ``pivot_row`` of the upper
+    half plus the whole lower half (Figure 1's pattern).  Signature signs
+    are applied to *all* rows (required in the indefinite case where the
+    upper signature is not the identity).  Callers in a loop pass the
+    precomputed uniformity flags of the two signature halves.
+    """
+    m = upper.shape[0]
+    x = refl.x
+    w = refl.w
+    beta = refl.beta
+    xk = x[pivot_row]
+    xlow = x[m:]
+    # t = xᵀ [upper; lower] restricted to the support.
+    t = xk * upper[pivot_row] + blas.gemv(lower, xlow, trans=True)
+    blas.charge(2 * upper.shape[1], "axpy")
+    if wu_identity is None:
+        wu_identity = bool(np.all(w[:m] == 1))
+    if not wu_identity:
+        upper *= w[:m].astype(np.float64)[:, None]
+        blas.charge(upper.size, "scal")
+    if wl_negidentity is None:
+        wl_negidentity = bool(np.all(w[m:] == -1))
+    if wl_negidentity:
+        np.negative(lower, out=lower)
+    else:
+        lower *= w[m:].astype(np.float64)[:, None]
+    blas.charge(lower.size, "scal")
+    row = upper[pivot_row]
+    blas.charge(2 * row.shape[0], "axpy")
+    row += (beta * xk) * t
+    blas.ger(beta, xlow, t, lower)
+
+
+def eliminate_block(upper: np.ndarray, lower: np.ndarray, w: np.ndarray, *,
+                    representation: str = "vy2",
+                    panel: int | None = None,
+                    breakdown_tol: float = 1e-14,
+                    pivot_sign_fixup: bool = True,
+                    collect: list[BlockReflector] | None = None) -> None:
+    """Annihilate ``lower[:, :m]`` against the pivot ``upper[:, :m]``.
+
+    ``upper``/``lower`` are ``m × q`` views updated in place; ``w`` is the
+    ``2m`` window signature.  The pivot block must be upper triangular with
+    nonzero diagonal (guaranteed by the generator construction and
+    preserved by this routine).  Raises
+    :class:`~repro.errors.BreakdownError` when a pivot column has
+    non-positive hyperbolic norm — for an SPD input this never happens.
+    """
+    m, q = upper.shape
+    if lower.shape != (m, q):
+        raise ShapeError(f"upper {upper.shape} and lower {lower.shape} "
+                         "views must have equal shape")
+    if q < m:
+        raise ShapeError(f"working width {q} smaller than block size {m}")
+    if panel is None or panel <= 0 or panel > m:
+        panel = m
+    support = np.concatenate([np.zeros(1, dtype=np.intp),
+                              np.arange(m, 2 * m, dtype=np.intp)])
+    n2 = 2 * m
+    wu_identity = bool(np.all(w[:m] == 1))
+    wl_negidentity = bool(np.all(w[m:] == -1))
+    for pstart in range(0, m, panel):
+        pend = min(pstart + panel, m)
+        with blas.category("blocking"):
+            acc = make_accumulator(representation, w)
+        for k in range(pstart, pend):
+            u = np.zeros(n2)
+            u[k] = upper[k, k]
+            u[m:] = lower[:, k]
+            support[0] = k
+            with blas.category("blocking"):
+                refl, _sigma = reflector_annihilating(
+                    u, w, k, support=support.copy(),
+                    breakdown_tol=breakdown_tol)
+            # Update the rest of the current panel sequentially (level 2).
+            with blas.category("panel"):
+                _apply_reflector_pair(refl, upper[:, k:pend],
+                                      lower[:, k:pend], k,
+                                      wu_identity=wu_identity,
+                                      wl_negidentity=wl_negidentity)
+            lower[:, k] = 0.0  # exact annihilation of the pivot column
+            with blas.category("blocking"):
+                acc.append(refl)
+        u_block = acc.finish()
+        if collect is not None:
+            collect.append(u_block)
+        # Apply the accumulated block transformation to the trailing
+        # columns (rest of the pivot block, then the rest of the
+        # generator) — the level-3-rich Phase 2.
+        with blas.category("application"):
+            if pend < q:
+                u_block.apply_pair(upper[:, pend:], lower[:, pend:])
+    # Each pivot column c is frozen once eliminated and so misses the pure
+    # W sign-flip action of the (m−1−c) later reflectors (their rank-1
+    # parts vanish on it).  Identity when Σ = I (SPD); required for
+    # consistency when the upper signature carries −1 entries.
+    wu = w[:m]
+    if not np.all(wu == 1):
+        cols = np.nonzero((m - 1 - np.arange(m)) % 2 == 1)[0]
+        if cols.size:
+            upper[:, cols] *= wu.astype(np.float64)[:, None]
+    if pivot_sign_fixup:
+        # Keep the pivot diagonal positive: flipping a whole generator row
+        # leaves Gᵀ W G (and hence T) invariant.
+        neg = np.diag(upper[:, :m]) < 0
+        if np.any(neg):
+            upper[neg] *= -1.0
+
+
+def schur_spd_factor(t: SymmetricBlockToeplitz | Generator, *,
+                     options: SchurOptions | None = None,
+                     keep_reflectors: bool = False) -> SPDFactorization:
+    """Cholesky factorization ``T = Rᵀ R`` of an SPD block Toeplitz matrix.
+
+    Parameters
+    ----------
+    t : SymmetricBlockToeplitz or Generator
+        The matrix (or its precomputed generator).
+    options : SchurOptions
+        Representation / blocking / in-place switches.
+    keep_reflectors : bool
+        Retain the per-step block reflectors (used by the error analysis
+        and some tests; costs memory).
+
+    Raises
+    ------
+    NotPositiveDefiniteError
+        If a pivot with non-positive hyperbolic norm certifies that some
+        leading principal minor of ``T`` is not positive.
+    """
+    opts = options or SchurOptions()
+    if isinstance(t, Generator):
+        g = t.copy()
+    else:
+        g = spd_generator(t)
+    m, p = g.block_size, g.num_blocks
+    n = m * p
+    r = np.zeros((n, n))
+    collected: list[BlockReflector] | None = [] if keep_reflectors else None
+    try:
+        if opts.in_place:
+            _factor_in_place(g, r, opts, collected)
+        else:
+            _factor_with_shift(g, r, opts, collected)
+    except BreakdownError as exc:
+        raise NotPositiveDefiniteError(
+            f"matrix is not positive definite: {exc}") from exc
+    return SPDFactorization(r, m, p, opts,
+                            reflectors=collected or [])
+
+
+def _factor_in_place(g: Generator, r: np.ndarray, opts: SchurOptions,
+                     collected: list[BlockReflector] | None) -> None:
+    """Shift-free variant: apply ``U`` to offset views (Section 6.4)."""
+    m, p = g.block_size, g.num_blocks
+    n = m * p
+    top = g.gen[:m]
+    bot = g.gen[m:]
+    r[:m, :] = top
+    for i in range(1, p):
+        q = n - i * m
+        upper = top[:, :q]
+        lower = bot[:, i * m:]
+        eliminate_block(upper, lower, g.w,
+                        representation=opts.representation,
+                        panel=opts.panel,
+                        breakdown_tol=opts.breakdown_tol,
+                        pivot_sign_fixup=opts.normalize_diagonal,
+                        collect=collected)
+        r[i * m:(i + 1) * m, i * m:] = upper
+
+
+def _factor_with_shift(g: Generator, r: np.ndarray, opts: SchurOptions,
+                       collected: list[BlockReflector] | None) -> None:
+    """Explicit Phase-3 shift variant (the distributed-memory shape)."""
+    m, p = g.block_size, g.num_blocks
+    n = m * p
+    top = np.array(g.gen[:m])
+    bot = np.array(g.gen[m:])
+    r[:m, :] = top
+    for i in range(1, p):
+        q = n - i * m
+        # Phase 3 (of the previous step): shift the upper row one block
+        # right; the live width shrinks by one block each step.
+        top[:, m:] = top[:, :-m]
+        top[:, :m] = 0.0
+        blas.charge(0, "shift")
+        upper = top[:, i * m:]
+        lower = bot[:, i * m:]
+        assert upper.shape == (m, q) and lower.shape == (m, q)
+        eliminate_block(upper, lower, g.w,
+                        representation=opts.representation,
+                        panel=opts.panel,
+                        breakdown_tol=opts.breakdown_tol,
+                        pivot_sign_fixup=opts.normalize_diagonal,
+                        collect=collected)
+        r[i * m:(i + 1) * m, i * m:] = upper

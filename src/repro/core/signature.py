@@ -1,0 +1,91 @@
+"""Signature matrices and hyperbolic norms (Section 3).
+
+A signature matrix ``W`` is diagonal with entries ±1 (``W² = I``,
+``Wᵀ = W``).  Throughout the package signature matrices are carried as
+compact ±1 vectors (``int8``) rather than dense diagonals — applying ``W``
+is an elementwise sign flip, never a matmul.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ShapeError
+
+__all__ = [
+    "signature_vector",
+    "signature_matrix",
+    "hyperbolic_norm_squared",
+    "apply_signature",
+    "block_schur_signature",
+    "is_signature",
+]
+
+
+def signature_vector(signs) -> np.ndarray:
+    """Validate and return a ±1 signature vector (``int8``).
+
+    1-D ``int8`` arrays are treated as pre-validated signatures and
+    returned as-is (the hot factorization loops re-present the same
+    vector thousands of times).
+    """
+    if isinstance(signs, np.ndarray) and signs.dtype == np.int8 \
+            and signs.ndim == 1:
+        return signs
+    w = np.asarray(signs)
+    if w.ndim != 1:
+        raise ShapeError(f"signature must be 1-D, got shape {w.shape}")
+    wi = w.astype(np.int8)
+    if not np.all((wi == 1) | (wi == -1)) or not np.all(wi == w):
+        raise ShapeError("signature entries must be exactly +1 or -1")
+    return wi
+
+
+def signature_matrix(signs) -> np.ndarray:
+    """Dense diagonal matrix for a signature vector (for tests/debugging)."""
+    return np.diag(signature_vector(signs).astype(np.float64))
+
+
+def is_signature(w) -> bool:
+    """True when ``w`` is a valid ±1 signature vector."""
+    try:
+        signature_vector(w)
+    except (ShapeError, TypeError, ValueError):
+        return False
+    return True
+
+
+def hyperbolic_norm_squared(u: np.ndarray, w: np.ndarray) -> float:
+    """``uᵀ W u = Σ w_i u_i²`` — the (squared) hyperbolic norm."""
+    u = np.asarray(u, dtype=np.float64)
+    if u.shape != w.shape and u.shape[0] != w.shape[0]:
+        raise ShapeError(
+            f"vector length {u.shape[0]} != signature length {w.shape[0]}")
+    return float(np.dot(w.astype(np.float64) * u, u))
+
+
+def apply_signature(w: np.ndarray, a: np.ndarray) -> np.ndarray:
+    """Compute ``W a`` (rows of ``a`` scaled by the signature)."""
+    wf = w.astype(np.float64)
+    if a.ndim == 1:
+        return wf * a
+    return wf[:, None] * a
+
+
+def block_schur_signature(m: int, sigma: np.ndarray | None = None) -> np.ndarray:
+    """Signature of the 2m-row generator window: ``diag(Σ, −Σ)``.
+
+    In the SPD case ``Σ = I_m`` and this is the ``W`` of eq. (24).  In the
+    indefinite case ``Σ`` is the signature of the signed Cholesky
+    factorization ``T̂_1 = L_1 Σ L_1ᵀ`` (eq. 11).
+    """
+    if m <= 0:
+        raise ShapeError(f"block size must be positive, got {m}")
+    if sigma is None:
+        sigma = np.ones(m, dtype=np.int8)
+    else:
+        sigma = signature_vector(sigma)
+        if sigma.shape[0] != m:
+            raise ShapeError(
+                f"sigma has length {sigma.shape[0]}, expected {m}")
+    return np.concatenate([sigma, -sigma]).astype(np.int8)

@@ -1,0 +1,113 @@
+"""High-level user API.
+
+Most callers want one of four verbs:
+
+* :func:`cholesky` — ``T = Rᵀ R`` for SPD block Toeplitz (Sections 2–6);
+* :func:`ldlt` — ``T + δT = Rᵀ D R`` for symmetric indefinite Toeplitz,
+  perturbing across singular principal minors (Section 8.2);
+* :func:`solve` — direct solve, automatically falling back from the SPD
+  path to the indefinite one;
+* :func:`solve_refined` — indefinite factorization + iterative refinement
+  (the full Section 8 pipeline; the right call whenever the matrix may
+  have singular or near-singular principal minors).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.refinement import RefinementResult, refine
+from repro.core.schur_indefinite import (
+    IndefiniteFactorization,
+    schur_indefinite_factor,
+)
+from repro.core.schur_spd import (
+    SchurOptions,
+    SPDFactorization,
+    schur_spd_factor,
+)
+from repro.errors import NotPositiveDefiniteError, ShapeError
+from repro.toeplitz.block_toeplitz import SymmetricBlockToeplitz
+
+__all__ = ["cholesky", "ldlt", "solve", "solve_refined"]
+
+
+def _as_block_toeplitz(t, block_size: int | None) -> SymmetricBlockToeplitz:
+    if isinstance(t, SymmetricBlockToeplitz):
+        return t
+    arr = np.asarray(t, dtype=np.float64)
+    if arr.ndim == 1:
+        return SymmetricBlockToeplitz.from_first_row(arr)
+    if arr.ndim == 2:
+        from repro.toeplitz.block_toeplitz import symmetric_from_dense
+        if block_size is None:
+            raise ShapeError(
+                "block_size is required when passing a dense matrix")
+        return symmetric_from_dense(arr, block_size)
+    raise ShapeError(f"cannot interpret input with ndim={arr.ndim}")
+
+
+def cholesky(t, *, block_size: int | None = None,
+             representation: str = "vy2",
+             panel: int | None = None,
+             in_place: bool = True) -> SPDFactorization:
+    """Cholesky factorization ``T = Rᵀ R`` of an SPD block Toeplitz matrix.
+
+    ``t`` may be a :class:`~repro.toeplitz.SymmetricBlockToeplitz`, a 1-D
+    first row (scalar Toeplitz), or a dense symmetric block Toeplitz
+    matrix together with ``block_size``.
+    """
+    bt = _as_block_toeplitz(t, block_size)
+    opts = SchurOptions(representation=representation, panel=panel,
+                        in_place=in_place)
+    return schur_spd_factor(bt, options=opts)
+
+
+def ldlt(t, *, block_size: int | None = None,
+         perturb: bool = True,
+         delta: float | None = None) -> IndefiniteFactorization:
+    """``Rᵀ D R`` factorization of a symmetric (indefinite) block Toeplitz
+    matrix, perturbing across singular principal minors when ``perturb``.
+    """
+    bt = _as_block_toeplitz(t, block_size)
+    return schur_indefinite_factor(bt, perturb=perturb, delta=delta)
+
+
+def solve(t, b, *, block_size: int | None = None,
+          assume: str = "auto",
+          representation: str = "vy2") -> np.ndarray:
+    """Solve ``T x = b`` for symmetric block Toeplitz ``T``.
+
+    ``assume`` ∈ {"auto", "spd", "indefinite"}: "auto" tries the SPD path
+    and falls back to the indefinite algorithm (plus refinement if it
+    perturbed) on breakdown.
+    """
+    bt = _as_block_toeplitz(t, block_size)
+    b = np.asarray(b, dtype=np.float64)
+    if assume not in ("auto", "spd", "indefinite"):
+        raise ShapeError(f"unknown assume={assume!r}")
+    if assume in ("auto", "spd"):
+        try:
+            fact = cholesky(bt, representation=representation)
+            return fact.solve(b)
+        except NotPositiveDefiniteError:
+            if assume == "spd":
+                raise
+    res = solve_refined(bt, b)
+    return res.x
+
+
+def solve_refined(t, b, *, block_size: int | None = None,
+                  delta: float | None = None,
+                  tol: float | None = None,
+                  max_iter: int = 25,
+                  keep_history: bool = False) -> RefinementResult:
+    """Section 8 pipeline: perturbed ``Rᵀ D R`` + iterative refinement.
+
+    Always safe for symmetric Toeplitz systems (including singular
+    principal minors); returns the full refinement trace.
+    """
+    bt = _as_block_toeplitz(t, block_size)
+    fact = schur_indefinite_factor(bt, perturb=True, delta=delta)
+    return refine(fact, bt, b, tol=tol, max_iter=max_iter,
+                  keep_history=keep_history)

@@ -1,0 +1,71 @@
+"""Exception hierarchy for :mod:`repro`.
+
+All library-raised errors derive from :class:`ReproError` so callers can
+catch everything from this package with a single ``except`` clause while
+still distinguishing numerical breakdowns from plain misuse.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every error raised by the :mod:`repro` package."""
+
+
+class ShapeError(ReproError, ValueError):
+    """An array argument has an incompatible or non-conforming shape."""
+
+
+class NotBlockToeplitzError(ReproError, ValueError):
+    """A dense matrix claimed to be (symmetric) block Toeplitz is not."""
+
+
+class NotPositiveDefiniteError(ReproError, ValueError):
+    """A matrix required to be symmetric positive definite is not.
+
+    Raised by the SPD Schur factorization when a pivot column of the
+    generator has non-positive hyperbolic norm, which certifies that the
+    input matrix has a non-positive leading principal minor.
+    """
+
+
+class SingularMinorError(ReproError, ValueError):
+    """A leading principal submatrix is (numerically) singular.
+
+    The plain Schur recursion cannot proceed past a singular principal
+    minor.  Callers may retry with ``perturb=True`` (Section 8 of the
+    paper) to obtain an approximate factorization suitable for iterative
+    refinement.
+    """
+
+    def __init__(self, message: str, step: int | None = None):
+        super().__init__(message)
+        #: Index of the (scalar) elimination step at which the breakdown
+        #: occurred, if known.
+        self.step = step
+
+
+class BreakdownError(ReproError, ArithmeticError):
+    """Unrecoverable numerical breakdown inside a factorization loop."""
+
+
+class ConvergenceError(ReproError, RuntimeError):
+    """An iterative method failed to reach its tolerance."""
+
+    def __init__(self, message: str, iterations: int | None = None,
+                 residual: float | None = None):
+        super().__init__(message)
+        self.iterations = iterations
+        self.residual = residual
+
+
+class MachineError(ReproError, RuntimeError):
+    """Error raised by the distributed-machine simulator."""
+
+
+class DeadlockError(MachineError):
+    """All simulated ranks are blocked and no event can make progress."""
+
+
+class DistributionError(ReproError, ValueError):
+    """Invalid data-distribution parameters (Version 1/2/3 layouts)."""

@@ -1,0 +1,38 @@
+"""Distributed-memory machine simulator.
+
+A deterministic discrete-event simulator for SPMD message-passing
+programs, standing in for the Cray T3D of Section 7.  Rank programs are
+Python generators that yield communication/compute operations; the
+scheduler advances per-rank virtual clocks using the network cost model
+(:class:`~repro.blas.cray.T3DNetworkParameters`) and whatever node
+compute costs the program charges.  The *numerics execute for real* —
+payloads are actual NumPy arrays — so distributed algorithms can be
+bit-checked against their serial counterparts while their virtual timing
+reflects the modeled machine.
+"""
+
+from repro.machine.ops import (
+    Compute,
+    Put,
+    Recv,
+    Broadcast,
+    Reduce,
+    Barrier,
+)
+from repro.machine.network import Topology, LineTopology, Torus3D
+from repro.machine.simulator import Machine, MachineReport, RankReport
+
+__all__ = [
+    "Compute",
+    "Put",
+    "Recv",
+    "Broadcast",
+    "Reduce",
+    "Barrier",
+    "Topology",
+    "LineTopology",
+    "Torus3D",
+    "Machine",
+    "MachineReport",
+    "RankReport",
+]

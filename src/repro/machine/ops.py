@@ -1,0 +1,106 @@
+"""Operations a rank program may yield to the simulator.
+
+A rank program is a generator: ``yield`` hands an operation to the
+scheduler; the value of the ``yield`` expression is the operation's
+result (the payload for :class:`Recv` and :class:`Broadcast`, ``None``
+otherwise).  Example::
+
+    def program(ctx):
+        yield Compute(1e-6, category="blocking")
+        if ctx.rank == 0:
+            yield Put(dest=1, tag="x", payload=arr, words=arr.size)
+        else:
+            arr = yield Recv(src=0, tag="x")
+        yield Barrier()
+        return result
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+__all__ = ["Compute", "Put", "Recv", "Broadcast", "Reduce", "Barrier"]
+
+
+@dataclass(frozen=True)
+class Compute:
+    """Charge ``seconds`` of local compute time.
+
+    ``category`` labels the phase in the timing breakdown (e.g.
+    ``"blocking"`` vs ``"application"``).
+    """
+
+    seconds: float
+    category: str = "compute"
+
+
+@dataclass(frozen=True)
+class Put:
+    """One-sided put of ``payload`` into ``dest``'s mailbox (shmem-style).
+
+    ``words`` is the message volume in 8-byte words (used for costing;
+    the payload itself travels by reference-copy).  The sender is charged
+    the full transfer time, matching the blocking ``shmem_put``.
+    """
+
+    dest: int
+    tag: Any
+    payload: Any
+    words: int
+    #: Number of underlying shmem_put messages this transfer stands for
+    #: (e.g. one per shifted block); each is charged the per-message
+    #: latency, the payload bytes are charged once.
+    count: int = 1
+    category: str = "shift"
+
+
+@dataclass(frozen=True)
+class Recv:
+    """Block until a message with ``tag`` from ``src`` has arrived.
+
+    Completes at ``max(local clock, arrival time)``; waiting is accounted
+    as idle time.
+    """
+
+    src: int
+    tag: Any
+
+
+@dataclass(frozen=True)
+class Broadcast:
+    """Collective broadcast from ``root``; every rank must participate.
+
+    The root passes ``payload`` and ``words``; the call returns the
+    payload on every rank.  Completion is ``max(entry clocks) +
+    broadcast_time(words, NP)``; the spread between a rank's entry and
+    the collective start is accounted as idle.
+    """
+
+    root: int
+    payload: Any = None
+    words: int = 0
+    category: str = "broadcast"
+
+
+@dataclass(frozen=True)
+class Reduce:
+    """Collective sum-reduction to ``root``; every rank must participate.
+
+    Each rank passes its ``payload`` (a NumPy array or ``None`` ≡ zero);
+    the root's call returns the elementwise sum, the others get ``None``.
+    Costed like the broadcast tree (log₂ NP stages of ``words``).
+    """
+
+    root: int
+    payload: Any = None
+    words: int = 0
+    category: str = "reduce"
+
+
+@dataclass(frozen=True)
+class Barrier:
+    """Full synchronization; completes at ``max(entry clocks) +
+    barrier_time(NP)``."""
+
+    category: str = "barrier"

@@ -1,0 +1,313 @@
+"""The SPMD discrete-event scheduler.
+
+Each rank runs a generator; the scheduler interleaves them, advancing
+per-rank virtual clocks.  Point-to-point messages carry an arrival time
+(sender clock + modeled transfer time); receivers wait for the later of
+their own clock and the arrival.  Collectives (broadcast, barrier)
+complete at ``max(entry clocks) + collective cost`` and book the spread
+as idle time per rank — the synchronization overhead that drives the
+Figure 9 crossover.
+
+The machine is deterministic: identical programs and inputs produce
+identical clocks, traces and results.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+from repro.blas.cray import T3DNetworkParameters
+from repro.errors import DeadlockError, MachineError, ShapeError
+from repro.machine.network import LineTopology, Topology
+from repro.machine.ops import Barrier, Broadcast, Compute, Put, Recv, Reduce
+from repro.machine.trace import Trace
+
+__all__ = ["Machine", "MachineReport", "RankReport"]
+
+
+@dataclass
+class RankReport:
+    """Per-rank accounting for one simulated run."""
+
+    rank: int
+    time: float = 0.0
+    by_category: dict[str, float] = field(default_factory=dict)
+    messages_sent: int = 0
+    words_sent: int = 0
+    result: Any = None
+
+    def charge(self, seconds: float, category: str) -> None:
+        """Advance this rank's clock, attributing to ``category``."""
+        self.time += seconds
+        self.by_category[category] = (
+            self.by_category.get(category, 0.0) + seconds)
+
+
+@dataclass
+class MachineReport:
+    """Aggregate result of :meth:`Machine.run`."""
+
+    nproc: int
+    ranks: list[RankReport]
+    #: event-interval log (populated when the machine was built with
+    #: ``trace=True``)
+    trace: Trace | None = None
+
+    @property
+    def makespan(self) -> float:
+        """Simulated wall time (max over rank clocks)."""
+        return max(r.time for r in self.ranks)
+
+    @property
+    def results(self) -> list[Any]:
+        return [r.result for r in self.ranks]
+
+    def total_by_category(self) -> dict[str, float]:
+        """Machine-wide time per phase category (summed over ranks)."""
+        out: dict[str, float] = {}
+        for r in self.ranks:
+            for k, v in r.by_category.items():
+                out[k] = out.get(k, 0.0) + v
+        return out
+
+    def category_of_critical_rank(self) -> dict[str, float]:
+        """Breakdown of the slowest rank (the makespan owner)."""
+        worst = max(self.ranks, key=lambda r: r.time)
+        return dict(worst.by_category)
+
+
+class _RankState:
+    __slots__ = ("gen", "report", "blocked_on", "finished")
+
+    def __init__(self, gen, report: RankReport):
+        self.gen = gen
+        self.report = report
+        self.blocked_on = None   # None | ("recv", src, tag) | ("coll", op)
+        self.finished = False
+
+
+class Machine:
+    """A simulated distributed-memory machine.
+
+    Parameters
+    ----------
+    nproc : int
+        Number of processing elements (a linear array of PEs, possibly
+        embedded in a richer topology).
+    network : T3DNetworkParameters
+        Communication cost model (defaults to the paper's T3D numbers).
+    topology : Topology
+        Hop-distance metric; defaults to a linear array.
+    """
+
+    def __init__(self, nproc: int,
+                 network: T3DNetworkParameters | None = None,
+                 topology: Topology | None = None,
+                 trace: bool = False):
+        if nproc <= 0:
+            raise ShapeError(f"nproc must be positive, got {nproc}")
+        self.nproc = nproc
+        self.network = network or T3DNetworkParameters()
+        self.topology = topology or LineTopology(nproc)
+        if self.topology.nproc != nproc:
+            raise ShapeError(
+                f"topology is for {self.topology.nproc} ranks, not {nproc}")
+        self._trace_enabled = trace
+        self._trace: Trace | None = None
+
+    def _charge(self, rep: RankReport, seconds: float,
+                category: str) -> None:
+        start = rep.time
+        rep.charge(seconds, category)
+        if self._trace is not None:
+            self._trace.add(rep.rank, start, rep.time, category)
+
+    # ------------------------------------------------------------------
+    def run(self, program: Callable, *args, **kwargs) -> MachineReport:
+        """Execute ``program(ctx, *args, **kwargs)`` on every rank.
+
+        ``program`` must be a generator function; it receives a context
+        with ``rank`` and ``nproc`` attributes.  Returns the machine
+        report with per-rank virtual times and program return values.
+        """
+        np_ = self.nproc
+        self._trace = Trace() if self._trace_enabled else None
+        reports = [RankReport(rank=r) for r in range(np_)]
+        states: list[_RankState] = []
+        for r in range(np_):
+            ctx = _Context(rank=r, nproc=np_)
+            gen = program(ctx, *args, **kwargs)
+            if not hasattr(gen, "send"):
+                raise MachineError(
+                    "program must be a generator function (use `yield`)")
+            states.append(_RankState(gen, reports[r]))
+
+        # mailbox[dest][(src, tag)] -> deque of (arrival_time, payload)
+        mailbox: list[dict[tuple, deque]] = [dict() for _ in range(np_)]
+        # Collective rendezvous: op-type -> list of (rank, op) waiting.
+        collective: list[tuple[int, Any]] = []
+        runnable = deque(range(np_))
+        pending_value: dict[int, Any] = {r: None for r in range(np_)}
+        alive = np_
+
+        while alive > 0:
+            progressed = False
+            while runnable:
+                r = runnable.popleft()
+                st = states[r]
+                if st.finished:
+                    continue
+                progressed = True
+                self._drive(r, st, states, mailbox, collective,
+                            runnable, pending_value)
+            if all(st.finished for st in states):
+                break
+            # No runnable rank: see whether a collective can fire.
+            if collective and len(collective) == sum(
+                    1 for st in states if not st.finished):
+                self._fire_collective(states, collective, runnable,
+                                      pending_value)
+                continue
+            if not progressed and not runnable:
+                blocked = [(st.report.rank, st.blocked_on)
+                           for st in states if not st.finished]
+                raise DeadlockError(
+                    f"all ranks blocked with no deliverable event: "
+                    f"{blocked}")
+            alive = sum(1 for st in states if not st.finished)
+        return MachineReport(nproc=np_, ranks=reports, trace=self._trace)
+
+    # ------------------------------------------------------------------
+    def _drive(self, r, st, states, mailbox, collective, runnable,
+               pending_value) -> None:
+        """Advance rank ``r`` until it blocks or finishes."""
+        if st.blocked_on is not None and st.blocked_on[0] == "recv":
+            # Resuming a rank parked on Recv: deliver the message now.
+            key = st.blocked_on[1]
+            box = mailbox[r].get(key)
+            if not box:
+                return  # spurious wake-up; stay blocked
+            arrival, payload = box.popleft()
+            rep = st.report
+            if arrival > rep.time:
+                self._charge(rep, arrival - rep.time, "idle")
+            pending_value[r] = payload
+            st.blocked_on = None
+        while True:
+            try:
+                op = st.gen.send(pending_value[r])
+            except StopIteration as stop:
+                st.report.result = stop.value
+                st.finished = True
+                return
+            pending_value[r] = None
+            rep = st.report
+            if isinstance(op, Compute):
+                if op.seconds < 0:
+                    raise MachineError("negative compute time")
+                self._charge(rep, op.seconds, op.category)
+                continue
+            if isinstance(op, Put):
+                if not (0 <= op.dest < self.nproc):
+                    raise MachineError(f"put to invalid rank {op.dest}")
+                hops = self.topology.hops(r, op.dest)
+                dt = self.network.put_time(op.words, hops, op.count)
+                self._charge(rep, dt, op.category)
+                rep.messages_sent += max(1, op.count)
+                rep.words_sent += op.words
+                key = (r, op.tag)
+                mailbox[op.dest].setdefault(key, deque()).append(
+                    (rep.time, op.payload))
+                # A receiver may have been waiting on this message.
+                self._unblock_receiver(op.dest, key, states, runnable)
+                continue
+            if isinstance(op, Recv):
+                key = (op.src, op.tag)
+                box = mailbox[r].get(key)
+                if box:
+                    arrival, payload = box.popleft()
+                    if arrival > rep.time:
+                        self._charge(rep, arrival - rep.time, "idle")
+                    pending_value[r] = payload
+                    continue
+                st.blocked_on = ("recv", key)
+                return
+            if isinstance(op, (Broadcast, Reduce, Barrier)):
+                collective.append((r, op))
+                st.blocked_on = ("coll", op)
+                if len(collective) == sum(
+                        1 for s in states if not s.finished):
+                    self._fire_collective(states, collective, runnable,
+                                          pending_value)
+                return
+            raise MachineError(f"unknown operation {op!r}")
+
+    def _unblock_receiver(self, dest, key, states, runnable) -> None:
+        # Leave blocked_on set: _drive's resume path uses it to know it
+        # must deliver the message into the parked Recv.
+        st = states[dest]
+        if st.blocked_on == ("recv", key):
+            runnable.append(dest)
+
+    def _fire_collective(self, states, collective, runnable,
+                         pending_value) -> None:
+        """All live ranks have arrived at a collective: complete it."""
+        ops = {type(op) for _, op in collective}
+        if len(ops) != 1:
+            kinds = sorted(t.__name__ for t in ops)
+            raise DeadlockError(
+                f"ranks disagree on the collective: {kinds}")
+        start = max(states[r].report.time for r, _ in collective)
+        first_op = collective[0][1]
+        results: dict[int, Any] = {}
+        if isinstance(first_op, Broadcast):
+            roots = {op.root for _, op in collective}
+            if len(roots) != 1:
+                raise DeadlockError(f"broadcast roots disagree: {roots}")
+            root = roots.pop()
+            payload = None
+            words = 0
+            for r, op in collective:
+                if r == root:
+                    payload = op.payload
+                    words = op.words
+            cost = self.network.broadcast_time(words, self.nproc)
+            results = {r: payload for r, _ in collective}
+            category = first_op.category
+        elif isinstance(first_op, Reduce):
+            roots = {op.root for _, op in collective}
+            if len(roots) != 1:
+                raise DeadlockError(f"reduce roots disagree: {roots}")
+            root = roots.pop()
+            total = None
+            words = 0
+            for _r, op in collective:
+                words = max(words, op.words)
+                if op.payload is not None:
+                    total = (op.payload.copy() if total is None
+                             else total + op.payload)
+            cost = self.network.broadcast_time(words, self.nproc)
+            results = {r: (total if r == root else None)
+                       for r, _ in collective}
+            category = first_op.category
+        else:
+            cost = self.network.barrier_time(self.nproc)
+            results = {r: None for r, _ in collective}
+            category = first_op.category
+        for r, _op in collective:
+            rep = states[r].report
+            if start > rep.time:
+                self._charge(rep, start - rep.time, "idle")
+            self._charge(rep, cost, category)
+            states[r].blocked_on = None
+            pending_value[r] = results[r]
+            runnable.append(r)
+        collective.clear()
+
+
+@dataclass(frozen=True)
+class _Context:
+    rank: int
+    nproc: int

@@ -1,0 +1,89 @@
+"""Event traces and utilization analysis for simulated runs.
+
+The paper closes with "a performance analysis of the various data
+distribution schemes is underway" — this module is that instrumentation:
+per-rank event intervals (compute / communication / idle), utilization
+summaries, and a text Gantt rendering for small runs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["TraceEvent", "Trace", "render_gantt"]
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One half-open interval ``[start, end)`` of rank activity."""
+
+    rank: int
+    start: float
+    end: float
+    kind: str
+
+    @property
+    def duration(self) -> float:
+        return self.end - self.start
+
+
+@dataclass
+class Trace:
+    """Ordered per-run event log with summary queries."""
+
+    events: list[TraceEvent] = field(default_factory=list)
+
+    def add(self, rank: int, start: float, end: float, kind: str) -> None:
+        """Append one interval (zero-length intervals are dropped)."""
+        if end > start:
+            self.events.append(TraceEvent(rank, start, end, kind))
+
+    def for_rank(self, rank: int) -> list[TraceEvent]:
+        """Events of one rank, in insertion order."""
+        return [e for e in self.events if e.rank == rank]
+
+    def total(self, kind: str | None = None) -> float:
+        """Total traced seconds, optionally restricted to one kind."""
+        return sum(e.duration for e in self.events
+                   if kind is None or e.kind == kind)
+
+    def utilization(self, nproc: int, makespan: float) -> float:
+        """Fraction of machine-time spent in compute phases."""
+        if makespan <= 0:
+            return 0.0
+        busy = sum(e.duration for e in self.events
+                   if e.kind in ("compute", "blocking", "application",
+                                 "panel"))
+        return busy / (nproc * makespan)
+
+    def phase_fractions(self) -> dict[str, float]:
+        """Share of total traced time per phase kind."""
+        tot = self.total()
+        if tot == 0:
+            return {}
+        out: dict[str, float] = {}
+        for e in self.events:
+            out[e.kind] = out.get(e.kind, 0.0) + e.duration
+        return {k: v / tot for k, v in sorted(out.items())}
+
+
+def render_gantt(trace: Trace, nproc: int, makespan: float, *,
+                 width: int = 72) -> str:
+    """ASCII Gantt chart (one row per rank) for small simulated runs."""
+    if makespan <= 0:
+        return "(empty trace)"
+    glyph = {"compute": "#", "blocking": "B", "application": "#",
+             "panel": "#", "shift": ">", "broadcast": "*",
+             "barrier": "|", "idle": ".", }
+    lines = []
+    for r in range(nproc):
+        row = [" "] * width
+        for e in trace.for_rank(r):
+            a = int(e.start / makespan * (width - 1))
+            b = max(a + 1, int(e.end / makespan * (width - 1)) + 1)
+            ch = glyph.get(e.kind, "?")
+            for c in range(a, min(b, width)):
+                row[c] = ch
+        lines.append(f"PE{r:<3d} " + "".join(row))
+    legend = "  ".join(f"{v}={k}" for k, v in glyph.items())
+    return "\n".join(lines) + f"\n      [{legend}]"

@@ -1,0 +1,35 @@
+"""Distributed block Schur implementations on the simulated machine.
+
+Section 7 of the paper: the generator (``2m × mp``) is laid out over a
+linear array of PEs in one of three ways (Figure 5):
+
+* **Version 1** — each block column to a PE, cyclically;
+* **Version 2** — groups of ``b`` adjacent block columns per PE;
+* **Version 3** — each block column *split* over ``spread`` adjacent PEs.
+
+:func:`~repro.parallel.driver.simulate_factorization` runs the real
+numerics of the distributed algorithm through
+:class:`~repro.machine.Machine` and returns the factor (bit-checked
+against the serial algorithm in tests) plus the virtual timing report;
+:mod:`~repro.parallel.analytic` provides the closed-form per-step cost
+model the paper's trade-off discussion implies.
+"""
+
+from repro.parallel.distributions import (
+    BlockCyclicLayout,
+    SpreadLayout,
+    make_layout,
+)
+from repro.parallel.driver import simulate_factorization, simulate_solve, SimulatedRun
+from repro.parallel.analytic import analytic_factor_time, AnalyticBreakdown
+
+__all__ = [
+    "BlockCyclicLayout",
+    "SpreadLayout",
+    "make_layout",
+    "simulate_factorization",
+    "simulate_solve",
+    "SimulatedRun",
+    "analytic_factor_time",
+    "AnalyticBreakdown",
+]

@@ -1,0 +1,128 @@
+"""Primitive-call cost helpers for the distributed implementation.
+
+Splits the per-step cost decomposition of
+:func:`repro.core.flops.primitive_calls_for_step` into the pieces the
+SPMD program charges separately: building the transformation on the
+pivot owner ("blocking"), applying it to a PE's local columns
+("application"), and the message volume of each representation.
+"""
+
+from __future__ import annotations
+
+from repro.core.flops import PrimitiveCall
+from repro.errors import ShapeError
+
+__all__ = [
+    "blocking_calls",
+    "application_calls",
+    "transform_words",
+    "shift_words",
+]
+
+
+def blocking_calls(m: int, *, representation: str = "vy2",
+                   cols: int | None = None,
+                   start_index: int = 0) -> list[PrimitiveCall]:
+    """Primitive mix for building reflectors over ``cols`` pivot columns.
+
+    ``start_index`` is the number of reflectors already accumulated
+    (nonzero for the later chunks of a Version-3 pivot).
+    """
+    if cols is None:
+        cols = m
+    if not (1 <= cols <= m) or not (0 <= start_index <= m - cols):
+        raise ShapeError(
+            f"invalid cols={cols}, start_index={start_index} for m={m}")
+    n2 = 2 * m
+    calls: list[PrimitiveCall] = []
+    for local in range(cols):
+        idx = start_index + local
+        calls.append(PrimitiveCall("dot", (m + 1,)))
+        pw = cols - local
+        calls.append(PrimitiveCall("gemv", (m, pw)))
+        calls.append(PrimitiveCall("axpy", (pw,)))
+        calls.append(PrimitiveCall("ger", (m, pw)))
+        if idx > 0:
+            if representation == "vy1":
+                calls.append(PrimitiveCall("gemv", (n2, idx)))
+                calls.append(PrimitiveCall("gemv", (n2, idx)))
+                calls.append(PrimitiveCall("scal", (n2 * idx,)))
+            elif representation == "vy2":
+                calls.append(PrimitiveCall("gemv", (n2, idx)))
+                calls.append(PrimitiveCall("ger", (n2, idx)))
+                calls.append(PrimitiveCall("scal", (n2 * idx,)))
+            elif representation == "yty":
+                calls.append(PrimitiveCall("gemv", (n2, idx)))
+                calls.append(PrimitiveCall("gemv", (idx, idx)))
+                calls.append(PrimitiveCall("scal", (n2 * idx,)))
+            elif representation in ("dense", "u"):
+                calls.append(PrimitiveCall("gemv", (n2, n2)))
+                calls.append(PrimitiveCall("ger", (n2, n2)))
+            elif representation == "unblocked":
+                pass
+            else:
+                raise ShapeError(
+                    f"unknown representation {representation!r}")
+    return calls
+
+
+def application_calls(m: int, width: int, *,
+                      representation: str = "vy2",
+                      k: int | None = None) -> list[PrimitiveCall]:
+    """Primitive mix for applying a ``k``-reflector block transformation
+    to ``width`` scalar columns of the ``2m``-row generator."""
+    if width <= 0:
+        return []
+    kk = m if k is None else k
+    if not (1 <= kk <= m):
+        raise ShapeError(f"k={kk} must be in [1, {m}]")
+    n2 = 2 * m
+    if representation in ("vy1", "vy2"):
+        return [PrimitiveCall("gemm", (kk, width, n2)),
+                PrimitiveCall("gemm", (n2, width, kk))]
+    if representation == "yty":
+        return [PrimitiveCall("gemm", (kk, width, n2)),
+                PrimitiveCall("gemm", (kk, width, kk)),
+                PrimitiveCall("gemm", (n2, width, kk))]
+    if representation in ("dense", "u"):
+        return [PrimitiveCall("gemm", (n2, width, n2))]
+    if representation == "unblocked":
+        calls = []
+        for _ in range(kk):
+            calls.append(PrimitiveCall("gemv", (m, width)))
+            calls.append(PrimitiveCall("ger", (m, width)))
+            calls.append(PrimitiveCall("axpy", (width,)))
+        return calls
+    raise ShapeError(f"unknown representation {representation!r}")
+
+
+def transform_words(representation: str, m: int,
+                    k: int | None = None) -> int:
+    """8-byte words needed to communicate the block transformation.
+
+    Exploits the Figure 3/4 sparsity: reflector columns carry one pivot
+    entry plus the ``m`` lower entries; the ``z``/``T`` factors are
+    triangular.  The ``YTYᵀ`` form is roughly half the VY volume — the
+    property Section 6.3 cites for distributed machines.
+    """
+    kk = m if k is None else k
+    if not (1 <= kk <= m):
+        raise ShapeError(f"k={kk} must be in [1, {m}]")
+    x_words = kk * (m + 1)                 # reflector columns
+    tri = kk * (kk + 1) // 2
+    if representation in ("vy1", "vy2"):
+        # one factor with x-sparsity, one with growing upper support
+        return x_words + (tri + kk * m)
+    if representation == "yty":
+        return x_words + tri
+    if representation in ("dense", "u"):
+        return (2 * m) * (2 * m)
+    if representation == "unblocked":
+        return x_words
+    raise ShapeError(f"unknown representation {representation!r}")
+
+
+def shift_words(m: int, blocks: int, chunk_width: int | None = None) -> int:
+    """Volume of the Phase-3 shift: upper halves of ``blocks`` blocks."""
+    w = m if chunk_width is None else chunk_width
+    return blocks * m * w

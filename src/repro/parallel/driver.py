@@ -1,0 +1,231 @@
+"""Driver: run the distributed factorization on the simulated machine.
+
+Assembles the generator, scatters it according to the chosen layout,
+executes the SPMD program on a :class:`~repro.machine.Machine`, and
+(optionally) gathers the triangular factor for verification against the
+serial algorithm.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.blas.cray import T3DNetworkParameters, t3d_node_model
+from repro.core.generator import spd_generator
+from repro.errors import DistributionError, ShapeError
+from repro.machine.network import Torus3D
+from repro.machine.simulator import Machine, MachineReport
+from repro.parallel.distributions import (
+    BlockCyclicLayout,
+    SpreadLayout,
+    make_layout,
+)
+from repro.parallel.spmd import block_cyclic_program, spread_program
+from repro.toeplitz.block_toeplitz import SymmetricBlockToeplitz
+
+__all__ = ["SimulatedRun", "simulate_factorization", "simulate_solve"]
+
+
+@dataclass
+class SimulatedRun:
+    """Result of one simulated distributed factorization."""
+
+    r: np.ndarray | None
+    report: MachineReport
+    layout: object
+    block_size: int
+    num_blocks: int
+    representation: str
+
+    @property
+    def time(self) -> float:
+        """Simulated time to factor (seconds on the modeled machine)."""
+        return self.report.makespan
+
+    def breakdown(self) -> dict[str, float]:
+        """Phase breakdown of the critical (slowest) rank."""
+        return self.report.category_of_critical_rank()
+
+
+def _scatter_block_cyclic(gen: np.ndarray, m: int, p: int,
+                          layout: BlockCyclicLayout) -> dict[int, np.ndarray]:
+    initial = {}
+    for rank in range(layout.nproc):
+        blocks = layout.blocks_of(rank, p)
+        if blocks:
+            cols = np.concatenate(
+                [np.arange(j * m, (j + 1) * m) for j in blocks])
+            initial[rank] = np.ascontiguousarray(gen[:, cols])
+        else:
+            initial[rank] = np.zeros((gen.shape[0], 0))
+    return initial
+
+
+def _scatter_spread(gen: np.ndarray, m: int, p: int,
+                    layout: SpreadLayout) -> dict[int, np.ndarray]:
+    mc = layout.chunk_width(m)
+    initial = {}
+    for rank in range(layout.nproc):
+        chunks = layout.chunks_of(rank, p)
+        if chunks:
+            cols = np.concatenate(
+                [np.arange(j * m + c * mc, j * m + (c + 1) * mc)
+                 for (j, c) in chunks])
+            initial[rank] = np.ascontiguousarray(gen[:, cols])
+        else:
+            initial[rank] = np.zeros((gen.shape[0], 0))
+    return initial
+
+
+def simulate_factorization(t: SymmetricBlockToeplitz, nproc: int, *,
+                           b: float = 1,
+                           layout=None,
+                           representation: str = "vy2",
+                           node_model=None,
+                           network: T3DNetworkParameters | None = None,
+                           topology=None,
+                           collect: bool = True,
+                           trace: bool = False,
+                           program: str = "bulk") -> SimulatedRun:
+    """Factor ``t`` on a simulated ``nproc``-PE machine.
+
+    Parameters
+    ----------
+    t : SymmetricBlockToeplitz
+        SPD block Toeplitz matrix.
+    nproc : int
+        Number of PEs (linear array embedded in a 3-D torus by default).
+    b : float
+        The paper's distribution parameter: ``b ≥ 1`` selects Versions
+        1/2 with ``b`` adjacent blocks per PE; ``b < 1`` selects Version
+        3 with ``spread = 1/b``.  Ignored when ``layout`` is given.
+    representation : str
+        Block reflector representation (affects both compute cost and
+        broadcast volume).
+    node_model / network / topology
+        Default to the paper's T3D parameterization.
+    collect : bool
+        Gather and assemble ``R`` (turn off for large timing sweeps).
+    program : str
+        ``"bulk"`` (the paper's barrier-synchronized loop) or
+        ``"lookahead"`` (the §6.5 overlap variant; Version 1, NP ≥ 2).
+
+    Returns
+    -------
+    SimulatedRun
+        With ``r`` (when collected) and the virtual-time report.
+    """
+    if layout is None:
+        layout = make_layout(nproc, b=b)
+    if node_model is None:
+        node_model = t3d_node_model()
+    if network is None:
+        network = T3DNetworkParameters()
+    g = spd_generator(t)
+    m, p = g.block_size, g.num_blocks
+    if p < 2:
+        raise ShapeError("need at least 2 block columns to factor")
+    machine = Machine(nproc, network=network,
+                      topology=topology or Torus3D(nproc), trace=trace)
+    if program not in ("bulk", "lookahead"):
+        raise DistributionError(f"unknown program {program!r}")
+    if isinstance(layout, BlockCyclicLayout):
+        initial = _scatter_block_cyclic(g.gen, m, p, layout)
+        if program == "lookahead":
+            from repro.parallel.lookahead import \
+                block_cyclic_lookahead_program
+            report = machine.run(
+                block_cyclic_lookahead_program, layout=layout, m=m, p=p,
+                w=g.w, initial=initial, representation=representation,
+                node_model=node_model, collect=collect)
+        else:
+            report = machine.run(
+                block_cyclic_program, layout=layout, m=m, p=p, w=g.w,
+                initial=initial, representation=representation,
+                node_model=node_model, collect=collect)
+    elif isinstance(layout, SpreadLayout):
+        if program == "lookahead":
+            raise DistributionError(
+                "lookahead is implemented for the Version 1 layout")
+        if not np.all(g.w[:m] == 1):
+            raise DistributionError(
+                "the spread (Version 3) program supports the SPD "
+                "signature only")
+        initial = _scatter_spread(g.gen, m, p, layout)
+        report = machine.run(
+            spread_program, layout=layout, m=m, p=p, w=g.w,
+            initial=initial, representation=representation,
+            node_model=node_model, collect=collect)
+    else:
+        raise DistributionError(f"unknown layout {layout!r}")
+
+    r = None
+    if collect:
+        n = m * p
+        r = np.zeros((n, n))
+        mc = layout.chunk_width(m) if isinstance(layout, SpreadLayout) \
+            else m
+        for res in report.results:
+            if not res:
+                continue
+            for key, blk in res.items():
+                if len(key) == 2:
+                    i, j = key
+                    r[i * m:(i + 1) * m, j * m:(j + 1) * m] = blk
+                else:
+                    i, j, c = key
+                    col0 = j * m + c * mc
+                    r[i * m:(i + 1) * m, col0:col0 + mc] = blk
+    return SimulatedRun(r=r, report=report, layout=layout,
+                        block_size=m, num_blocks=p,
+                        representation=representation)
+
+
+def simulate_solve(t: SymmetricBlockToeplitz, b: np.ndarray, nproc: int, *,
+                   bdist: float = 1,
+                   representation: str = "vy2",
+                   node_model=None,
+                   network: T3DNetworkParameters | None = None,
+                   topology=None,
+                   trace: bool = False
+                   ) -> tuple[np.ndarray, SimulatedRun, MachineReport]:
+    """Factor *and* solve ``T x = b`` on the simulated machine.
+
+    Runs the distributed factorization (keeping the factor distributed,
+    one column-block dict per PE) followed by the distributed triangular
+    solves of :mod:`repro.parallel.spmd_solve`.  Versions 1/2 layouts
+    only (the solve sweeps assume whole block columns).
+
+    Returns ``(x, factorization_run, solve_report)``.
+    """
+    from repro.parallel.spmd_solve import triangular_solve_program
+
+    if bdist < 1:
+        raise DistributionError(
+            "the distributed solve supports Versions 1/2 (b ≥ 1)")
+    layout = make_layout(nproc, b=bdist)
+    if node_model is None:
+        node_model = t3d_node_model()
+    if network is None:
+        network = T3DNetworkParameters()
+    b = np.asarray(b, dtype=np.float64)
+    run = simulate_factorization(
+        t, nproc, layout=layout, representation=representation,
+        node_model=node_model, network=network, topology=topology,
+        collect=True, trace=trace)
+    m, p = run.block_size, run.num_blocks
+    r_blocks = {rank: res or {} for rank, res in
+                enumerate(run.report.results)}
+    machine = Machine(nproc, network=network,
+                      topology=topology or Torus3D(nproc), trace=trace)
+    solve_report = machine.run(
+        triangular_solve_program, layout=layout, m=m, p=p,
+        r_blocks=r_blocks, b=b, node_model=node_model)
+    n = m * p
+    x = np.zeros(n)
+    for res in solve_report.results:
+        for j, xj in res.items():
+            x[j * m:(j + 1) * m] = xj
+    return x, run, solve_report

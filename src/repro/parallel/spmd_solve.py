@@ -1,0 +1,105 @@
+"""Distributed triangular solves with the column-distributed factor.
+
+After the distributed factorization, PE ``r`` holds the column blocks
+``R[i, j]`` for its local columns ``j`` (Versions 1/2 layout).  Solving
+``T x = RᵀR x = b`` proceeds in two block-substitution sweeps:
+
+* **forward** (``Rᵀ y = b``): block column ``I`` is wholly owned, so its
+  owner applies the accumulated couplings, solves the ``m × m``
+  triangular system, and broadcasts ``y_I``; every PE folds the new
+  ``y_I`` into the pending sums of its local later columns.
+* **backward** (``R x = y``): the coupling ``R[i, j] x_j`` lives with the
+  owner of column ``j``, so the row sums are *reduced* to the diagonal
+  owner (one sum-reduction + one broadcast per block row).
+
+One small collective pair per block row — the classic limited-
+parallelism distributed triangular solve; its simulated cost is exactly
+why the paper (and practice) amortize one factorization over many
+right-hand sides.  The numerics are real and checked against the serial
+solution.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ShapeError
+from repro.machine.ops import Barrier, Broadcast, Compute, Reduce
+from repro.parallel.distributions import BlockCyclicLayout
+from repro.utils.lintools import solve_upper_triangular
+
+__all__ = ["triangular_solve_program"]
+
+
+def _charge_flops(node_model, flops: int, length: int):
+    if node_model is None or flops <= 0:
+        return Compute(0.0, category="solve")
+    return Compute(node_model.level2.time(flops, max(length, 1)),
+                   category="solve")
+
+
+def triangular_solve_program(ctx, *, layout: BlockCyclicLayout, m: int,
+                             p: int, r_blocks: dict, b: np.ndarray,
+                             node_model=None):
+    """SPMD program solving ``RᵀR x = b`` from distributed ``R`` columns.
+
+    ``r_blocks`` maps each rank to its ``{(i, j): m×m}`` dict from the
+    factorization run; ``b`` is replicated (it is only ``O(n)``).
+    Returns each rank's ``{j: x_j}`` solution pieces.
+    """
+    rank, _nproc = ctx.rank, ctx.nproc
+    mine = r_blocks[rank]
+    my_cols = layout.blocks_of(rank, p)
+    n = m * p
+    if b.shape[0] != n:
+        raise ShapeError(f"b has {b.shape[0]} rows, expected {n}")
+
+    # ---------------- forward sweep: Rᵀ y = b ----------------------------
+    acc = {j: np.zeros(m) for j in my_cols}
+    y = np.zeros(n)
+    for i in range(p):
+        owner = layout.owner(i)
+        payload = None
+        if rank == owner:
+            rii = mine[(i, i)]
+            payload = solve_upper_triangular(
+                rii, b[i * m:(i + 1) * m] - acc[i], trans=True)
+            yield _charge_flops(node_model, m * m, m)
+        yi = yield Broadcast(root=owner, payload=payload, words=m,
+                             category="broadcast")
+        y[i * m:(i + 1) * m] = yi
+        flops = 0
+        for j in my_cols:
+            if j > i:
+                acc[j] += mine[(i, j)].T @ yi
+                flops += 2 * m * m
+        if flops:
+            yield _charge_flops(node_model, flops, m)
+    yield Barrier()
+
+    # ---------------- backward sweep: R x = y ----------------------------
+    # pending[i] (local) accumulates Σ_{j>i, j local} R[i, j] x_j; the
+    # full row sum is reduced to owner(i) just before x_i is solved.
+    pending = {i: np.zeros(m) for i in range(p)}
+    x = np.zeros(n)
+    for i in range(p - 1, -1, -1):
+        total = yield Reduce(root=layout.owner(i), payload=pending[i],
+                             words=m)
+        payload = None
+        if rank == layout.owner(i):
+            rii = mine[(i, i)]
+            payload = solve_upper_triangular(
+                rii, y[i * m:(i + 1) * m] - total)
+            yield _charge_flops(node_model, m * m, m)
+        xi = yield Broadcast(root=layout.owner(i), payload=payload,
+                             words=m, category="broadcast")
+        x[i * m:(i + 1) * m] = xi
+        if i in my_cols:
+            flops = 0
+            for big_i in range(i):
+                pending[big_i] += mine[(big_i, i)] @ xi
+                flops += 2 * m * m
+            if flops:
+                yield _charge_flops(node_model, flops, m)
+    yield Barrier()
+    return {j: x[j * m:(j + 1) * m].copy() for j in my_cols}

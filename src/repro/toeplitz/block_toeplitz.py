@@ -1,0 +1,351 @@
+"""Block Toeplitz matrix classes.
+
+A block Toeplitz matrix is constant along block diagonals (eq. 1 of the
+paper).  The symmetric variant is fully determined by its first *block row*
+``T̂_1, …, T̂_p`` (eq. 2): block ``(i, j)`` equals ``T̂_{j-i+1}`` above the
+block diagonal and ``T̂_{i-j+1}^T`` below it.
+
+Only the defining blocks are stored — ``O(m² p)`` memory for an
+``mp × mp`` matrix — and all consumers (the Schur factorization, the FFT
+matvec, the regrouping machinery) work from that compressed form.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.errors import NotBlockToeplitzError, ShapeError
+from repro.utils.validation import as_float_matrix, check_block_conformance
+
+__all__ = [
+    "BlockToeplitz",
+    "SymmetricBlockToeplitz",
+    "from_dense",
+    "symmetric_from_dense",
+]
+
+
+def _stack_blocks(blocks: Sequence[np.ndarray], name: str) -> np.ndarray:
+    """Validate and stack a sequence of equal-size square blocks."""
+    if len(blocks) == 0:
+        raise ShapeError(f"{name} must contain at least one block")
+    arrs = [as_float_matrix(b, f"{name}[{i}]") for i, b in enumerate(blocks)]
+    m = arrs[0].shape[0]
+    for i, b in enumerate(arrs):
+        if b.shape != (m, m):
+            raise ShapeError(
+                f"{name}[{i}] has shape {b.shape}, expected ({m}, {m})")
+    return np.stack(arrs, axis=0)
+
+
+class SymmetricBlockToeplitz:
+    """Symmetric block Toeplitz matrix defined by its first block row.
+
+    Parameters
+    ----------
+    top_blocks : sequence of (m, m) arrays
+        The first block row ``T̂_1, …, T̂_p``.  ``T̂_1`` must be symmetric;
+        the remaining blocks are arbitrary square blocks of the same size.
+
+    Notes
+    -----
+    The represented matrix is ``T[i, j] = T̂_{j-i+1}`` for ``j ≥ i`` and
+    ``T̂_{i-j+1}^T`` for ``j < i`` (block indices, 1-based as in the paper).
+    Symmetry of the whole matrix follows from symmetry of ``T̂_1``.
+    """
+
+    def __init__(self, top_blocks: Sequence[np.ndarray]):
+        blocks = _stack_blocks(top_blocks, "top_blocks")
+        first = blocks[0]
+        if not np.allclose(first, first.T, rtol=1e-12, atol=1e-12):
+            raise NotBlockToeplitzError(
+                "T̂_1 (the diagonal block) must be symmetric")
+        # Symmetrize exactly so dense() round-trips are bit-reproducible.
+        blocks[0] = 0.5 * (first + first.T)
+        self._blocks = blocks
+        self._blocks.setflags(write=False)
+
+    # ------------------------------------------------------------------
+    # Construction helpers
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_first_row(cls, row) -> "SymmetricBlockToeplitz":
+        """Build a *scalar* (m = 1) symmetric Toeplitz from its first row."""
+        row = np.asarray(row, dtype=np.float64).ravel()
+        return cls([np.array([[v]]) for v in row])
+
+    @classmethod
+    def identity(cls, p: int, m: int) -> "SymmetricBlockToeplitz":
+        """The ``mp × mp`` identity as a block Toeplitz matrix."""
+        blocks = [np.eye(m)] + [np.zeros((m, m)) for _ in range(p - 1)]
+        return cls(blocks)
+
+    # ------------------------------------------------------------------
+    # Basic properties
+    # ------------------------------------------------------------------
+    @property
+    def block_size(self) -> int:
+        """Block size ``m``."""
+        return self._blocks.shape[1]
+
+    @property
+    def num_blocks(self) -> int:
+        """Number of block rows/columns ``p``."""
+        return self._blocks.shape[0]
+
+    @property
+    def order(self) -> int:
+        """Matrix order ``n = m p``."""
+        return self.block_size * self.num_blocks
+
+    @property
+    def shape(self) -> tuple[int, int]:
+        return (self.order, self.order)
+
+    @property
+    def top_blocks(self) -> np.ndarray:
+        """Read-only ``(p, m, m)`` array of the first block row."""
+        return self._blocks
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (f"SymmetricBlockToeplitz(order={self.order}, "
+                f"block_size={self.block_size}, num_blocks={self.num_blocks})")
+
+    # ------------------------------------------------------------------
+    # Element / block access
+    # ------------------------------------------------------------------
+    def block(self, i: int, j: int) -> np.ndarray:
+        """Block at block-row ``i``, block-column ``j`` (0-based)."""
+        p = self.num_blocks
+        if not (0 <= i < p and 0 <= j < p):
+            raise IndexError(f"block index ({i}, {j}) out of range for p={p}")
+        d = j - i
+        if d >= 0:
+            return self._blocks[d]
+        return self._blocks[-d].T
+
+    def scalar_entry(self, i: int, j: int) -> float:
+        """Scalar entry ``T[i, j]`` (0-based)."""
+        m = self.block_size
+        return float(self.block(i // m, j // m)[i % m, j % m])
+
+    def row_strip(self, rows: int) -> np.ndarray:
+        """Dense strip of the first ``rows`` scalar rows (``rows × n``).
+
+        Used by regrouping and by dense assembly; costs ``O(rows · n)``.
+        """
+        m, p, n = self.block_size, self.num_blocks, self.order
+        if not (0 < rows <= n):
+            raise ShapeError(f"rows must be in (0, {n}], got {rows}")
+        nbr = -(-rows // m)  # ceil
+        strip = np.empty((nbr * m, n))
+        for bi in range(nbr):
+            for bj in range(p):
+                strip[bi * m:(bi + 1) * m, bj * m:(bj + 1) * m] = \
+                    self.block(bi, bj)
+        return strip[:rows]
+
+    # ------------------------------------------------------------------
+    # Conversions
+    # ------------------------------------------------------------------
+    def dense(self) -> np.ndarray:
+        """Assemble the full dense ``n × n`` matrix."""
+        m, p = self.block_size, self.num_blocks
+        n = self.order
+        out = np.empty((n, n))
+        for i in range(p):
+            for j in range(p):
+                out[i * m:(i + 1) * m, j * m:(j + 1) * m] = self.block(i, j)
+        return out
+
+    def first_scalar_row(self) -> np.ndarray:
+        """First scalar row of the matrix (length ``n``)."""
+        return self.row_strip(1).ravel()
+
+    def leading(self, q: int) -> "SymmetricBlockToeplitz":
+        """Leading principal block submatrix with ``q`` block rows."""
+        if not (1 <= q <= self.num_blocks):
+            raise ShapeError(
+                f"q must be in [1, {self.num_blocks}], got {q}")
+        return SymmetricBlockToeplitz(list(self._blocks[:q]))
+
+    def regroup(self, new_block_size: int) -> "SymmetricBlockToeplitz":
+        """Reinterpret with a larger algorithmic block size ``m_s``.
+
+        Section 6.5 of the paper: a block Toeplitz matrix with structural
+        block size ``m`` is also block Toeplitz for any block size that is
+        a multiple of ``m`` and divides the order ``n``.  Part of the
+        Toeplitz structure is forgone — the factorization cost grows
+        linearly in ``m_s`` — in exchange for larger (faster) level-3
+        primitives.
+        """
+        m, n = self.block_size, self.order
+        ms = int(new_block_size)
+        if ms == m:
+            return self
+        if ms <= 0 or ms % m != 0:
+            raise ShapeError(
+                f"new block size {ms} must be a positive multiple of m={m}")
+        check_block_conformance(n, ms, "matrix")
+        strip = self.row_strip(ms)
+        ps = n // ms
+        blocks = [np.ascontiguousarray(strip[:, k * ms:(k + 1) * ms])
+                  for k in range(ps)]
+        return SymmetricBlockToeplitz(blocks)
+
+    # ------------------------------------------------------------------
+    # Arithmetic
+    # ------------------------------------------------------------------
+    def matvec(self, x: np.ndarray) -> np.ndarray:
+        """Matrix–vector (or matrix–matrix) product via FFT embedding.
+
+        ``O(m² n log n)`` instead of the ``O(n²)`` dense product; exact to
+        rounding.  For repeated products build a
+        :class:`repro.toeplitz.matvec.BlockCirculantEmbedding` once.
+        """
+        from repro.toeplitz.matvec import block_toeplitz_matvec
+        return block_toeplitz_matvec(self, x)
+
+    def __matmul__(self, x):
+        return self.matvec(np.asarray(x, dtype=np.float64))
+
+    def add_diagonal(self, shift: float) -> "SymmetricBlockToeplitz":
+        """Return ``T + shift · I`` (still symmetric block Toeplitz)."""
+        blocks = [np.array(self._blocks[0]) + shift * np.eye(self.block_size)]
+        blocks.extend(np.array(b) for b in self._blocks[1:])
+        return SymmetricBlockToeplitz(blocks)
+
+    def scaled(self, alpha: float) -> "SymmetricBlockToeplitz":
+        """Return ``alpha · T``."""
+        return SymmetricBlockToeplitz([alpha * np.array(b)
+                                       for b in self._blocks])
+
+
+class BlockToeplitz:
+    """General (possibly nonsymmetric) block Toeplitz matrix.
+
+    Stored as the first block column ``C_0 … C_{p-1}`` (going down) and the
+    first block row ``R_0 … R_{p-1}`` (going right) with ``C_0 == R_0``.
+    Block ``(i, j)`` is ``R_{j-i}`` for ``j ≥ i`` and ``C_{i-j}`` otherwise.
+
+    The Schur algorithm itself only consumes the symmetric class; this one
+    supports the workloads and the FFT matvec substrate (and mirrors the
+    API of :class:`SymmetricBlockToeplitz`).
+    """
+
+    def __init__(self, first_block_col: Sequence[np.ndarray],
+                 first_block_row: Sequence[np.ndarray]):
+        col = _stack_blocks(first_block_col, "first_block_col")
+        row = _stack_blocks(first_block_row, "first_block_row")
+        if col.shape != row.shape:
+            raise ShapeError(
+                f"first block column ({col.shape[0]} blocks of size "
+                f"{col.shape[1]}) and row ({row.shape[0]} blocks of size "
+                f"{row.shape[1]}) must match")
+        if not np.allclose(col[0], row[0], rtol=1e-12, atol=1e-12):
+            raise NotBlockToeplitzError(
+                "first blocks of the column and the row must agree")
+        self._col = col
+        self._row = row
+        self._col.setflags(write=False)
+        self._row.setflags(write=False)
+
+    @classmethod
+    def from_symmetric(cls, t: SymmetricBlockToeplitz) -> "BlockToeplitz":
+        row = [np.array(b) for b in t.top_blocks]
+        col = [row[0]] + [b.T.copy() for b in row[1:]]
+        return cls(col, row)
+
+    @property
+    def block_size(self) -> int:
+        return self._row.shape[1]
+
+    @property
+    def num_blocks(self) -> int:
+        return self._row.shape[0]
+
+    @property
+    def order(self) -> int:
+        return self.block_size * self.num_blocks
+
+    @property
+    def shape(self) -> tuple[int, int]:
+        return (self.order, self.order)
+
+    @property
+    def first_block_row(self) -> np.ndarray:
+        return self._row
+
+    @property
+    def first_block_col(self) -> np.ndarray:
+        return self._col
+
+    def block(self, i: int, j: int) -> np.ndarray:
+        """Block at block-row ``i``, block-column ``j`` (0-based)."""
+        p = self.num_blocks
+        if not (0 <= i < p and 0 <= j < p):
+            raise IndexError(f"block index ({i}, {j}) out of range for p={p}")
+        d = j - i
+        return self._row[d] if d >= 0 else self._col[-d]
+
+    def dense(self) -> np.ndarray:
+        """Assemble the full dense ``n × n`` matrix."""
+        m, p = self.block_size, self.num_blocks
+        n = self.order
+        out = np.empty((n, n))
+        for i in range(p):
+            for j in range(p):
+                out[i * m:(i + 1) * m, j * m:(j + 1) * m] = self.block(i, j)
+        return out
+
+    def matvec(self, x: np.ndarray) -> np.ndarray:
+        """Fast FFT product ``T x`` (see BlockCirculantEmbedding)."""
+        from repro.toeplitz.matvec import block_toeplitz_matvec
+        return block_toeplitz_matvec(self, x)
+
+    def __matmul__(self, x):
+        return self.matvec(np.asarray(x, dtype=np.float64))
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (f"BlockToeplitz(order={self.order}, "
+                f"block_size={self.block_size}, num_blocks={self.num_blocks})")
+
+
+def from_dense(a, block_size: int, *,
+               rtol: float = 1e-10, atol: float = 1e-12) -> BlockToeplitz:
+    """Compress a dense block Toeplitz matrix, verifying the structure."""
+    a = as_float_matrix(a, "a")
+    n = a.shape[0]
+    if a.shape[0] != a.shape[1]:
+        raise ShapeError(f"a must be square, got {a.shape}")
+    m = block_size
+    p = check_block_conformance(n, m, "a")
+    row = [np.array(a[:m, j * m:(j + 1) * m]) for j in range(p)]
+    col = [np.array(a[i * m:(i + 1) * m, :m]) for i in range(p)]
+    t = BlockToeplitz(col, row)
+    if not np.allclose(t.dense(), a, rtol=rtol, atol=atol):
+        raise NotBlockToeplitzError(
+            f"matrix is not block Toeplitz with block size {m}")
+    return t
+
+
+def symmetric_from_dense(a, block_size: int, *,
+                         rtol: float = 1e-10,
+                         atol: float = 1e-12) -> SymmetricBlockToeplitz:
+    """Compress a dense symmetric block Toeplitz matrix, verifying both
+    the symmetry and the Toeplitz structure."""
+    a = as_float_matrix(a, "a")
+    if a.shape[0] != a.shape[1]:
+        raise ShapeError(f"a must be square, got {a.shape}")
+    if not np.allclose(a, a.T, rtol=rtol, atol=atol):
+        raise NotBlockToeplitzError("matrix is not symmetric")
+    m = block_size
+    p = check_block_conformance(a.shape[0], m, "a")
+    blocks = [np.array(a[:m, j * m:(j + 1) * m]) for j in range(p)]
+    t = SymmetricBlockToeplitz(blocks)
+    if not np.allclose(t.dense(), a, rtol=rtol, atol=atol):
+        raise NotBlockToeplitzError(
+            f"matrix is not symmetric block Toeplitz with block size {m}")
+    return t

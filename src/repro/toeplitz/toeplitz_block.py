@@ -1,0 +1,191 @@
+"""Toeplitz-block matrices (the dual arrangement of ref. [2]).
+
+The paper's reference [2] (Chun & Kailath) treats "block Toeplitz,
+Toeplitz block and Toeplitz derived matrices".  A *Toeplitz-block*
+matrix is an ``m × m`` grid of ``p × p`` blocks, each block Toeplitz —
+the layout produced by stacking multichannel data **channel-major**
+(all samples of channel 1, then channel 2, …) instead of time-major.
+
+The two arrangements are related by the perfect-shuffle permutation
+``Π`` that interleaves channels: ``Π A Πᵀ`` of a Toeplitz-block matrix
+is *block Toeplitz* with ``m × m`` blocks.  This module provides the
+class, the shuffle, and solve/factor entry points that delegate to the
+block Schur machinery after shuffling.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import NotBlockToeplitzError, ShapeError
+from repro.toeplitz.block_toeplitz import SymmetricBlockToeplitz
+
+__all__ = [
+    "SymmetricToeplitzBlock",
+    "shuffle_permutation",
+]
+
+
+def shuffle_permutation(m: int, p: int) -> np.ndarray:
+    """Perfect-shuffle index map: channel-major → time-major.
+
+    ``perm[t·m + c] = c·p + t``: entry ``(c, t)`` of the channel-major
+    stacking lands at time-major position ``(t, c)``.  For an array
+    ``x`` in channel-major order, ``x[perm]`` is time-major.
+    """
+    if m <= 0 or p <= 0:
+        raise ShapeError(f"m and p must be positive, got {m}, {p}")
+    t_idx, c_idx = np.meshgrid(np.arange(p), np.arange(m), indexing="ij")
+    return (c_idx * p + t_idx).ravel()
+
+
+class SymmetricToeplitzBlock:
+    """Symmetric ``m × m`` grid of ``p × p`` Toeplitz blocks.
+
+    Parameters
+    ----------
+    first_rows : (m, m, p) array_like
+        ``first_rows[r, s]`` is the first row of Toeplitz block
+        ``A_{rs}`` (``A_{rs}[i, j] = first_rows[r, s, j − i]`` for
+        ``j ≥ i``).
+    first_cols : (m, m, p) array_like
+        ``first_cols[r, s]`` is the first column of ``A_{rs}``
+        (``first_cols[r, s, 0]`` must equal ``first_rows[r, s, 0]``).
+
+    Symmetry of the whole matrix requires ``A_{sr} = A_{rs}ᵀ``, i.e.
+    ``first_rows[s, r] == first_cols[r, s]`` — validated on
+    construction.
+    """
+
+    def __init__(self, first_rows, first_cols):
+        rows = np.asarray(first_rows, dtype=np.float64)
+        cols = np.asarray(first_cols, dtype=np.float64)
+        if rows.ndim != 3 or rows.shape[0] != rows.shape[1]:
+            raise ShapeError(
+                f"first_rows must have shape (m, m, p), got {rows.shape}")
+        if cols.shape != rows.shape:
+            raise ShapeError(
+                f"first_cols shape {cols.shape} != {rows.shape}")
+        m, _, p = rows.shape
+        if not np.allclose(rows[..., 0], cols[..., 0],
+                           rtol=1e-12, atol=1e-12):
+            raise NotBlockToeplitzError(
+                "first_rows[..., 0] and first_cols[..., 0] must agree "
+                "(the corner element of each Toeplitz block)")
+        # A_{sr} = A_{rs}ᵀ ⇔ row(s,r) = col(r,s) and col(s,r) = row(r,s)
+        if not (np.allclose(rows.transpose(1, 0, 2), cols,
+                            rtol=1e-10, atol=1e-12)):
+            raise NotBlockToeplitzError(
+                "symmetry requires first_rows[s, r] == first_cols[r, s]")
+        self._rows = rows
+        self._cols = cols
+        self._m = m
+        self._p = p
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_cross_covariances(cls, gammas) -> "SymmetricToeplitzBlock":
+        """Build from stationary cross-covariances ``γ_{rs}(k)``.
+
+        ``gammas`` has shape ``(p, m, m)`` with
+        ``γ(k)[r, s] = E[x_r(t+k) x_s(t)]``; block ``A_{rs}`` is the
+        cross-covariance Toeplitz matrix of channels ``r`` and ``s``.
+        """
+        g = np.asarray(gammas, dtype=np.float64)
+        if g.ndim != 3 or g.shape[1] != g.shape[2]:
+            raise ShapeError(
+                f"gammas must have shape (p, m, m), got {g.shape}")
+        p, m, _ = g.shape
+        # A_{rs}[i, j] = γ(i − j)[r, s]  ⇒ first row uses γ(−k) = γ(k)ᵀ
+        rows = np.empty((m, m, p))
+        cols = np.empty((m, m, p))
+        for r in range(m):
+            for s in range(m):
+                rows[r, s] = g[:, s, r]     # γ(−k)[r,s] = γ(k)[s,r]
+                cols[r, s] = g[:, r, s]
+        return cls(rows, cols)
+
+    # ------------------------------------------------------------------
+    @property
+    def num_channels(self) -> int:
+        return self._m
+
+    @property
+    def block_order(self) -> int:
+        return self._p
+
+    @property
+    def order(self) -> int:
+        return self._m * self._p
+
+    @property
+    def shape(self) -> tuple[int, int]:
+        return (self.order, self.order)
+
+    def toeplitz_entry(self, r: int, s: int, i: int, j: int) -> float:
+        """Entry ``(i, j)`` of Toeplitz block ``A_{rs}``."""
+        d = j - i
+        if d >= 0:
+            return float(self._rows[r, s, d])
+        return float(self._cols[r, s, -d])
+
+    def dense(self) -> np.ndarray:
+        """Assemble the dense matrix in the channel-major ordering."""
+        m, p = self._m, self._p
+        out = np.empty((m * p, m * p))
+        idx = np.arange(p)
+        diff = idx[None, :] - idx[:, None]          # j − i
+        for r in range(m):
+            for s in range(m):
+                block = np.where(diff >= 0,
+                                 self._rows[r, s][np.abs(diff)],
+                                 self._cols[r, s][np.abs(diff)])
+                out[r * p:(r + 1) * p, s * p:(s + 1) * p] = block
+        return out
+
+    # ------------------------------------------------------------------
+    def to_block_toeplitz(self) -> SymmetricBlockToeplitz:
+        """The shuffled equivalent: ``Π A Πᵀ`` is block Toeplitz.
+
+        Time-major block ``T̂_{k+1}[r, s] = A_{rs}[t, t+k]`` =
+        ``first_rows[r, s, k]``.
+        """
+        blocks = [np.ascontiguousarray(self._rows[:, :, k])
+                  for k in range(self._p)]
+        blocks[0] = 0.5 * (blocks[0] + blocks[0].T)
+        return SymmetricBlockToeplitz(blocks)
+
+    def permutation(self) -> np.ndarray:
+        """``perm`` with ``x_time_major = x_channel_major[perm⁻¹]``…
+
+        Precisely: for the dense matrices,
+        ``self.dense()[np.ix_(perm, perm)] == to_block_toeplitz().dense()``
+        where ``perm = shuffle_permutation(m, p)``.
+        """
+        return shuffle_permutation(self._m, self._p)
+
+    # ------------------------------------------------------------------
+    def cholesky(self, **kwargs):
+        """SPD factorization of the shuffled matrix (see
+        :func:`repro.core.solve.cholesky`); returns the factorization of
+        ``Π A Πᵀ`` together with the permutation."""
+        from repro.core.solve import cholesky as _chol
+        return _chol(self.to_block_toeplitz(), **kwargs)
+
+    def solve(self, b: np.ndarray, **kwargs) -> np.ndarray:
+        """Solve ``A x = b`` in the original (channel-major) ordering."""
+        from repro.core.solve import solve as _solve
+        b = np.asarray(b, dtype=np.float64)
+        if b.shape[0] != self.order:
+            raise ShapeError(
+                f"b has {b.shape[0]} rows, expected {self.order}")
+        perm = self.permutation()
+        bt = b[perm] if b.ndim == 1 else b[perm, :]
+        xt = _solve(self.to_block_toeplitz(), bt, **kwargs)
+        x = np.empty_like(np.asarray(xt, dtype=np.float64))
+        x[perm] = xt
+        return x
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (f"SymmetricToeplitzBlock(channels={self._m}, "
+                f"block_order={self._p})")

@@ -1,0 +1,29 @@
+"""Small shared helpers: argument validation, RNG plumbing, triangular ops."""
+
+from repro.utils.validation import (
+    as_float_matrix,
+    as_float_vector,
+    check_block_conformance,
+    check_square,
+    check_symmetric,
+)
+from repro.utils.rng import default_rng
+from repro.utils.lintools import (
+    solve_lower_triangular,
+    solve_upper_triangular,
+    is_upper_triangular,
+    is_lower_triangular,
+)
+
+__all__ = [
+    "as_float_matrix",
+    "as_float_vector",
+    "check_block_conformance",
+    "check_square",
+    "check_symmetric",
+    "default_rng",
+    "solve_lower_triangular",
+    "solve_upper_triangular",
+    "is_upper_triangular",
+    "is_lower_triangular",
+]

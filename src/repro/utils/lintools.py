@@ -1,0 +1,48 @@
+"""Thin triangular-solve helpers and structure predicates.
+
+``scipy.linalg.solve_triangular`` is used for the heavy lifting; these
+wrappers pin down the conventions (lower/upper, transpose) used throughout
+the Schur algorithm so call sites stay readable.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import scipy.linalg as sla
+
+__all__ = [
+    "solve_lower_triangular",
+    "solve_upper_triangular",
+    "is_upper_triangular",
+    "is_lower_triangular",
+]
+
+
+def solve_lower_triangular(L: np.ndarray, B: np.ndarray,
+                           *, trans: bool = False) -> np.ndarray:
+    """Solve ``L X = B`` (or ``L^T X = B`` when ``trans``) for lower ``L``."""
+    return sla.solve_triangular(L, B, lower=True, trans=1 if trans else 0,
+                                check_finite=False)
+
+
+def solve_upper_triangular(R: np.ndarray, B: np.ndarray,
+                           *, trans: bool = False) -> np.ndarray:
+    """Solve ``R X = B`` (or ``R^T X = B`` when ``trans``) for upper ``R``."""
+    return sla.solve_triangular(R, B, lower=False, trans=1 if trans else 0,
+                                check_finite=False)
+
+
+def is_upper_triangular(a: np.ndarray, atol: float = 0.0) -> bool:
+    """True when all entries strictly below the diagonal are ≤ ``atol``."""
+    if a.ndim != 2:
+        return False
+    below = np.tril(a, k=-1)
+    return bool(np.all(np.abs(below) <= atol))
+
+
+def is_lower_triangular(a: np.ndarray, atol: float = 0.0) -> bool:
+    """True when all entries strictly above the diagonal are ≤ ``atol``."""
+    if a.ndim != 2:
+        return False
+    above = np.triu(a, k=1)
+    return bool(np.all(np.abs(above) <= atol))

@@ -1,0 +1,24 @@
+"""Seeded random-number plumbing.
+
+Every stochastic entry point in the package accepts a ``seed`` argument and
+routes it through :func:`default_rng`, so experiments are reproducible and
+no module touches NumPy's legacy global state.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["default_rng"]
+
+
+def default_rng(seed=None) -> np.random.Generator:
+    """Return a :class:`numpy.random.Generator`.
+
+    Accepts ``None``, an integer seed, a ``SeedSequence``, or an existing
+    ``Generator`` (returned unchanged so callers can thread one RNG through
+    a pipeline).
+    """
+    if isinstance(seed, np.random.Generator):
+        return seed
+    return np.random.default_rng(seed)

@@ -1,0 +1,84 @@
+"""Argument validation helpers used across the package.
+
+These functions normalize user input to contiguous ``float64`` arrays and
+raise :class:`repro.errors.ShapeError` with actionable messages instead of
+letting NumPy broadcast errors surface from deep inside an algorithm.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ShapeError
+
+__all__ = [
+    "as_float_matrix",
+    "as_float_vector",
+    "check_square",
+    "check_symmetric",
+    "check_block_conformance",
+]
+
+
+def as_float_matrix(a, name: str = "a", *, copy: bool = False) -> np.ndarray:
+    """Return ``a`` as a 2-D C-contiguous float64 array.
+
+    Parameters
+    ----------
+    a : array_like
+        Input to convert.
+    name : str
+        Argument name used in error messages.
+    copy : bool
+        Force a copy even when ``a`` is already in the target layout.
+    """
+    # copy=None: copy only when conversion requires it (NumPy 2 semantics)
+    arr = np.array(a, dtype=np.float64, copy=True if copy else None,
+                   order="C", ndmin=2)
+    if arr.ndim != 2:
+        raise ShapeError(f"{name} must be 2-D, got ndim={arr.ndim}")
+    if not np.all(np.isfinite(arr)):
+        raise ShapeError(f"{name} contains non-finite entries")
+    return arr
+
+
+def as_float_vector(b, name: str = "b", *, copy: bool = False) -> np.ndarray:
+    """Return ``b`` as a 1-D float64 array (column vectors are flattened)."""
+    arr = np.array(b, dtype=np.float64, copy=True if copy else None)
+    if arr.ndim == 2 and 1 in arr.shape:
+        arr = arr.ravel()
+    if arr.ndim != 1:
+        raise ShapeError(f"{name} must be 1-D, got shape {arr.shape}")
+    if not np.all(np.isfinite(arr)):
+        raise ShapeError(f"{name} contains non-finite entries")
+    return arr
+
+
+def check_square(a: np.ndarray, name: str = "a") -> int:
+    """Check ``a`` is square and return its order."""
+    if a.ndim != 2 or a.shape[0] != a.shape[1]:
+        raise ShapeError(f"{name} must be square, got shape {a.shape}")
+    return a.shape[0]
+
+
+def check_symmetric(a: np.ndarray, name: str = "a",
+                    rtol: float = 1e-10, atol: float = 1e-12) -> None:
+    """Check that ``a`` equals its transpose to within a tolerance."""
+    check_square(a, name)
+    if not np.allclose(a, a.T, rtol=rtol, atol=atol):
+        err = float(np.max(np.abs(a - a.T)))
+        raise ShapeError(
+            f"{name} must be symmetric; max |a - a.T| = {err:.3e}")
+
+
+def check_block_conformance(n: int, m: int, name: str = "matrix") -> int:
+    """Check that the order ``n`` is a multiple of the block size ``m``.
+
+    Returns the number of block rows/columns ``p = n // m``.
+    """
+    if m <= 0:
+        raise ShapeError(f"block size must be positive, got {m}")
+    if n % m != 0:
+        raise ShapeError(
+            f"{name} order {n} is not a multiple of block size {m}")
+    return n // m

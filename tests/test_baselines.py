@@ -1,0 +1,172 @@
+"""Tests for the baseline solvers."""
+
+import numpy as np
+import pytest
+import scipy.linalg as sla
+
+from repro.baselines import (
+    block_levinson_solve,
+    dense_cholesky_solve,
+    dense_ldl_solve,
+    pcg,
+)
+from repro.baselines.dense_chol import dense_cholesky
+from repro.core.schur_indefinite import schur_indefinite_factor
+from repro.core.schur_spd import schur_spd_factor
+from repro.errors import (
+    ConvergenceError,
+    NotPositiveDefiniteError,
+    ShapeError,
+    SingularMinorError,
+)
+from repro.toeplitz import (
+    ar_block_toeplitz,
+    indefinite_toeplitz,
+    kms_toeplitz,
+    paper_example_matrix,
+    singular_minor_toeplitz,
+)
+
+
+class TestBlockLevinson:
+    @pytest.mark.parametrize("p,m", [(2, 1), (10, 1), (5, 2), (7, 3),
+                                     (4, 4)])
+    def test_spd_systems(self, p, m, rng):
+        t = ar_block_toeplitz(p, m, seed=p + m)
+        b = rng.standard_normal(t.order)
+        res = block_levinson_solve(t, b)
+        np.testing.assert_allclose(t.dense() @ res.x, b, atol=1e-8)
+        assert res.steps == p
+
+    def test_matches_scipy_solve_toeplitz(self, rng):
+        t = kms_toeplitz(40, 0.7)
+        b = rng.standard_normal(40)
+        ours = block_levinson_solve(t, b).x
+        ref = sla.solve_toeplitz(t.first_scalar_row(), b)
+        np.testing.assert_allclose(ours, ref, atol=1e-9)
+
+    def test_matches_schur_solve(self, rng):
+        t = ar_block_toeplitz(9, 2, seed=3)
+        b = rng.standard_normal(18)
+        lev = block_levinson_solve(t, b).x
+        schur = schur_spd_factor(t).solve(b)
+        np.testing.assert_allclose(lev, schur, atol=1e-8)
+
+    def test_indefinite_nonsingular(self, rng):
+        t = indefinite_toeplitz(11, seed=4)
+        b = rng.standard_normal(11)
+        res = block_levinson_solve(t, b)
+        np.testing.assert_allclose(t.dense() @ res.x, b, atol=1e-6)
+
+    def test_multiple_rhs(self, rng):
+        t = ar_block_toeplitz(6, 3, seed=5)
+        b = rng.standard_normal((18, 4))
+        res = block_levinson_solve(t, b)
+        np.testing.assert_allclose(t.dense() @ res.x, b, atol=1e-8)
+
+    def test_singular_minor_raises(self):
+        with pytest.raises(SingularMinorError):
+            block_levinson_solve(paper_example_matrix(), np.ones(6))
+
+    def test_shape_mismatch(self):
+        t = kms_toeplitz(8, 0.5)
+        with pytest.raises(ShapeError):
+            block_levinson_solve(t, np.ones(5))
+
+    def test_rcond_diagnostic(self, rng):
+        t = kms_toeplitz(16, 0.3)
+        res = block_levinson_solve(t, rng.standard_normal(16))
+        assert 0 < res.min_border_rcond <= 1.0
+
+
+class TestDenseBaselines:
+    def test_dense_cholesky(self, small_spd_block):
+        r = dense_cholesky(small_spd_block)
+        np.testing.assert_allclose(r.T @ r, small_spd_block.dense(),
+                                   atol=1e-9)
+
+    def test_dense_cholesky_rejects_indefinite(self):
+        with pytest.raises(NotPositiveDefiniteError):
+            dense_cholesky(indefinite_toeplitz(8, seed=6))
+
+    def test_dense_cholesky_solve(self, small_spd_block, rng):
+        b = rng.standard_normal(small_spd_block.order)
+        x = dense_cholesky_solve(small_spd_block, b)
+        np.testing.assert_allclose(small_spd_block.dense() @ x, b,
+                                   atol=1e-8)
+
+    def test_dense_ldl_handles_singular_minors(self, rng):
+        t = paper_example_matrix()
+        b = rng.standard_normal(6)
+        x = dense_ldl_solve(t, b)
+        np.testing.assert_allclose(t.dense() @ x, b, atol=1e-9)
+
+    def test_dense_ldl_multi_rhs(self, rng):
+        t = indefinite_toeplitz(10, seed=7)
+        b = rng.standard_normal((10, 3))
+        x = dense_ldl_solve(t, b)
+        np.testing.assert_allclose(t.dense() @ x, b, atol=1e-8)
+
+    def test_shape_checks(self, small_spd_block):
+        with pytest.raises(ShapeError):
+            dense_cholesky_solve(small_spd_block, np.ones(3))
+        with pytest.raises(ShapeError):
+            dense_ldl_solve(small_spd_block, np.ones(3))
+
+
+class TestPCG:
+    def test_unpreconditioned_spd(self, rng):
+        t = kms_toeplitz(32, 0.4)
+        b = rng.standard_normal(32)
+        res = pcg(t, b, tol=1e-10)
+        assert res.converged
+        np.testing.assert_allclose(t.dense() @ res.x, b, atol=1e-7)
+
+    def test_preconditioned_faster(self, rng):
+        t = kms_toeplitz(64, 0.9)  # moderately ill-conditioned
+        b = rng.standard_normal(64)
+        plain = pcg(t, b, tol=1e-10)
+        fact = schur_spd_factor(t)
+        pre = pcg(t, b, preconditioner=fact, tol=1e-10)
+        assert pre.converged
+        assert pre.iterations < plain.iterations
+
+    def test_perturbed_preconditioner_indefinite(self):
+        # the Section 8 comparator: perturbed RᵀDR preconditioner
+        t = singular_minor_toeplitz(10, seed=8)
+        x_true = np.arange(1.0, 11.0)
+        b = t.dense() @ x_true
+        fact = schur_indefinite_factor(t)
+        res = pcg(t, b, preconditioner=fact, tol=1e-12)
+        assert res.converged
+        assert res.iterations <= 10
+        np.testing.assert_allclose(res.x, x_true, atol=1e-6)
+
+    def test_work_counters(self, rng):
+        t = kms_toeplitz(16, 0.5)
+        fact = schur_spd_factor(t)
+        res = pcg(t, rng.standard_normal(16), preconditioner=fact)
+        assert res.matvecs >= res.iterations
+        assert res.precond_solves >= res.iterations
+
+    def test_zero_rhs(self):
+        t = kms_toeplitz(8, 0.5)
+        res = pcg(t, np.zeros(8))
+        assert res.converged
+        np.testing.assert_allclose(res.x, 0.0)
+
+    def test_max_iter_and_raise(self, rng):
+        t = kms_toeplitz(32, 0.95)
+        b = rng.standard_normal(32)
+        with pytest.raises(ConvergenceError):
+            pcg(t, b, tol=1e-15, max_iter=2, raise_on_fail=True)
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ShapeError):
+            pcg(kms_toeplitz(8, 0.5), np.ones(7))
+
+    def test_residual_history(self, rng):
+        t = kms_toeplitz(24, 0.5)
+        res = pcg(t, rng.standard_normal(24))
+        assert len(res.residual_norms) == res.iterations + 1
+        assert res.residual_norms[-1] < res.residual_norms[0]

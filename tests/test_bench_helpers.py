@@ -1,0 +1,58 @@
+"""Tests for the benchmark-harness helpers."""
+
+import os
+
+import pytest
+
+from repro.bench import bench_scale, format_series, format_table, \
+    write_result
+from repro.bench.runner import full_scale
+
+
+class TestTables:
+    def test_format_table_alignment(self):
+        text = format_table(["a", "bb"], [[1, 2.5], [30, 4]],
+                            title="T")
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert "a" in lines[1] and "bb" in lines[1]
+        assert set(lines[2]) <= {"-", " "}
+        assert len(lines) == 5
+
+    def test_format_table_float_formatting(self):
+        text = format_table(["x"], [[0.123456789]])
+        assert "0.123457" in text
+
+    def test_format_series(self):
+        text = format_series("n", [1, 2], {"t": [0.5, 0.25]})
+        assert "n" in text and "t" in text
+        assert "0.5" in text and "0.25" in text
+
+    def test_write_result(self, tmp_path, capsys):
+        path = write_result("unit", "hello\n", directory=str(tmp_path))
+        assert os.path.exists(path)
+        with open(path) as fh:
+            assert fh.read() == "hello\n"
+        out = capsys.readouterr().out
+        assert "hello" in out
+
+    def test_write_result_no_echo(self, tmp_path, capsys):
+        write_result("unit2", "quiet", directory=str(tmp_path),
+                     echo=False)
+        assert capsys.readouterr().out == ""
+
+
+class TestRunner:
+    def test_default_quick(self, monkeypatch):
+        monkeypatch.delenv("REPRO_BENCH_FULL", raising=False)
+        assert not full_scale()
+        assert bench_scale(10, 100) == 10
+
+    def test_full_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_BENCH_FULL", "1")
+        assert full_scale()
+        assert bench_scale(10, 100) == 100
+
+    def test_explicit_zero_is_quick(self, monkeypatch):
+        monkeypatch.setenv("REPRO_BENCH_FULL", "0")
+        assert not full_scale()

@@ -1,0 +1,148 @@
+"""Tests for the counted BLAS primitives."""
+
+import numpy as np
+import pytest
+
+from repro.blas import primitives as blas
+
+
+class TestCorrectness:
+    def test_dot(self, rng):
+        x, y = rng.standard_normal(10), rng.standard_normal(10)
+        assert blas.dot(x, y) == pytest.approx(float(x @ y))
+
+    def test_axpy_in_place(self, rng):
+        x = rng.standard_normal(8)
+        y = rng.standard_normal(8)
+        expect = y + 2.5 * x
+        out = blas.axpy(2.5, x, y)
+        assert out is y
+        np.testing.assert_allclose(y, expect)
+
+    def test_scal_in_place(self, rng):
+        x = rng.standard_normal(6)
+        expect = 3.0 * x
+        blas.scal(3.0, x)
+        np.testing.assert_allclose(x, expect)
+
+    def test_gemv(self, rng):
+        a = rng.standard_normal((4, 6))
+        x = rng.standard_normal(6)
+        np.testing.assert_allclose(blas.gemv(a, x), a @ x)
+        xt = rng.standard_normal(4)
+        np.testing.assert_allclose(blas.gemv(a, xt, trans=True), a.T @ xt)
+
+    def test_ger_in_place(self, rng):
+        a = rng.standard_normal((3, 4))
+        x, y = rng.standard_normal(3), rng.standard_normal(4)
+        expect = a + 0.5 * np.outer(x, y)
+        blas.ger(0.5, x, y, a)
+        np.testing.assert_allclose(a, expect)
+
+    def test_gemm(self, rng):
+        a = rng.standard_normal((3, 4))
+        b = rng.standard_normal((4, 5))
+        np.testing.assert_allclose(blas.gemm(a, b), a @ b)
+
+    def test_gemm_out_accumulate(self, rng):
+        a = rng.standard_normal((3, 4))
+        b = rng.standard_normal((4, 5))
+        c = rng.standard_normal((3, 5))
+        expect = c + a @ b
+        blas.gemm(a, b, out=c, accumulate=True)
+        np.testing.assert_allclose(c, expect)
+
+    def test_gemm_out_overwrite(self, rng):
+        a = rng.standard_normal((2, 2))
+        b = rng.standard_normal((2, 2))
+        c = np.zeros((2, 2))
+        blas.gemm(a, b, out=c)
+        np.testing.assert_allclose(c, a @ b)
+
+    def test_trsm_lower(self, rng):
+        l = np.tril(rng.standard_normal((4, 4))) + 4 * np.eye(4)
+        b = rng.standard_normal((4, 3))
+        x = blas.trsm_lower(l, b)
+        np.testing.assert_allclose(l @ x, b, atol=1e-10)
+        xt = blas.trsm_lower(l, b, trans=True)
+        np.testing.assert_allclose(l.T @ xt, b, atol=1e-10)
+
+    def test_syrk(self, rng):
+        a = rng.standard_normal((3, 5))
+        np.testing.assert_allclose(blas.syrk(a), a @ a.T)
+
+
+class TestCounting:
+    def test_no_counter_no_charge(self, rng):
+        # must be callable (and uncounted) outside a counting scope
+        blas.dot(rng.standard_normal(4), rng.standard_normal(4))
+        assert blas.active_counter() is None
+
+    def test_dot_count(self, rng):
+        with blas.counting() as c:
+            blas.dot(rng.standard_normal(10), rng.standard_normal(10))
+        assert c.total == 19
+
+    def test_gemm_count(self, rng):
+        with blas.counting() as c:
+            blas.gemm(rng.standard_normal((2, 3)),
+                      rng.standard_normal((3, 4)))
+        assert c.total == 2 * 2 * 4 * 3
+
+    def test_nested_counters_both_charged(self, rng):
+        x = rng.standard_normal(5)
+        with blas.counting() as outer:
+            blas.dot(x, x)
+            with blas.counting() as inner:
+                blas.dot(x, x)
+        assert inner.total == 9
+        assert outer.total == 18
+
+    def test_categories(self, rng):
+        x = rng.standard_normal(4)
+        with blas.counting() as c:
+            with blas.category("phase-a"):
+                blas.dot(x, x)
+            with blas.category("phase-b"):
+                blas.scal(2.0, x)
+        assert c.by_category["phase-a"] == 7
+        assert c.by_category["phase-b"] == 4
+
+    def test_by_primitive(self, rng):
+        x = rng.standard_normal(4)
+        with blas.counting() as c:
+            blas.dot(x, x)
+            blas.scal(1.5, x)
+        assert c.by_primitive["dot"] == 7
+        assert c.by_primitive["scal"] == 4
+
+    def test_reset(self, rng):
+        x = rng.standard_normal(4)
+        with blas.counting() as c:
+            blas.dot(x, x)
+            c.reset()
+            assert c.total == 0
+            assert c.by_category == {}
+
+    def test_explicit_counter_reuse(self, rng):
+        c = blas.FlopCounter()
+        x = rng.standard_normal(4)
+        with blas.counting(c):
+            blas.dot(x, x)
+        with blas.counting(c):
+            blas.dot(x, x)
+        assert c.total == 14
+
+    def test_charge_direct(self):
+        with blas.counting() as c:
+            blas.charge(123, "custom")
+        assert c.total == 123
+        assert c.by_primitive["custom"] == 123
+
+    def test_counter_stack_restored_on_error(self, rng):
+        try:
+            with blas.counting():
+                raise RuntimeError("boom")
+        except RuntimeError:
+            pass
+        assert blas.active_counter() is None

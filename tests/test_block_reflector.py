@@ -1,0 +1,223 @@
+"""Tests for the block representations of reflector products
+(Section 4, Lemmas 4.0.1–4.0.3)."""
+
+import numpy as np
+import pytest
+
+from repro.core.block_reflector import (
+    REPRESENTATIONS,
+    make_accumulator,
+)
+from repro.core.hyperbolic import HyperbolicHouseholder
+from repro.core.signature import (
+    hyperbolic_norm_squared,
+    signature_matrix,
+    signature_vector,
+)
+from repro.errors import ShapeError
+
+
+def _random_reflectors(w, k, seed=0):
+    """k random hyperbolic reflectors for signature w."""
+    rng = np.random.default_rng(seed)
+    n = w.shape[0]
+    out = []
+    while len(out) < k:
+        x = rng.standard_normal(n)
+        if abs(hyperbolic_norm_squared(x, w)) > 0.3:
+            out.append(HyperbolicHouseholder(x, w))
+    return out
+
+
+def _explicit_product(reflectors, n):
+    """U_k ⋯ U_1 multiplied out densely."""
+    u = np.eye(n)
+    for refl in reflectors:
+        u = refl.matrix() @ u
+    return u
+
+
+W4 = signature_vector([1, 1, -1, -1])
+W6 = signature_vector([1, 1, 1, -1, -1, -1])
+WMIX = signature_vector([1, -1, 1, -1])
+
+
+class TestAccumulatorsMatchProduct:
+    @pytest.mark.parametrize("rep", REPRESENTATIONS)
+    @pytest.mark.parametrize("k", [1, 2, 3, 4])
+    def test_matrix_equals_explicit_product(self, rep, k):
+        reflectors = _random_reflectors(W4, k, seed=k)
+        acc = make_accumulator(rep, W4)
+        for refl in reflectors:
+            acc.append(refl)
+        u = acc.finish()
+        np.testing.assert_allclose(u.matrix(),
+                                   _explicit_product(reflectors, 4),
+                                   atol=1e-9)
+
+    @pytest.mark.parametrize("rep", REPRESENTATIONS)
+    def test_larger_window(self, rep):
+        reflectors = _random_reflectors(W6, 5, seed=9)
+        acc = make_accumulator(rep, W6)
+        for refl in reflectors:
+            acc.append(refl)
+        np.testing.assert_allclose(acc.finish().matrix(),
+                                   _explicit_product(reflectors, 6),
+                                   atol=1e-8)
+
+    @pytest.mark.parametrize("rep", REPRESENTATIONS)
+    def test_mixed_signature(self, rep):
+        reflectors = _random_reflectors(WMIX, 3, seed=11)
+        acc = make_accumulator(rep, WMIX)
+        for refl in reflectors:
+            acc.append(refl)
+        np.testing.assert_allclose(acc.finish().matrix(),
+                                   _explicit_product(reflectors, 4),
+                                   atol=1e-9)
+
+    def test_representations_agree_pairwise(self):
+        reflectors = _random_reflectors(W4, 3, seed=13)
+        mats = {}
+        for rep in REPRESENTATIONS:
+            acc = make_accumulator(rep, W4)
+            for refl in reflectors:
+                acc.append(refl)
+            mats[rep] = acc.finish().matrix()
+        base = mats["unblocked"]
+        for rep, mat in mats.items():
+            np.testing.assert_allclose(mat, base, atol=1e-9,
+                                       err_msg=f"{rep} disagrees")
+
+
+class TestWUnitarity:
+    @pytest.mark.parametrize("rep", REPRESENTATIONS)
+    def test_product_is_w_unitary(self, rep):
+        reflectors = _random_reflectors(W4, 4, seed=17)
+        acc = make_accumulator(rep, W4)
+        for refl in reflectors:
+            acc.append(refl)
+        u = acc.finish().matrix()
+        wmat = signature_matrix(W4)
+        np.testing.assert_allclose(u.T @ wmat @ u, wmat, atol=1e-8)
+
+
+class TestApplication:
+    @pytest.mark.parametrize("rep", REPRESENTATIONS)
+    def test_apply_left_matches_matrix(self, rep, rng):
+        reflectors = _random_reflectors(W4, 3, seed=19)
+        acc = make_accumulator(rep, W4)
+        for refl in reflectors:
+            acc.append(refl)
+        u = acc.finish()
+        a = rng.standard_normal((4, 7))
+        np.testing.assert_allclose(u.apply_left(a), u.matrix() @ a,
+                                   atol=1e-9)
+
+    @pytest.mark.parametrize("rep", REPRESENTATIONS)
+    def test_apply_left_vector(self, rep, rng):
+        reflectors = _random_reflectors(W4, 2, seed=23)
+        acc = make_accumulator(rep, W4)
+        for refl in reflectors:
+            acc.append(refl)
+        u = acc.finish()
+        v = rng.standard_normal(4)
+        np.testing.assert_allclose(u.apply_left(v), u.matrix() @ v,
+                                   atol=1e-10)
+
+    @pytest.mark.parametrize("rep", REPRESENTATIONS)
+    def test_apply_left_out_aliasing(self, rep, rng):
+        reflectors = _random_reflectors(W4, 3, seed=29)
+        acc = make_accumulator(rep, W4)
+        for refl in reflectors:
+            acc.append(refl)
+        u = acc.finish()
+        a = rng.standard_normal((4, 5))
+        expect = u.matrix() @ a
+        u.apply_left(a, out=a)
+        np.testing.assert_allclose(a, expect, atol=1e-9)
+
+    @pytest.mark.parametrize("rep", REPRESENTATIONS)
+    def test_apply_pair_matches_stacked(self, rep, rng):
+        reflectors = _random_reflectors(W6, 4, seed=31)
+        acc = make_accumulator(rep, W6)
+        for refl in reflectors:
+            acc.append(refl)
+        u = acc.finish()
+        upper = rng.standard_normal((3, 8))
+        lower = rng.standard_normal((3, 8))
+        expect = u.matrix() @ np.vstack([upper, lower])
+        u.apply_pair(upper, lower)
+        np.testing.assert_allclose(upper, expect[:3], atol=1e-9)
+        np.testing.assert_allclose(lower, expect[3:], atol=1e-9)
+
+    def test_apply_pair_shape_mismatch(self):
+        reflectors = _random_reflectors(W4, 2, seed=37)
+        acc = make_accumulator("vy2", W4)
+        for refl in reflectors:
+            acc.append(refl)
+        u = acc.finish()
+        with pytest.raises(ShapeError):
+            u.apply_pair(np.ones((3, 4)), np.ones((2, 4)))
+
+    def test_apply_left_row_mismatch(self):
+        reflectors = _random_reflectors(W4, 1, seed=41)
+        acc = make_accumulator("yty", W4)
+        acc.append(reflectors[0])
+        u = acc.finish()
+        with pytest.raises(ShapeError):
+            u.apply_left(np.ones((5, 2)))
+
+
+class TestAccumulatorValidation:
+    def test_unknown_representation(self):
+        with pytest.raises(ShapeError):
+            make_accumulator("wxyz", W4)
+
+    def test_signature_mismatch_rejected(self):
+        refl = _random_reflectors(W4, 1, seed=43)[0]
+        acc = make_accumulator("vy1", WMIX)
+        with pytest.raises(ShapeError):
+            acc.append(refl)
+
+    def test_size_mismatch_rejected(self):
+        refl = _random_reflectors(W6, 1, seed=47)[0]
+        acc = make_accumulator("vy2", W4)
+        with pytest.raises(ShapeError):
+            acc.append(refl)
+
+    def test_k_counter(self):
+        reflectors = _random_reflectors(W4, 3, seed=53)
+        acc = make_accumulator("yty", W4)
+        for i, refl in enumerate(reflectors, start=1):
+            acc.append(refl)
+            assert acc.k == i
+
+
+class TestStructuralShapes:
+    def test_vy_factor_shapes(self):
+        reflectors = _random_reflectors(W6, 4, seed=59)
+        for rep in ("vy1", "vy2"):
+            acc = make_accumulator(rep, W6)
+            for refl in reflectors:
+                acc.append(refl)
+            u = acc.finish()
+            assert u.v.shape == (6, 4)
+            assert u.y.shape == (6, 4)
+
+    def test_yty_factor_shapes(self):
+        reflectors = _random_reflectors(W6, 4, seed=61)
+        acc = make_accumulator("yty", W6)
+        for refl in reflectors:
+            acc.append(refl)
+        u = acc.finish()
+        assert u.y.shape == (6, 4)
+        assert u.t.shape == (4, 4)
+
+    def test_yty_t_is_lower_triangular(self):
+        # Lemma 4.0.3: T_k is lower triangular by construction.
+        reflectors = _random_reflectors(W6, 5, seed=67)
+        acc = make_accumulator("yty", W6)
+        for refl in reflectors:
+            acc.append(refl)
+        t = acc.finish().t
+        np.testing.assert_allclose(np.triu(t, k=1), 0.0)

@@ -1,0 +1,257 @@
+"""Tests for the block Toeplitz matrix classes."""
+
+import numpy as np
+import pytest
+
+from repro.errors import NotBlockToeplitzError, ShapeError
+from repro.toeplitz import (
+    BlockToeplitz,
+    SymmetricBlockToeplitz,
+    from_dense,
+    symmetric_from_dense,
+)
+
+
+def _random_sym(p, m, seed=0):
+    rng = np.random.default_rng(seed)
+    blocks = [rng.standard_normal((m, m)) for _ in range(p)]
+    blocks[0] = blocks[0] + blocks[0].T
+    return SymmetricBlockToeplitz(blocks)
+
+
+class TestSymmetricConstruction:
+    def test_basic_properties(self):
+        t = _random_sym(5, 3)
+        assert t.block_size == 3
+        assert t.num_blocks == 5
+        assert t.order == 15
+        assert t.shape == (15, 15)
+
+    def test_from_first_row_scalar(self):
+        t = SymmetricBlockToeplitz.from_first_row([2.0, 1.0, 0.5])
+        assert t.block_size == 1
+        assert t.order == 3
+        d = t.dense()
+        expect = np.array([[2, 1, .5], [1, 2, 1], [.5, 1, 2]])
+        np.testing.assert_allclose(d, expect)
+
+    def test_identity(self):
+        t = SymmetricBlockToeplitz.identity(4, 2)
+        np.testing.assert_allclose(t.dense(), np.eye(8))
+
+    def test_requires_symmetric_diagonal_block(self):
+        blocks = [np.array([[1.0, 2.0], [3.0, 4.0]]), np.eye(2)]
+        with pytest.raises(NotBlockToeplitzError):
+            SymmetricBlockToeplitz(blocks)
+
+    def test_nonsquare_block_rejected(self):
+        with pytest.raises(ShapeError):
+            SymmetricBlockToeplitz([np.ones((2, 3))])
+
+    def test_mismatched_block_sizes_rejected(self):
+        with pytest.raises(ShapeError):
+            SymmetricBlockToeplitz([np.eye(2), np.eye(3)])
+
+    def test_empty_rejected(self):
+        with pytest.raises(ShapeError):
+            SymmetricBlockToeplitz([])
+
+    def test_nonfinite_rejected(self):
+        with pytest.raises(ShapeError):
+            SymmetricBlockToeplitz([np.array([[np.nan]])])
+
+    def test_blocks_are_read_only(self):
+        t = _random_sym(3, 2)
+        with pytest.raises(ValueError):
+            t.top_blocks[0, 0, 0] = 99.0
+
+
+class TestSymmetricStructure:
+    def test_dense_is_symmetric(self):
+        t = _random_sym(6, 3, seed=3)
+        d = t.dense()
+        np.testing.assert_allclose(d, d.T)
+
+    def test_dense_is_block_toeplitz(self):
+        t = _random_sym(6, 2, seed=4)
+        d = t.dense()
+        m = 2
+        for i in range(5):
+            np.testing.assert_allclose(
+                d[i * m:(i + 1) * m, (i + 1) * m:(i + 2) * m],
+                d[:m, m:2 * m])
+
+    def test_block_accessor_matches_dense(self):
+        t = _random_sym(5, 3, seed=5)
+        d = t.dense()
+        m = 3
+        for i in range(5):
+            for j in range(5):
+                np.testing.assert_allclose(
+                    t.block(i, j), d[i * m:(i + 1) * m, j * m:(j + 1) * m])
+
+    def test_block_index_out_of_range(self):
+        t = _random_sym(3, 2)
+        with pytest.raises(IndexError):
+            t.block(3, 0)
+        with pytest.raises(IndexError):
+            t.block(0, -1)
+
+    def test_scalar_entry(self):
+        t = _random_sym(4, 3, seed=6)
+        d = t.dense()
+        for i in (0, 5, 11):
+            for j in (0, 3, 7):
+                assert t.scalar_entry(i, j) == pytest.approx(d[i, j])
+
+    def test_row_strip(self):
+        t = _random_sym(5, 3, seed=7)
+        d = t.dense()
+        np.testing.assert_allclose(t.row_strip(7), d[:7])
+
+    def test_row_strip_bounds(self):
+        t = _random_sym(3, 2)
+        with pytest.raises(ShapeError):
+            t.row_strip(0)
+        with pytest.raises(ShapeError):
+            t.row_strip(7)
+
+    def test_first_scalar_row(self):
+        t = _random_sym(4, 2, seed=8)
+        np.testing.assert_allclose(t.first_scalar_row(), t.dense()[0])
+
+    def test_leading(self):
+        t = _random_sym(6, 2, seed=9)
+        lead = t.leading(3)
+        np.testing.assert_allclose(lead.dense(), t.dense()[:6, :6])
+
+    def test_leading_bounds(self):
+        t = _random_sym(3, 2)
+        with pytest.raises(ShapeError):
+            t.leading(0)
+        with pytest.raises(ShapeError):
+            t.leading(4)
+
+
+class TestRegroup:
+    def test_regroup_preserves_matrix(self):
+        t = _random_sym(8, 2, seed=10)
+        for ms in (2, 4, 8):
+            tr = t.regroup(ms)
+            assert tr.block_size == ms
+            np.testing.assert_allclose(tr.dense(), t.dense())
+
+    def test_regroup_scalar(self):
+        t = SymmetricBlockToeplitz.from_first_row(
+            np.random.default_rng(0).standard_normal(12))
+        tr = t.regroup(3)
+        np.testing.assert_allclose(tr.dense(), t.dense())
+
+    def test_regroup_same_size_is_identity(self):
+        t = _random_sym(4, 2)
+        assert t.regroup(2) is t
+
+    def test_regroup_invalid(self):
+        t = _random_sym(8, 2)
+        with pytest.raises(ShapeError):
+            t.regroup(3)   # not a multiple of m
+        with pytest.raises(ShapeError):
+            t.regroup(5)
+        with pytest.raises(ShapeError):
+            t.regroup(-2)
+
+    def test_regroup_nondividing(self):
+        t = _random_sym(6, 2)   # n = 12
+        with pytest.raises(ShapeError):
+            t.regroup(8)        # 8 does not divide 12
+
+
+class TestArithmetic:
+    def test_add_diagonal(self):
+        t = _random_sym(4, 3, seed=11)
+        t2 = t.add_diagonal(2.5)
+        np.testing.assert_allclose(t2.dense(), t.dense() + 2.5 * np.eye(12))
+
+    def test_scaled(self):
+        t = _random_sym(4, 2, seed=12)
+        np.testing.assert_allclose(t.scaled(-3.0).dense(), -3.0 * t.dense())
+
+    def test_matmul_operator(self):
+        t = _random_sym(5, 2, seed=13)
+        x = np.arange(10, dtype=float)
+        np.testing.assert_allclose(t @ x, t.dense() @ x, atol=1e-10)
+
+
+class TestGeneralBlockToeplitz:
+    def _random_general(self, p, m, seed=0):
+        rng = np.random.default_rng(seed)
+        col = [rng.standard_normal((m, m)) for _ in range(p)]
+        row = [col[0]] + [rng.standard_normal((m, m)) for _ in range(p - 1)]
+        return BlockToeplitz(col, row)
+
+    def test_dense_structure(self):
+        t = self._random_general(5, 2, seed=1)
+        d = t.dense()
+        m = 2
+        for i in range(4):
+            np.testing.assert_allclose(
+                d[(i + 1) * m:(i + 2) * m, i * m:(i + 1) * m],
+                d[m:2 * m, :m])
+
+    def test_corner_mismatch_rejected(self):
+        with pytest.raises(NotBlockToeplitzError):
+            BlockToeplitz([np.eye(2)], [2 * np.eye(2)])
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ShapeError):
+            BlockToeplitz([np.eye(2), np.eye(2)], [np.eye(2)])
+
+    def test_from_symmetric(self):
+        s = _random_sym(4, 3, seed=14)
+        g = BlockToeplitz.from_symmetric(s)
+        np.testing.assert_allclose(g.dense(), s.dense())
+
+    def test_matvec(self):
+        t = self._random_general(6, 3, seed=2)
+        x = np.random.default_rng(3).standard_normal(18)
+        np.testing.assert_allclose(t.matvec(x), t.dense() @ x, atol=1e-10)
+
+    def test_block_accessor(self):
+        t = self._random_general(4, 2, seed=4)
+        d = t.dense()
+        for i in range(4):
+            for j in range(4):
+                np.testing.assert_allclose(
+                    t.block(i, j), d[i * 2:(i + 1) * 2, j * 2:(j + 1) * 2])
+
+
+class TestFromDense:
+    def test_round_trip_symmetric(self):
+        t = _random_sym(5, 2, seed=15)
+        t2 = symmetric_from_dense(t.dense(), 2)
+        np.testing.assert_allclose(t2.dense(), t.dense())
+
+    def test_round_trip_general(self):
+        rng = np.random.default_rng(16)
+        col = [rng.standard_normal((2, 2)) for _ in range(4)]
+        row = [col[0]] + [rng.standard_normal((2, 2)) for _ in range(3)]
+        t = BlockToeplitz(col, row)
+        t2 = from_dense(t.dense(), 2)
+        np.testing.assert_allclose(t2.dense(), t.dense())
+
+    def test_non_toeplitz_rejected(self):
+        rng = np.random.default_rng(17)
+        a = rng.standard_normal((6, 6))
+        a = a + a.T
+        with pytest.raises(NotBlockToeplitzError):
+            symmetric_from_dense(a, 2)
+
+    def test_nonsymmetric_rejected(self):
+        t = self_general = np.triu(np.ones((6, 6)))
+        with pytest.raises(NotBlockToeplitzError):
+            symmetric_from_dense(self_general, 2)
+
+    def test_wrong_block_size_rejected(self):
+        t = _random_sym(4, 2, seed=18)
+        with pytest.raises(ShapeError):
+            symmetric_from_dense(t.dense(), 3)

@@ -1,0 +1,119 @@
+"""Tests for convolution operators and structured least squares."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ShapeError
+from repro.toeplitz.convolution import ConvolutionOperator, toeplitz_lstsq
+
+
+def _scalar_op(n_in=12, taps=(1.0, 0.5, 0.2)):
+    return ConvolutionOperator(np.array(taps), n_in)
+
+
+def _mimo_op(n_in=9, seed=0, m=2, L=4):
+    rng = np.random.default_rng(seed)
+    h = rng.standard_normal((L, m, m))
+    h[0] += 2 * np.eye(m)
+    return ConvolutionOperator(h, n_in)
+
+
+class TestOperator:
+    def test_shapes(self):
+        op = _scalar_op()
+        assert op.shape == (14, 12)
+        op = _mimo_op()
+        assert op.shape == (24, 18)
+
+    def test_matvec_matches_dense(self, rng):
+        for op in (_scalar_op(), _mimo_op()):
+            d = op.dense()
+            x = rng.standard_normal(op.shape[1])
+            np.testing.assert_allclose(op.matvec(x), d @ x, atol=1e-12)
+
+    def test_rmatvec_matches_dense(self, rng):
+        for op in (_scalar_op(), _mimo_op()):
+            d = op.dense()
+            y = rng.standard_normal(op.shape[0])
+            np.testing.assert_allclose(op.rmatvec(y), d.T @ y,
+                                       atol=1e-12)
+
+    def test_multi_column(self, rng):
+        op = _mimo_op()
+        x = rng.standard_normal((op.shape[1], 3))
+        np.testing.assert_allclose(op.matvec(x), op.dense() @ x,
+                                   atol=1e-12)
+
+    def test_normal_matrix_exact(self):
+        for op in (_scalar_op(), _mimo_op(), _mimo_op(seed=3, m=3, L=2)):
+            d = op.dense()
+            np.testing.assert_allclose(op.normal_matrix().dense(),
+                                       d.T @ d, atol=1e-11)
+
+    def test_normal_matrix_spd(self):
+        op = _mimo_op()
+        eig = np.linalg.eigvalsh(op.normal_matrix().dense())
+        assert eig[0] > 0
+
+    def test_short_filter_zero_padding(self):
+        # L < n_in: the normal matrix is banded (zero blocks beyond L)
+        op = _scalar_op(n_in=10, taps=(1.0, 0.4))
+        a = op.normal_matrix()
+        row = a.first_scalar_row()
+        np.testing.assert_allclose(row[2:], 0.0)
+
+    def test_validation(self):
+        with pytest.raises(ShapeError):
+            ConvolutionOperator(np.zeros(3), 5)
+        with pytest.raises(ShapeError):
+            ConvolutionOperator(np.ones((2, 2, 3)), 5)
+        with pytest.raises(ShapeError):
+            ConvolutionOperator(np.ones(3), 0)
+        op = _scalar_op()
+        with pytest.raises(ShapeError):
+            op.matvec(np.ones(5))
+        with pytest.raises(ShapeError):
+            op.rmatvec(np.ones(5))
+
+
+class TestLeastSquares:
+    def test_matches_lstsq_scalar(self, rng):
+        op = _scalar_op(n_in=20)
+        d = op.dense()
+        x_true = rng.standard_normal(20)
+        y = d @ x_true + 0.01 * rng.standard_normal(d.shape[0])
+        x = toeplitz_lstsq(np.array([1.0, 0.5, 0.2]), y, 20)
+        ref, *_ = np.linalg.lstsq(d, y, rcond=None)
+        np.testing.assert_allclose(x, ref, atol=1e-9)
+
+    def test_matches_lstsq_mimo(self, rng):
+        op = _mimo_op(n_in=12, seed=5)
+        d = op.dense()
+        y = rng.standard_normal(d.shape[0])
+        x = toeplitz_lstsq(op.taps, y, 12)
+        ref, *_ = np.linalg.lstsq(d, y, rcond=None)
+        np.testing.assert_allclose(x, ref, atol=1e-8)
+
+    def test_exact_data_recovers_input(self, rng):
+        op = _scalar_op(n_in=16)
+        x_true = rng.standard_normal(16)
+        y = op.matvec(x_true)
+        x = toeplitz_lstsq(np.array([1.0, 0.5, 0.2]), y, 16)
+        np.testing.assert_allclose(x, x_true, atol=1e-10)
+
+    def test_refinement_helps_conditioning(self, rng):
+        # near-common-zero filter → badly conditioned normal equations
+        taps = np.array([1.0, -1.99, 0.99])
+        op = ConvolutionOperator(taps, 48)
+        d = op.dense()
+        x_true = rng.standard_normal(48)
+        y = d @ x_true
+        x0 = toeplitz_lstsq(taps, y, 48, refine_steps=0)
+        x2 = toeplitz_lstsq(taps, y, 48, refine_steps=2)
+        e0 = np.linalg.norm(x0 - x_true)
+        e2 = np.linalg.norm(x2 - x_true)
+        assert e2 <= e0 * 1.01
+
+    def test_rhs_shape(self):
+        with pytest.raises(ShapeError):
+            toeplitz_lstsq(np.array([1.0, 0.3]), np.ones(7), 5)

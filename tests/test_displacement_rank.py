@@ -1,0 +1,143 @@
+"""Tests for the generalized (arbitrary displacement rank) Schur
+factorization."""
+
+import numpy as np
+import pytest
+
+from repro.core.displacement_rank import (
+    displacement_rank,
+    generalized_schur_factor,
+    generator_from_dense,
+    matrix_from_generator,
+    scalar_displacement,
+)
+from repro.core.schur_spd import schur_spd_factor
+from repro.errors import BreakdownError, ShapeError, SingularMinorError
+from repro.toeplitz import indefinite_toeplitz, kms_toeplitz
+
+
+def _low_rank_matrix(n, alpha, seed, *, spd=True):
+    """Random symmetric matrix with displacement rank ≤ alpha (+1)."""
+    rng = np.random.default_rng(seed)
+    g = rng.standard_normal((alpha, n))
+    w = np.array([1, -1] * (alpha // 2) + [1] * (alpha % 2),
+                 dtype=np.int8)
+    a0 = matrix_from_generator(g, w)
+    if spd:
+        lam = np.linalg.eigvalsh(a0)
+        return a0 + (abs(lam[0]) + 1.0) * np.eye(n)
+    return a0
+
+
+class TestDisplacementUtilities:
+    def test_scalar_displacement_definition(self, rng):
+        a = rng.standard_normal((6, 6))
+        a = a + a.T
+        z = np.eye(6, k=1)
+        np.testing.assert_allclose(scalar_displacement(a),
+                                   a - z.T @ a @ z, atol=1e-12)
+
+    def test_toeplitz_has_rank_two(self):
+        assert displacement_rank(kms_toeplitz(16, 0.5).dense()) == 2
+
+    def test_identity_has_rank_one(self):
+        assert displacement_rank(np.eye(8)) == 1
+
+    def test_generic_matrix_full_rank(self, rng):
+        a = rng.standard_normal((8, 8))
+        a = a @ a.T + 8 * np.eye(8)
+        assert displacement_rank(a) == 8
+
+    def test_generator_round_trip(self, rng):
+        a = _low_rank_matrix(12, 4, 1)
+        g, w = generator_from_dense(a)
+        assert g.shape[0] == displacement_rank(a)
+        np.testing.assert_allclose(matrix_from_generator(g, w), a,
+                                   atol=1e-9)
+
+    def test_generator_signature_ordering(self):
+        g, w = generator_from_dense(kms_toeplitz(10, 0.5).dense())
+        # positive rows first
+        assert w[0] == 1
+        assert np.all(np.diff(w.astype(int)) <= 0)
+
+    def test_nonsymmetric_rejected(self, rng):
+        with pytest.raises(ShapeError):
+            generator_from_dense(rng.standard_normal((4, 4)))
+
+    def test_generator_shape_mismatch(self):
+        with pytest.raises(ShapeError):
+            matrix_from_generator(np.ones((2, 4)), [1, -1, 1])
+
+
+class TestGeneralizedFactorization:
+    def test_toeplitz_matches_block_schur(self):
+        t = kms_toeplitz(20, 0.6)
+        g, w = generator_from_dense(t.dense())
+        f = generalized_schur_factor(g, w)
+        ref = schur_spd_factor(t)
+        np.testing.assert_allclose(f.r, ref.r, atol=1e-9)
+        np.testing.assert_array_equal(f.d, np.ones(20))
+
+    @pytest.mark.parametrize("alpha", [2, 3, 4, 6])
+    def test_spd_low_displacement_rank(self, alpha):
+        a = _low_rank_matrix(14, alpha, alpha * 11)
+        g, w = generator_from_dense(a)
+        f = generalized_schur_factor(g, w)
+        np.testing.assert_allclose(f.reconstruct(), a,
+                                   atol=1e-9 * np.linalg.norm(a))
+        assert np.all(np.diag(f.r) > 0)
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_indefinite_low_displacement_rank(self, seed):
+        a = _low_rank_matrix(10, 4, seed + 50, spd=False)
+        # skip degenerate draws with singular leading minors
+        mins = [np.linalg.det(a[:k, :k]) for k in range(1, 11)]
+        if min(abs(m) for m in mins) < 1e-6:
+            pytest.skip("degenerate draw")
+        g, w = generator_from_dense(a)
+        f = generalized_schur_factor(g, w)
+        growth = max(1.0, np.linalg.norm(f.r) ** 2)
+        np.testing.assert_allclose(f.reconstruct(), a,
+                                   atol=1e-11 * growth)
+        eig = np.linalg.eigvalsh(a)
+        assert int(np.sum(f.d > 0)) == int(np.sum(eig > 0))
+
+    def test_solve(self, rng):
+        a = _low_rank_matrix(12, 4, 7)
+        g, w = generator_from_dense(a)
+        f = generalized_schur_factor(g, w)
+        b = rng.standard_normal(12)
+        np.testing.assert_allclose(a @ f.solve(b), b, atol=1e-8)
+
+    def test_indefinite_scalar_toeplitz(self, rng):
+        t = indefinite_toeplitz(11, seed=13)
+        g, w = generator_from_dense(t.dense())
+        f = generalized_schur_factor(g, w)
+        growth = max(1.0, np.linalg.norm(f.r) ** 2)
+        np.testing.assert_allclose(f.reconstruct(), t.dense(),
+                                   atol=1e-10 * growth)
+        assert f.interchange_count >= 0
+
+    def test_singular_minor_detected(self):
+        from repro.toeplitz import paper_example_matrix
+        g, w = generator_from_dense(paper_example_matrix().dense())
+        with pytest.raises(SingularMinorError):
+            generalized_schur_factor(g, w)
+
+    def test_width_mismatch(self):
+        g, w = generator_from_dense(kms_toeplitz(8, 0.5).dense())
+        with pytest.raises(ShapeError):
+            generalized_schur_factor(g, w, n=10)
+
+    def test_input_generator_not_mutated(self):
+        g, w = generator_from_dense(kms_toeplitz(8, 0.5).dense())
+        snap = g.copy()
+        generalized_schur_factor(g, w)
+        np.testing.assert_array_equal(g, snap)
+
+    def test_displacement_rank_recorded(self):
+        a = _low_rank_matrix(10, 4, 3)
+        g, w = generator_from_dense(a)
+        f = generalized_schur_factor(g, w)
+        assert f.displacement_rank == g.shape[0]

@@ -1,0 +1,106 @@
+"""Tests for the Version 1/2/3 data-distribution layouts."""
+
+import pytest
+
+from repro.errors import DistributionError
+from repro.parallel.distributions import (
+    BlockCyclicLayout,
+    SpreadLayout,
+    make_layout,
+)
+
+
+class TestBlockCyclic:
+    def test_version1_ownership(self):
+        lay = BlockCyclicLayout(nproc=4, group_size=1)
+        assert lay.version == 1
+        assert [lay.owner(j) for j in range(8)] == [0, 1, 2, 3, 0, 1, 2, 3]
+
+    def test_version2_ownership(self):
+        lay = BlockCyclicLayout(nproc=3, group_size=2)
+        assert lay.version == 2
+        assert [lay.owner(j) for j in range(8)] == [0, 0, 1, 1, 2, 2, 0, 0]
+
+    def test_blocks_partition(self):
+        lay = BlockCyclicLayout(nproc=4, group_size=3)
+        p = 26
+        seen = []
+        for r in range(4):
+            mine = lay.blocks_of(r, p)
+            assert mine == sorted(mine)
+            seen.extend(mine)
+        assert sorted(seen) == list(range(p))
+
+    def test_shift_crossings_version1(self):
+        lay = BlockCyclicLayout(nproc=4, group_size=1)
+        # every consecutive pair crosses
+        assert lay.shift_crossings(10, 0) == 9
+
+    def test_shift_crossings_version2(self):
+        lay = BlockCyclicLayout(nproc=4, group_size=4)
+        # one crossing per group boundary
+        assert lay.shift_crossings(16, 0) == 3
+
+    def test_invalid_params(self):
+        with pytest.raises(DistributionError):
+            BlockCyclicLayout(nproc=0)
+        with pytest.raises(DistributionError):
+            BlockCyclicLayout(nproc=2, group_size=0)
+        with pytest.raises(DistributionError):
+            BlockCyclicLayout(nproc=2).owner(-1)
+
+
+class TestSpread:
+    def test_ownership_adjacent(self):
+        lay = SpreadLayout(nproc=8, spread=2)
+        assert lay.owner(0, 0) == 0
+        assert lay.owner(0, 1) == 1
+        assert lay.owner(1, 0) == 2
+        assert lay.owner(4, 1) == 1  # wraps
+
+    def test_chunks_partition(self):
+        lay = SpreadLayout(nproc=6, spread=3)
+        p = 7
+        seen = []
+        for r in range(6):
+            mine = lay.chunks_of(r, p)
+            assert mine == sorted(mine)
+            seen.extend(mine)
+        assert sorted(seen) == [(j, c) for j in range(p) for c in range(3)]
+
+    def test_chunk_width(self):
+        lay = SpreadLayout(nproc=4, spread=4)
+        assert lay.chunk_width(8) == 2
+        with pytest.raises(DistributionError):
+            lay.chunk_width(6)
+
+    def test_invalid_params(self):
+        with pytest.raises(DistributionError):
+            SpreadLayout(nproc=4, spread=0)
+        with pytest.raises(DistributionError):
+            SpreadLayout(nproc=4, spread=5)
+        with pytest.raises(DistributionError):
+            SpreadLayout(nproc=4, spread=2).owner(0, 2)
+
+
+class TestMakeLayout:
+    def test_b_one_is_version1(self):
+        lay = make_layout(4, b=1)
+        assert isinstance(lay, BlockCyclicLayout)
+        assert lay.group_size == 1
+
+    def test_b_integer_is_version2(self):
+        lay = make_layout(4, b=8)
+        assert isinstance(lay, BlockCyclicLayout)
+        assert lay.group_size == 8
+
+    def test_b_fraction_is_version3(self):
+        lay = make_layout(8, b=0.25)
+        assert isinstance(lay, SpreadLayout)
+        assert lay.spread == 4
+
+    def test_invalid_b(self):
+        with pytest.raises(DistributionError):
+            make_layout(4, b=1.5)
+        with pytest.raises(DistributionError):
+            make_layout(4, b=0.3)

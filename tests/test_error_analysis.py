@@ -1,0 +1,77 @@
+"""Tests for the executable §8.1 error analysis."""
+
+import numpy as np
+import pytest
+
+from repro.core.error_analysis import estimate_gamma, refinement_forecast
+from repro.core.refinement import refine
+from repro.core.schur_indefinite import schur_indefinite_factor
+from repro.core.schur_spd import schur_spd_factor
+from repro.errors import ShapeError
+from repro.toeplitz import (
+    kms_toeplitz,
+    paper_example_matrix,
+    singular_minor_toeplitz,
+)
+
+
+class TestGammaEstimate:
+    def test_paper_example_magnitude(self):
+        # paper: ‖δT·T⁻¹‖ ≈ 2.9e−5 at δ = 1e−5
+        t = paper_example_matrix()
+        fact = schur_indefinite_factor(t, delta=1e-5)
+        gamma = estimate_gamma(fact, t)
+        assert 1e-6 < gamma < 1e-3
+
+    def test_exact_factorization_gamma_tiny(self):
+        t = kms_toeplitz(20, 0.5)
+        fact = schur_spd_factor(t)
+        assert estimate_gamma(fact, t) < 1e-10
+
+    def test_scales_with_delta(self):
+        t = paper_example_matrix()
+        g_small = estimate_gamma(
+            schur_indefinite_factor(t, delta=1e-7), t)
+        g_large = estimate_gamma(
+            schur_indefinite_factor(t, delta=1e-3), t)
+        assert g_small < g_large
+
+    def test_order_mismatch(self):
+        t = kms_toeplitz(8, 0.5)
+        fact = schur_spd_factor(kms_toeplitz(10, 0.5))
+        with pytest.raises(ShapeError):
+            estimate_gamma(fact, t)
+
+
+class TestForecast:
+    def test_paper_example_steps(self):
+        # γ ≈ ∛ε ⇒ ≈ 3 refinement steps (§8.2's analysis)
+        t = paper_example_matrix()
+        fact = schur_indefinite_factor(t)
+        fc = refinement_forecast(fact, t)
+        assert fc.will_converge
+        assert 2 <= fc.predicted_steps <= 6
+
+    def test_forecast_tracks_actual(self):
+        for seed in range(3):
+            t = singular_minor_toeplitz(12, seed=seed)
+            fact = schur_indefinite_factor(t)
+            fc = refinement_forecast(fact, t)
+            b = t.dense() @ np.ones(12)
+            res = refine(fact, t, b)
+            assert res.converged
+            # actual steps within a small margin of the forecast
+            assert res.iterations <= fc.predicted_steps + 3
+
+    def test_exact_factorization_forecast(self):
+        t = kms_toeplitz(16, 0.4)
+        fc = refinement_forecast(schur_spd_factor(t), t)
+        assert fc.predicted_steps <= 2
+        assert fc.convergence_factor < 1e-9
+
+    def test_convergence_factor_formula(self):
+        t = paper_example_matrix()
+        fact = schur_indefinite_factor(t)
+        fc = refinement_forecast(fact, t)
+        assert fc.convergence_factor == pytest.approx(
+            fc.gamma / (1 + fc.gamma))

@@ -1,0 +1,85 @@
+"""Smoke tests: the example scripts must run end-to-end.
+
+Each example's ``main()`` is executed in-process (fast ones on every
+run; the measurement-heavy ones behind ``-m slow``).
+"""
+
+import runpy
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parent.parent / "examples"
+
+
+def _run(name):
+    runpy.run_path(str(EXAMPLES / name), run_name="__main__")
+
+
+def test_quickstart(capsys):
+    _run("quickstart.py")
+    out = capsys.readouterr().out
+    assert "factorization residual" in out
+    assert "True" in out
+
+
+def test_indefinite_refinement(capsys):
+    _run("indefinite_refinement.py")
+    out = capsys.readouterr().out
+    assert "paper eq. (50)" in out
+    assert "iterative refinement trace" in out
+
+
+def test_deconvolution(capsys):
+    _run("deconvolution.py")
+    out = capsys.readouterr().out
+    assert "symbol decisions correct: 256/256" in out
+
+
+def test_low_displacement_rank(capsys):
+    _run("low_displacement_rank.py")
+    out = capsys.readouterr().out
+    assert "displacement rank" in out
+
+
+@pytest.mark.slow
+def test_multichannel_prediction(capsys):
+    _run("multichannel_prediction.py")
+    out = capsys.readouterr().out
+    assert "agree: True" in out
+
+
+@pytest.mark.slow
+def test_t3d_distribution_study(capsys):
+    _run("t3d_distribution_study.py")
+    out = capsys.readouterr().out
+    assert "Experiment 1" in out
+
+
+@pytest.mark.slow
+def test_blocksize_tradeoff(capsys):
+    _run("blocksize_tradeoff.py")
+    out = capsys.readouterr().out
+    assert "measured optimum" in out
+
+
+@pytest.mark.slow
+def test_gaussian_likelihood(capsys):
+    _run("gaussian_likelihood.py")
+    out = capsys.readouterr().out
+    assert "maximum-likelihood estimate" in out
+
+
+def test_channel_major(capsys):
+    _run("channel_major.py")
+    out = capsys.readouterr().out
+    assert "after the perfect shuffle it is: True" in out
+    assert "prediction error variance" in out
+
+
+@pytest.mark.slow
+def test_autotune(capsys):
+    _run("autotune.py")
+    out = capsys.readouterr().out
+    assert "tuner pick" in out
+    assert "spot check" in out

@@ -1,0 +1,192 @@
+"""Tests for generators and displacement structure (Section 2)."""
+
+import numpy as np
+import pytest
+
+from repro.core.generator import (
+    block_shift_matrix,
+    displacement,
+    generator_to_full,
+    indefinite_generator,
+    signed_cholesky,
+    spd_generator,
+)
+from repro.errors import (
+    NotPositiveDefiniteError,
+    ShapeError,
+    SingularMinorError,
+)
+from repro.toeplitz import (
+    SymmetricBlockToeplitz,
+    ar_block_toeplitz,
+    indefinite_toeplitz,
+    kms_toeplitz,
+    paper_example_matrix,
+)
+from repro.utils.lintools import is_upper_triangular
+
+
+class TestDisplacement:
+    def test_shift_matrix_eq3(self):
+        z = block_shift_matrix(2, 3)
+        # Z moves block column j to block column j+1 when right-applied.
+        expect = np.zeros((6, 6))
+        expect[0:2, 2:4] = np.eye(2)
+        expect[2:4, 4:6] = np.eye(2)
+        np.testing.assert_allclose(z, expect)
+
+    def test_displacement_matches_definition(self, small_spd_block):
+        t = small_spd_block
+        d = t.dense()
+        m, p = t.block_size, t.num_blocks
+        z = block_shift_matrix(m, p)
+        np.testing.assert_allclose(displacement(t), d - z.T @ d @ z,
+                                   atol=1e-12)
+
+    def test_displacement_rank_at_most_2m(self):
+        # Section 2: rank(T − ZᵀTZ) ≤ 2m (eq. 4).
+        for m in (1, 2, 3):
+            t = ar_block_toeplitz(6, m, seed=m)
+            s = np.linalg.svd(displacement(t), compute_uv=False)
+            rank = int(np.sum(s > 1e-10 * s[0]))
+            assert rank <= 2 * m
+
+    def test_displacement_factorization_eq10(self, small_spd_block):
+        # T − ZᵀTZ = Genᵀ diag(Σ,−Σ) Gen
+        t = small_spd_block
+        g = spd_generator(t)
+        wmat = np.diag(g.w.astype(float))
+        np.testing.assert_allclose(g.gen.T @ wmat @ g.gen,
+                                   displacement(t), atol=1e-10)
+
+
+class TestSPDGenerator:
+    def test_shapes(self, small_spd_block):
+        g = spd_generator(small_spd_block)
+        m, p = small_spd_block.block_size, small_spd_block.num_blocks
+        assert g.gen.shape == (2 * m, m * p)
+        assert g.w.shape == (2 * m,)
+        np.testing.assert_array_equal(g.sigma, np.ones(m))
+
+    def test_t1_is_upper_triangular(self, small_spd_block):
+        # By construction T₁ = L₁ᵀ.
+        g = spd_generator(small_spd_block)
+        m = g.block_size
+        assert is_upper_triangular(g.gen[:m, :m], atol=1e-13)
+
+    def test_lower_row_first_block_zero(self, small_spd_block):
+        g = spd_generator(small_spd_block)
+        m = g.block_size
+        np.testing.assert_allclose(g.gen[m:, :m], 0.0)
+
+    def test_lower_row_equals_upper_tail(self, small_spd_block):
+        # Gen = [[T₁ … T_p], [0 T₂ … T_p]] (eq. 21).
+        g = spd_generator(small_spd_block)
+        m = g.block_size
+        np.testing.assert_allclose(g.gen[m:, m:], g.gen[:m, m:])
+
+    def test_full_g_identity_eq6(self, small_spd_block):
+        # T = Gᵀ W_mp G with the stacked triangular G₁, G₂ (eq. 6).
+        t = small_spd_block
+        g = spd_generator(t)
+        gfull, sig = generator_to_full(g)
+        wmat = np.diag(sig.astype(float))
+        np.testing.assert_allclose(gfull.T @ wmat @ gfull, t.dense(),
+                                   atol=1e-9)
+
+    def test_not_pd_diagonal_block_rejected(self):
+        blocks = [-np.eye(2), np.zeros((2, 2))]
+        t = SymmetricBlockToeplitz(blocks)
+        with pytest.raises(NotPositiveDefiniteError):
+            spd_generator(t)
+
+    def test_scalar_generator(self):
+        t = kms_toeplitz(8, 0.5)
+        g = spd_generator(t)
+        assert g.gen.shape == (2, 8)
+        # T₁ = √t₀ = 1
+        assert g.gen[0, 0] == pytest.approx(1.0)
+
+    def test_copy_is_independent(self, small_spd_block):
+        g = spd_generator(small_spd_block)
+        g2 = g.copy()
+        g2.gen[0, 0] += 1.0
+        assert g.gen[0, 0] != g2.gen[0, 0]
+
+
+class TestSignedCholesky:
+    def test_spd_gives_identity_signature(self, rng):
+        a = rng.standard_normal((4, 4))
+        a = a @ a.T + 4 * np.eye(4)
+        l, sigma = signed_cholesky(a)
+        np.testing.assert_array_equal(sigma, np.ones(4))
+        np.testing.assert_allclose(l @ np.diag(sigma.astype(float)) @ l.T,
+                                   a, atol=1e-10)
+
+    def test_indefinite_factorization(self, rng):
+        a = rng.standard_normal((5, 5))
+        a = a + a.T  # generically indefinite with nonsingular minors
+        l, sigma = signed_cholesky(a)
+        assert np.any(sigma == -1) or np.linalg.eigvalsh(a)[0] > 0
+        np.testing.assert_allclose(l @ np.diag(sigma.astype(float)) @ l.T,
+                                   a, atol=1e-8)
+
+    def test_inertia_matches_eigenvalues(self, rng):
+        for seed in range(5):
+            r = np.random.default_rng(seed)
+            a = r.standard_normal((6, 6))
+            a = a + a.T
+            _, sigma = signed_cholesky(a)
+            eig = np.linalg.eigvalsh(a)
+            assert np.sum(sigma > 0) == np.sum(eig > 0)
+
+    def test_singular_minor_detected(self):
+        a = np.array([[1.0, 1.0], [1.0, 1.0]])
+        with pytest.raises(SingularMinorError):
+            signed_cholesky(a)
+
+    def test_nonsquare_rejected(self):
+        with pytest.raises(ShapeError):
+            signed_cholesky(np.ones((2, 3)))
+
+    def test_lower_triangular_factor(self, rng):
+        a = rng.standard_normal((4, 4))
+        a = a + a.T + np.diag([5.0, -5.0, 5.0, -5.0])
+        l, _ = signed_cholesky(a)
+        np.testing.assert_allclose(np.triu(l, k=1), 0.0)
+
+
+class TestIndefiniteGenerator:
+    def test_displacement_identity(self):
+        t = indefinite_toeplitz(10, seed=4).regroup(2)
+        g = indefinite_generator(t)
+        wmat = np.diag(g.w.astype(float))
+        np.testing.assert_allclose(g.gen.T @ wmat @ g.gen,
+                                   displacement(t), atol=1e-9)
+
+    def test_full_identity(self):
+        t = indefinite_toeplitz(12, seed=5).regroup(3)
+        g = indefinite_generator(t)
+        gfull, sig = generator_to_full(g)
+        wmat = np.diag(sig.astype(float))
+        np.testing.assert_allclose(gfull.T @ wmat @ gfull, t.dense(),
+                                   atol=1e-8)
+
+    def test_t1_upper_triangular(self):
+        t = indefinite_toeplitz(8, seed=6).regroup(2)
+        g = indefinite_generator(t)
+        m = g.block_size
+        assert is_upper_triangular(g.gen[:m, :m], atol=1e-12)
+
+    def test_scalar_negative_diagonal(self):
+        t = SymmetricBlockToeplitz.from_first_row([-2.0, 0.3, 0.1])
+        g = indefinite_generator(t)
+        np.testing.assert_array_equal(g.sigma, [-1])
+        wmat = np.diag(g.w.astype(float))
+        np.testing.assert_allclose(g.gen.T @ wmat @ g.gen,
+                                   displacement(t), atol=1e-12)
+
+    def test_singular_diagonal_block_detected(self):
+        t = paper_example_matrix().regroup(2)  # T̂₁ = [[1,1],[1,1]] singular
+        with pytest.raises(SingularMinorError):
+            indefinite_generator(t)

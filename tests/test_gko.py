@@ -1,0 +1,175 @@
+"""Tests for the GKO Cauchy-like LU (nonsymmetric block Toeplitz)."""
+
+import numpy as np
+import pytest
+import scipy.linalg as sla
+
+from repro.core.gko import (
+    cauchy_like_lu,
+    cyclic_displacement_generators,
+    solve_toeplitz_gko,
+    toeplitz_to_cauchy,
+)
+from repro.errors import BreakdownError, ShapeError
+from repro.toeplitz import (
+    BlockToeplitz,
+    SymmetricBlockToeplitz,
+    indefinite_toeplitz,
+    kms_toeplitz,
+    paper_example_matrix,
+)
+
+
+def _rand_bt(p, m, seed):
+    r = np.random.default_rng(seed)
+    col = [r.standard_normal((m, m)) for _ in range(p)]
+    row = [col[0]] + [r.standard_normal((m, m)) for _ in range(p - 1)]
+    return BlockToeplitz(col, row)
+
+
+def _zphi(phi, m, p):
+    n = m * p
+    z = np.zeros((n, n))
+    for i in range(1, p):
+        z[i * m:(i + 1) * m, (i - 1) * m:i * m] = np.eye(m)
+    z[:m, (p - 1) * m:] = phi * np.eye(m)
+    return z
+
+
+class TestDisplacement:
+    @pytest.mark.parametrize("p,m", [(2, 1), (5, 1), (4, 2), (3, 3)])
+    def test_generator_identity(self, p, m):
+        t = _rand_bt(p, m, seed=p * 10 + m)
+        d = t.dense()
+        disp = _zphi(1, m, p) @ d - d @ _zphi(-1, m, p)
+        g, b = cyclic_displacement_generators(t)
+        np.testing.assert_allclose(g @ b, disp, atol=1e-12)
+        assert g.shape == (t.order, 2 * m)
+
+    def test_single_block_rejected(self):
+        with pytest.raises(ShapeError):
+            cyclic_displacement_generators(_rand_bt(1, 2, 0))
+
+    def test_cauchy_identity(self):
+        t = _rand_bt(6, 2, seed=3)
+        d = t.dense()
+        m, p, n = 2, 6, 12
+        ghat, bhat, d1, d2 = toeplitz_to_cauchy(t)
+        f = np.exp(2j * np.pi * np.outer(np.arange(p),
+                                         np.arange(p)) / p) / np.sqrt(p)
+        fm = np.kron(f, np.eye(m))
+        theta = np.exp(1j * np.pi / p)
+        dhat = np.kron(np.diag(theta ** np.arange(p)), np.eye(m))
+        c = fm @ d @ np.linalg.inv(dhat) @ fm.conj().T
+        lhs = np.diag(d1) @ c - c @ np.diag(d2)
+        np.testing.assert_allclose(lhs, ghat @ bhat, atol=1e-11)
+
+    def test_nodes_disjoint(self):
+        t = _rand_bt(8, 1, seed=4)
+        _, _, d1, d2 = toeplitz_to_cauchy(t)
+        assert np.min(np.abs(d1[:, None] - d2[None, :])) > 1e-3
+
+
+class TestLU:
+    def test_pivoted_lu_reconstructs(self):
+        t = _rand_bt(5, 2, seed=5)
+        ghat, bhat, d1, d2 = toeplitz_to_cauchy(t)
+        lu = cauchy_like_lu(ghat, bhat, d1, d2, block_size=2)
+        m, p = 2, 5
+        f = np.exp(2j * np.pi * np.outer(np.arange(p),
+                                         np.arange(p)) / p) / np.sqrt(p)
+        fm = np.kron(f, np.eye(m))
+        theta = np.exp(1j * np.pi / p)
+        dhat = np.kron(np.diag(theta ** np.arange(p)), np.eye(m))
+        c = fm @ t.dense() @ np.linalg.inv(dhat) @ fm.conj().T
+        np.testing.assert_allclose(lu.l @ lu.u, c[lu.perm], atol=1e-11)
+        # unit lower / upper triangular structure
+        np.testing.assert_allclose(np.diag(lu.l), 1.0)
+        np.testing.assert_allclose(np.triu(lu.l, 1), 0.0, atol=1e-14)
+        np.testing.assert_allclose(np.tril(lu.u, -1), 0.0, atol=1e-14)
+
+    def test_dimension_mismatch(self):
+        with pytest.raises(ShapeError):
+            cauchy_like_lu(np.ones((4, 2)), np.ones((2, 4)),
+                           np.ones(4), np.ones(3))
+
+    def test_singular_detected(self):
+        # exactly singular Toeplitz: constant first row/col
+        t = SymmetricBlockToeplitz.from_first_row([1.0, 1.0, 1.0])
+        ghat, bhat, d1, d2 = toeplitz_to_cauchy(t)
+        with pytest.raises(BreakdownError):
+            cauchy_like_lu(ghat, bhat, d1, d2)
+
+
+class TestSolve:
+    @pytest.mark.parametrize("p,m", [(4, 1), (12, 1), (5, 2), (4, 3),
+                                     (8, 2)])
+    def test_nonsymmetric_systems(self, p, m, rng):
+        t = _rand_bt(p, m, seed=p * 7 + m)
+        d = t.dense()
+        if abs(np.linalg.det(d)) < 1e-8:
+            pytest.skip("singular draw")
+        b = rng.standard_normal(t.order)
+        x = solve_toeplitz_gko(t, b)
+        ref = np.linalg.solve(d, b)
+        np.testing.assert_allclose(x, ref,
+                                   atol=1e-8 * max(1, np.linalg.cond(d)
+                                                   ** 0.5))
+
+    def test_matches_scipy_scalar(self, rng):
+        r = rng.standard_normal(20)
+        c = rng.standard_normal(20)
+        c[0] = r[0] = 3.0
+        t = BlockToeplitz([np.array([[v]]) for v in c],
+                          [np.array([[v]]) for v in r])
+        b = rng.standard_normal(20)
+        ref = sla.solve_toeplitz((c, r), b)
+        np.testing.assert_allclose(solve_toeplitz_gko(t, b), ref,
+                                   atol=1e-7)
+
+    def test_symmetric_input_accepted(self, rng):
+        t = kms_toeplitz(16, 0.6)
+        b = rng.standard_normal(16)
+        x = solve_toeplitz_gko(t, b)
+        np.testing.assert_allclose(t.dense() @ x, b, atol=1e-10)
+
+    def test_singular_minor_no_problem(self, rng):
+        # pivoting handles the eq.-50 matrix without any perturbation
+        t = paper_example_matrix()
+        b = t.dense() @ np.ones(6)
+        x = solve_toeplitz_gko(t, b)
+        np.testing.assert_allclose(x, np.ones(6), atol=1e-10)
+
+    def test_indefinite(self, rng):
+        t = indefinite_toeplitz(11, seed=9)
+        b = rng.standard_normal(11)
+        x = solve_toeplitz_gko(t, b)
+        np.testing.assert_allclose(t.dense() @ x, b, atol=1e-8)
+
+    def test_multi_rhs(self, rng):
+        t = _rand_bt(6, 2, seed=11)
+        b = rng.standard_normal((12, 3))
+        x = solve_toeplitz_gko(t, b)
+        np.testing.assert_allclose(t.dense() @ x, b, atol=1e-8)
+
+    def test_rhs_shape_mismatch(self):
+        t = _rand_bt(4, 2, seed=12)
+        ghat, bhat, d1, d2 = toeplitz_to_cauchy(t)
+        lu = cauchy_like_lu(ghat, bhat, d1, d2, block_size=2)
+        with pytest.raises(ShapeError):
+            lu.solve(np.ones(5))
+
+    def test_rejects_plain_array(self):
+        with pytest.raises(ShapeError):
+            solve_toeplitz_gko(np.eye(4), np.ones(4))
+
+
+class TestReusableFactor:
+    def test_factor_once_solve_many(self, rng):
+        from repro.core.gko import gko_factor
+        t = _rand_bt(6, 2, seed=21)
+        d = t.dense()
+        lu = gko_factor(t)
+        for _ in range(3):
+            b = rng.standard_normal(12)
+            np.testing.assert_allclose(d @ lu.solve(b), b, atol=1e-9)

@@ -1,0 +1,89 @@
+"""Tests for the Gohberg–Semencul fast inverse operator."""
+
+import numpy as np
+import pytest
+
+from repro.core.gohberg_semencul import ToeplitzInverse, toeplitz_inverse
+from repro.errors import BreakdownError, ShapeError
+from repro.toeplitz import (
+    ar_block_toeplitz,
+    fgn_toeplitz,
+    indefinite_toeplitz,
+    kms_toeplitz,
+    singular_minor_toeplitz,
+)
+
+
+class TestOperator:
+    @pytest.mark.parametrize("maker", [
+        lambda: kms_toeplitz(32, 0.6),
+        lambda: kms_toeplitz(17, 0.9),
+        lambda: fgn_toeplitz(24, 0.8),
+    ])
+    def test_dense_matches_inverse(self, maker):
+        t = maker()
+        inv = toeplitz_inverse(t)
+        ref = np.linalg.inv(t.dense())
+        kappa = np.linalg.cond(t.dense())
+        np.testing.assert_allclose(inv.dense(), ref,
+                                   atol=1e-13 * max(kappa, 10))
+
+    def test_matvec_vs_dense(self, rng):
+        t = kms_toeplitz(50, 0.7)
+        inv = toeplitz_inverse(t)
+        b = rng.standard_normal(50)
+        np.testing.assert_allclose(inv @ b,
+                                   np.linalg.solve(t.dense(), b),
+                                   atol=1e-10)
+
+    def test_multiple_columns(self, rng):
+        t = kms_toeplitz(20, 0.5)
+        inv = toeplitz_inverse(t)
+        b = rng.standard_normal((20, 4))
+        np.testing.assert_allclose(inv.matvec(b),
+                                   np.linalg.solve(t.dense(), b),
+                                   atol=1e-10)
+
+    def test_indefinite_matrix(self):
+        t = indefinite_toeplitz(15, seed=4)
+        inv = toeplitz_inverse(t)
+        kappa = np.linalg.cond(t.dense())
+        np.testing.assert_allclose(inv.dense(), np.linalg.inv(t.dense()),
+                                   atol=1e-11 * max(kappa, 10))
+
+    def test_singular_minor_matrix(self):
+        # the refinement fallback makes the solve (and hence the GS
+        # representation) accurate even with singular leading minors
+        t = singular_minor_toeplitz(12, seed=5)
+        inv = toeplitz_inverse(t)
+        kappa = np.linalg.cond(t.dense())
+        np.testing.assert_allclose(inv.dense(), np.linalg.inv(t.dense()),
+                                   atol=1e-10 * max(kappa, 10))
+
+    def test_inverse_property(self, rng):
+        t = kms_toeplitz(30, 0.4)
+        inv = toeplitz_inverse(t)
+        b = rng.standard_normal(30)
+        np.testing.assert_allclose(t.dense() @ (inv @ b), b, atol=1e-10)
+
+
+class TestValidation:
+    def test_block_matrix_rejected(self):
+        with pytest.raises(ShapeError):
+            toeplitz_inverse(ar_block_toeplitz(4, 2, seed=1))
+
+    def test_zero_corner_rejected(self):
+        with pytest.raises(BreakdownError):
+            ToeplitzInverse(np.array([0.0, 1.0, 2.0]))
+
+    def test_matrix_input_rejected(self):
+        with pytest.raises(ShapeError):
+            ToeplitzInverse(np.ones((3, 3)))
+
+    def test_rhs_shape(self):
+        inv = toeplitz_inverse(kms_toeplitz(8, 0.5))
+        with pytest.raises(ShapeError):
+            inv.matvec(np.ones(9))
+
+    def test_order_property(self):
+        assert toeplitz_inverse(kms_toeplitz(9, 0.5)).order == 9

@@ -1,0 +1,222 @@
+"""Tests for signature matrices and scalar hyperbolic Householder
+reflectors (Section 3 of the paper)."""
+
+import numpy as np
+import pytest
+
+from repro.core.hyperbolic import HyperbolicHouseholder, \
+    reflector_annihilating
+from repro.core.signature import (
+    apply_signature,
+    block_schur_signature,
+    hyperbolic_norm_squared,
+    is_signature,
+    signature_matrix,
+    signature_vector,
+)
+from repro.errors import BreakdownError, ShapeError
+
+
+class TestSignature:
+    def test_vector_validation(self):
+        w = signature_vector([1, -1, 1])
+        assert w.dtype == np.int8
+        np.testing.assert_array_equal(w, [1, -1, 1])
+
+    def test_rejects_non_pm1(self):
+        with pytest.raises(ShapeError):
+            signature_vector([1, 0, -1])
+        with pytest.raises(ShapeError):
+            signature_vector([1.5, -1])
+
+    def test_rejects_2d(self):
+        with pytest.raises(ShapeError):
+            signature_vector(np.ones((2, 2)))
+
+    def test_is_signature(self):
+        assert is_signature([1, -1])
+        assert not is_signature([2, 1])
+        assert not is_signature("xx")
+
+    def test_matrix_properties_eq12(self):
+        # W² = I and Wᵀ = W (eq. 12)
+        w = signature_matrix([1, -1, -1, 1])
+        np.testing.assert_allclose(w @ w, np.eye(4))
+        np.testing.assert_allclose(w, w.T)
+
+    def test_hyperbolic_norm(self):
+        w = signature_vector([1, -1])
+        assert hyperbolic_norm_squared(np.array([3.0, 2.0]), w) == \
+            pytest.approx(5.0)
+
+    def test_apply_signature_vector_and_matrix(self):
+        w = signature_vector([1, -1])
+        np.testing.assert_allclose(apply_signature(w, np.array([2., 3.])),
+                                   [2., -3.])
+        a = np.ones((2, 3))
+        np.testing.assert_allclose(apply_signature(w, a),
+                                   [[1, 1, 1], [-1, -1, -1]])
+
+    def test_block_schur_signature_spd(self):
+        w = block_schur_signature(3)
+        np.testing.assert_array_equal(w, [1, 1, 1, -1, -1, -1])
+
+    def test_block_schur_signature_indefinite(self):
+        w = block_schur_signature(2, [1, -1])
+        np.testing.assert_array_equal(w, [1, -1, -1, 1])
+
+    def test_block_schur_signature_errors(self):
+        with pytest.raises(ShapeError):
+            block_schur_signature(0)
+        with pytest.raises(ShapeError):
+            block_schur_signature(2, [1, -1, 1])
+
+
+class TestReflectorProperties:
+    def test_w_unitary_definite(self, rng):
+        w = signature_vector([1, 1, -1, -1])
+        x = rng.standard_normal(4)
+        while abs(hyperbolic_norm_squared(x, w)) < 0.1:
+            x = rng.standard_normal(4)
+        u = HyperbolicHouseholder(x, w)
+        assert u.is_w_unitary()
+        umat = u.matrix()
+        wmat = signature_matrix(w)
+        np.testing.assert_allclose(umat.T @ wmat @ umat, wmat,
+                                   atol=1e-10 * max(1, abs(u.xwx)))
+
+    def test_inverse_formula_eq13(self, rng):
+        # U⁻¹ = W Uᵀ W (eq. 13)
+        w = signature_vector([1, -1, 1])
+        x = np.array([2.0, 0.5, -1.0])
+        u = HyperbolicHouseholder(x, w).matrix()
+        wmat = signature_matrix(w)
+        np.testing.assert_allclose(u @ (wmat @ u.T @ wmat), np.eye(3),
+                                   atol=1e-12)
+
+    def test_zero_norm_rejected(self):
+        w = signature_vector([1, -1])
+        with pytest.raises(BreakdownError):
+            HyperbolicHouseholder(np.array([1.0, 1.0]), w)
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ShapeError):
+            HyperbolicHouseholder(np.ones(3), signature_vector([1, -1]))
+
+    def test_apply_left_vector_vs_matrix(self, rng):
+        w = signature_vector([1, 1, -1, -1])
+        x = np.array([1.0, 0.3, 0.2, 0.1])
+        u = HyperbolicHouseholder(x, w)
+        v = rng.standard_normal(4)
+        np.testing.assert_allclose(u.apply_left(v), u.matrix() @ v,
+                                   atol=1e-12)
+
+    def test_apply_left_matrix_operand(self, rng):
+        w = signature_vector([1, -1, -1])
+        x = np.array([2.0, 0.5, 0.5])
+        u = HyperbolicHouseholder(x, w)
+        a = rng.standard_normal((3, 5))
+        np.testing.assert_allclose(u.apply_left(a), u.matrix() @ a,
+                                   atol=1e-12)
+
+    def test_apply_left_in_place(self, rng):
+        w = signature_vector([1, -1])
+        u = HyperbolicHouseholder(np.array([2.0, 1.0]), w)
+        a = rng.standard_normal((2, 4))
+        expect = u.matrix() @ a
+        u.apply_left(a, out=a)
+        np.testing.assert_allclose(a, expect, atol=1e-12)
+
+    def test_sparse_support_application(self, rng):
+        # reflector supported on rows {1, 3, 4} of a length-5 vector
+        w = signature_vector([1, 1, 1, -1, -1])
+        x = np.zeros(5)
+        x[[1, 3, 4]] = [2.0, 0.5, 0.3]
+        u_sparse = HyperbolicHouseholder(x, w, support=np.array([1, 3, 4]))
+        u_dense = HyperbolicHouseholder(x, w)
+        a = rng.standard_normal((5, 6))
+        np.testing.assert_allclose(u_sparse.apply_left(a),
+                                   u_dense.apply_left(a), atol=1e-12)
+
+    def test_operand_row_mismatch(self):
+        w = signature_vector([1, -1])
+        u = HyperbolicHouseholder(np.array([2.0, 1.0]), w)
+        with pytest.raises(ShapeError):
+            u.apply_left(np.ones((3, 2)))
+
+
+class TestAnnihilation:
+    def test_maps_to_minus_sigma_ej(self, rng):
+        # eq. (15): U_x u = −σ e_j
+        w = signature_vector([1, 1, -1, -1])
+        u_vec = np.array([3.0, 0.0, 1.0, 0.5])
+        refl, sigma = reflector_annihilating(u_vec, w, 0)
+        out = refl.apply_left(u_vec)
+        expect = np.zeros(4)
+        expect[0] = -sigma
+        np.testing.assert_allclose(out, expect, atol=1e-12)
+
+    def test_sigma_magnitude_eq16(self):
+        # σ² = uᵀWu for a +1 target axis (eq. 16)
+        w = signature_vector([1, -1])
+        u_vec = np.array([2.0, 1.0])
+        _, sigma = reflector_annihilating(u_vec, w, 0)
+        assert sigma ** 2 == pytest.approx(3.0)
+
+    def test_negative_norm_target_lower(self):
+        # uᵀWu < 0 must map onto an axis with W_jj = −1
+        w = signature_vector([1, -1])
+        u_vec = np.array([1.0, 2.0])
+        refl, sigma = reflector_annihilating(u_vec, w, 1)
+        out = refl.apply_left(u_vec)
+        np.testing.assert_allclose(out, [0.0, -sigma], atol=1e-12)
+        assert sigma ** 2 == pytest.approx(3.0)
+
+    def test_wrong_sign_axis_rejected(self):
+        w = signature_vector([1, -1])
+        with pytest.raises(BreakdownError):
+            reflector_annihilating(np.array([1.0, 2.0]), w, 0)
+        with pytest.raises(BreakdownError):
+            reflector_annihilating(np.array([2.0, 1.0]), w, 1)
+
+    def test_zero_norm_detected(self):
+        w = signature_vector([1, -1])
+        with pytest.raises(BreakdownError):
+            reflector_annihilating(np.array([1.0, 1.0]), w, 0,
+                                   breakdown_tol=1e-12)
+
+    def test_zero_vector_rejected(self):
+        w = signature_vector([1, -1])
+        with pytest.raises(BreakdownError):
+            reflector_annihilating(np.zeros(2), w, 0)
+
+    def test_target_out_of_range(self):
+        w = signature_vector([1, -1])
+        with pytest.raises(ShapeError):
+            reflector_annihilating(np.array([2.0, 1.0]), w, 5)
+
+    def test_no_cancellation_sign_choice(self):
+        # σ·u_j must carry the sign of uᵀWu so xᵀWx cannot cancel.
+        w = signature_vector([1, -1])
+        for uj in (1e-8, -1e-8, 3.0, -3.0):
+            u_vec = np.array([uj, 0.5 * abs(uj)])
+            refl, sigma = reflector_annihilating(u_vec, w, 0)
+            h = u_vec[0] ** 2 - u_vec[1] ** 2
+            assert sigma * u_vec[0] * h >= 0
+            assert abs(refl.xwx) > 0
+
+    def test_many_random_annihilations(self, rng):
+        w = signature_vector([1, 1, 1, -1, -1, -1])
+        for trial in range(50):
+            u_vec = rng.standard_normal(6)
+            h = hyperbolic_norm_squared(u_vec, w)
+            if abs(h) < 1e-6:
+                continue
+            j = 0 if h > 0 else 3
+            refl, sigma = reflector_annihilating(u_vec, w, j)
+            out = refl.apply_left(u_vec)
+            expect = np.zeros(6)
+            expect[j] = -sigma
+            np.testing.assert_allclose(out, expect,
+                                       atol=1e-9 * max(1, abs(sigma)))
+            assert refl.is_w_unitary(rtol=1e-8)

@@ -1,0 +1,168 @@
+"""End-to-end integration tests crossing module boundaries."""
+
+import numpy as np
+import pytest
+
+from repro import (
+    SchurOptions,
+    ar_block_toeplitz,
+    cholesky,
+    kms_toeplitz,
+    paper_example_matrix,
+    schur_spd_factor,
+    singular_minor_toeplitz,
+    solve,
+    solve_refined,
+)
+from repro.baselines import block_levinson_solve, dense_cholesky_solve, pcg
+from repro.core.regroup import choose_block_size, regrouped_factor
+from repro.core.schur_indefinite import schur_indefinite_factor
+from repro.blas.cray import cray_ymp_model, t3d_node_model
+from repro.parallel import analytic_factor_time, simulate_factorization
+from repro.toeplitz.matvec import BlockCirculantEmbedding
+
+
+class TestSolverAgreement:
+    """All solvers must agree on the same well-conditioned system."""
+
+    def test_four_way_agreement_spd(self, rng):
+        t = ar_block_toeplitz(10, 3, seed=99)
+        b = rng.standard_normal(t.order)
+        x_schur = cholesky(t).solve(b)
+        x_lev = block_levinson_solve(t, b).x
+        x_dense = dense_cholesky_solve(t, b)
+        x_pcg = pcg(t, b, preconditioner=cholesky(t), tol=1e-13).x
+        for x in (x_lev, x_dense, x_pcg):
+            np.testing.assert_allclose(x, x_schur, atol=1e-7)
+
+    def test_scalar_agreement_with_scipy(self, rng):
+        import scipy.linalg as sla
+        t = kms_toeplitz(64, 0.8)
+        b = rng.standard_normal(64)
+        x_ref = sla.solve_toeplitz(t.first_scalar_row(), b)
+        np.testing.assert_allclose(solve(t, b), x_ref, atol=1e-8)
+
+
+class TestSingularMinorPipeline:
+    """The full Section-8 pipeline on progressively harder matrices."""
+
+    @pytest.mark.parametrize("n", [6, 12, 24, 48])
+    def test_solve_refined_scales(self, n, rng):
+        t = singular_minor_toeplitz(n, minor=2, seed=n)
+        x_true = rng.standard_normal(n)
+        b = BlockCirculantEmbedding(t)(x_true)
+        res = solve_refined(t, b)
+        assert res.converged
+        cond = np.linalg.cond(t.dense())
+        assert np.linalg.norm(res.x - x_true) <= \
+            1e-12 * max(cond, 100) * np.linalg.norm(x_true)
+
+    def test_refinement_beats_unrefined(self):
+        t = paper_example_matrix()
+        x_true = np.ones(6)
+        b = t.dense() @ x_true
+        fact = schur_indefinite_factor(t)
+        x_raw = fact.solve(b)
+        res = solve_refined(t, b)
+        assert np.linalg.norm(res.x - x_true) < \
+            1e-4 * np.linalg.norm(x_raw - x_true)
+
+    def test_deeper_minor_position(self, rng):
+        t = singular_minor_toeplitz(16, minor=4, seed=3)
+        b = rng.standard_normal(16)
+        res = solve_refined(t, b)
+        assert res.converged
+        np.testing.assert_allclose(t.dense() @ res.x, b, atol=1e-6)
+
+
+class TestBlockSizePipeline:
+    def test_regrouped_factor_same_answer(self):
+        t = kms_toeplitz(48, 0.6)
+        r1 = schur_spd_factor(t).r
+        for ms in (2, 4, 8):
+            r = regrouped_factor(t, ms).r
+            np.testing.assert_allclose(r, r1, atol=1e-9)
+
+    def test_choose_block_size_prefers_larger_on_ymp(self):
+        # the Y-MP model's level-3 shape penalty must make m_s = 1
+        # suboptimal in MFLOPS terms
+        best, preds = choose_block_size(256, 1, cray_ymp_model(),
+                                        candidates=[1, 2, 4, 8])
+        mflops = {p.block_size: p.mflops for p in preds}
+        assert mflops[8] > mflops[1]
+
+    def test_choose_block_size_flops_linear(self):
+        _, preds = choose_block_size(256, 1, t3d_node_model(),
+                                     candidates=[1, 2, 4])
+        flops = {p.block_size: p.flops for p in preds}
+        assert 1.4 < flops[2] / flops[1] < 3.0
+
+
+class TestDistributedPipeline:
+    def test_distributed_factor_solves_system(self, rng):
+        import scipy.linalg as sla
+        t = ar_block_toeplitz(12, 2, seed=101)
+        run = simulate_factorization(t, nproc=4, b=1)
+        b = rng.standard_normal(t.order)
+        y = sla.solve_triangular(run.r, b, trans=1, check_finite=False)
+        x = sla.solve_triangular(run.r, y, check_finite=False)
+        np.testing.assert_allclose(t.dense() @ x, b, atol=1e-8)
+
+    def test_all_three_versions_same_factor(self):
+        t = ar_block_toeplitz(8, 4, seed=103)
+        serial = schur_spd_factor(t).r
+        for b in (1, 2, 0.5):
+            run = simulate_factorization(t, nproc=4, b=b)
+            np.testing.assert_allclose(run.r, serial, atol=1e-9,
+                                       err_msg=f"b={b}")
+
+    def test_simulated_time_scales_down_with_pes(self):
+        t = kms_toeplitz(256, 0.5).regroup(4)
+        t2 = simulate_factorization(t, nproc=2, b=1, collect=False).time
+        t8 = simulate_factorization(t, nproc=8, b=1, collect=False).time
+        assert t8 < t2
+
+    def test_analytic_and_simulator_rank_layouts_alike(self):
+        # both models must agree on which of b=1 / b=16 is faster
+        t = kms_toeplitz(256, 0.5)
+        sims = {b: simulate_factorization(t, nproc=4, b=b,
+                                          collect=False).time
+                for b in (1, 16)}
+        anas = {b: analytic_factor_time(256, 1, 4, b=b).total
+                for b in (1, 16)}
+        assert (sims[1] < sims[16]) == (anas[1] < anas[16])
+
+
+class TestNumericalStressCases:
+    def test_moderately_ill_conditioned(self):
+        t = kms_toeplitz(64, 0.97)
+        fact = schur_spd_factor(t)
+        d = t.dense()
+        resid = np.max(np.abs(fact.reconstruct() - d))
+        assert resid < 1e-10 * np.linalg.norm(d) * np.linalg.cond(d) ** 0.5
+
+    def test_tiny_scale_invariance(self):
+        t = ar_block_toeplitz(6, 2, seed=7).scaled(1e-8)
+        fact = schur_spd_factor(t)
+        np.testing.assert_allclose(fact.reconstruct(), t.dense(),
+                                   rtol=1e-10, atol=1e-22)
+
+    def test_huge_scale_invariance(self):
+        t = ar_block_toeplitz(6, 2, seed=8).scaled(1e8)
+        fact = schur_spd_factor(t)
+        np.testing.assert_allclose(fact.reconstruct(), t.dense(),
+                                   rtol=1e-10)
+
+    def test_order_two(self):
+        t = kms_toeplitz(2, 0.5)
+        fact = schur_spd_factor(t)
+        np.testing.assert_allclose(fact.reconstruct(), t.dense(),
+                                   atol=1e-14)
+
+    def test_large_scalar_problem(self):
+        t = kms_toeplitz(512, 0.5)
+        fact = schur_spd_factor(t.regroup(8))
+        b = np.ones(512)
+        x = fact.solve(b)
+        resid = np.linalg.norm(BlockCirculantEmbedding(t)(x) - b)
+        assert resid < 1e-9 * np.linalg.norm(b) * 512

@@ -1,0 +1,63 @@
+"""Tests for matrix serialization."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ShapeError
+from repro.toeplitz import (
+    BlockToeplitz,
+    ar_block_toeplitz,
+    kms_toeplitz,
+    load_matrix,
+    save_matrix,
+)
+
+
+class TestRoundTrip:
+    def test_symmetric(self, tmp_path):
+        t = ar_block_toeplitz(7, 3, seed=1)
+        path = str(tmp_path / "t.npz")
+        save_matrix(path, t)
+        t2 = load_matrix(path)
+        np.testing.assert_array_equal(np.asarray(t2.top_blocks),
+                                      np.asarray(t.top_blocks))
+        assert t2.block_size == 3
+
+    def test_general(self, tmp_path):
+        rng = np.random.default_rng(2)
+        col = [rng.standard_normal((2, 2)) for _ in range(4)]
+        row = [col[0]] + [rng.standard_normal((2, 2)) for _ in range(3)]
+        t = BlockToeplitz(col, row)
+        path = str(tmp_path / "g.npz")
+        save_matrix(path, t)
+        t2 = load_matrix(path)
+        np.testing.assert_array_equal(t2.dense(), t.dense())
+
+    def test_scalar(self, tmp_path):
+        t = kms_toeplitz(16, 0.5)
+        path = str(tmp_path / "s.npz")
+        save_matrix(path, t)
+        np.testing.assert_array_equal(load_matrix(path).dense(),
+                                      t.dense())
+
+    def test_factor_solve_after_reload(self, tmp_path, rng):
+        from repro.core.solve import cholesky
+        t = ar_block_toeplitz(6, 2, seed=3)
+        path = str(tmp_path / "t.npz")
+        save_matrix(path, t)
+        t2 = load_matrix(path)
+        b = rng.standard_normal(12)
+        np.testing.assert_allclose(cholesky(t2).solve(b),
+                                   cholesky(t).solve(b), atol=1e-12)
+
+
+class TestValidation:
+    def test_wrong_type(self, tmp_path):
+        with pytest.raises(ShapeError):
+            save_matrix(str(tmp_path / "x.npz"), np.eye(3))
+
+    def test_not_a_repro_file(self, tmp_path):
+        path = tmp_path / "plain.npz"
+        np.savez(path, data=np.eye(3))
+        with pytest.raises(ShapeError):
+            load_matrix(str(path))

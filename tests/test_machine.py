@@ -1,0 +1,324 @@
+"""Tests for the SPMD machine simulator."""
+
+import numpy as np
+import pytest
+
+from repro.blas.cray import T3DNetworkParameters
+from repro.errors import DeadlockError, MachineError, ShapeError
+from repro.machine import (
+    Barrier,
+    Broadcast,
+    Compute,
+    LineTopology,
+    Machine,
+    Put,
+    Recv,
+    Torus3D,
+)
+
+
+class TestTopologies:
+    def test_line_hops(self):
+        t = LineTopology(8)
+        assert t.hops(0, 0) == 0
+        assert t.hops(2, 5) == 3
+        assert t.hops(5, 2) == 3
+
+    def test_line_bounds(self):
+        t = LineTopology(4)
+        with pytest.raises(ShapeError):
+            t.hops(0, 4)
+
+    def test_torus_dims_factorization(self):
+        assert sorted(Torus3D(64).dims) == [4, 4, 4]
+        assert sorted(Torus3D(16).dims) in ([2, 2, 4], [1, 4, 4])
+
+    def test_torus_wraparound(self):
+        t = Torus3D(8)  # 2×2×2
+        for r in range(8):
+            assert t.hops(r, r) == 0
+        # neighbors at distance ≤ diameter
+        dia = t.diameter()
+        for a in range(8):
+            for b in range(8):
+                assert t.hops(a, b) <= dia
+
+    def test_torus_symmetry(self):
+        t = Torus3D(12)
+        for a in range(12):
+            for b in range(12):
+                assert t.hops(a, b) == t.hops(b, a)
+
+    def test_invalid_nproc(self):
+        with pytest.raises(ShapeError):
+            LineTopology(0)
+
+
+class TestComputeAndClock:
+    def test_compute_accumulates(self):
+        def prog(ctx):
+            yield Compute(1.0, category="alpha")
+            yield Compute(0.5, category="beta")
+            return ctx.rank
+
+        rep = Machine(2).run(prog)
+        assert rep.makespan == pytest.approx(1.5)
+        for r in rep.ranks:
+            assert r.by_category["alpha"] == pytest.approx(1.0)
+            assert r.by_category["beta"] == pytest.approx(0.5)
+        assert rep.results == [0, 1]
+
+    def test_negative_compute_rejected(self):
+        def prog(ctx):
+            yield Compute(-1.0)
+
+        with pytest.raises(MachineError):
+            Machine(1).run(prog)
+
+    def test_non_generator_program_rejected(self):
+        def prog(ctx):
+            return 42
+
+        with pytest.raises(MachineError):
+            Machine(1).run(prog)
+
+
+class TestPointToPoint:
+    def test_message_delivery_and_payload(self):
+        def prog(ctx):
+            if ctx.rank == 0:
+                yield Put(dest=1, tag="x", payload={"v": 7}, words=1)
+                return None
+            got = yield Recv(src=0, tag="x")
+            return got["v"]
+
+        rep = Machine(2).run(prog)
+        assert rep.results[1] == 7
+
+    def test_receiver_waits_for_arrival(self):
+        net = T3DNetworkParameters(put_latency=1.0, bandwidth=8.0)
+
+        def prog(ctx):
+            if ctx.rank == 0:
+                yield Compute(5.0)
+                yield Put(dest=1, tag="x", payload=1, words=1)
+            else:
+                yield Recv(src=0, tag="x")
+            return None
+
+        rep = Machine(2, network=net).run(prog)
+        # receiver idles until 5.0 (sender compute) + 1 (latency)
+        # + 8 bytes / 8 B/s (bandwidth)
+        assert rep.ranks[1].time == pytest.approx(7.0)
+        assert rep.ranks[1].by_category["idle"] == pytest.approx(7.0)
+
+    def test_sender_charged_transfer(self):
+        net = T3DNetworkParameters(put_latency=2.0, bandwidth=8.0)
+
+        def prog(ctx):
+            if ctx.rank == 0:
+                yield Put(dest=1, tag="x", payload=None, words=16)
+            else:
+                yield Recv(src=0, tag="x")
+            return None
+
+        rep = Machine(2, network=net).run(prog)
+        assert rep.ranks[0].time == pytest.approx(2.0 + 16.0)
+        assert rep.ranks[0].messages_sent == 1
+        assert rep.ranks[0].words_sent == 16
+
+    def test_put_count_charges_gap(self):
+        net = T3DNetworkParameters(put_latency=1.0, put_gap=0.25,
+                                   bandwidth=1e18)
+
+        def prog(ctx):
+            if ctx.rank == 0:
+                yield Put(dest=1, tag="x", payload=None, words=0, count=5)
+            else:
+                yield Recv(src=0, tag="x")
+            return None
+
+        rep = Machine(2, network=net).run(prog)
+        assert rep.ranks[0].time == pytest.approx(1.0 + 4 * 0.25)
+
+    def test_fifo_ordering_same_tag(self):
+        def prog(ctx):
+            if ctx.rank == 0:
+                for i in range(3):
+                    yield Put(dest=1, tag="s", payload=i, words=1)
+                return None
+            got = []
+            for _ in range(3):
+                got.append((yield Recv(src=0, tag="s")))
+            return got
+
+        rep = Machine(2).run(prog)
+        assert rep.results[1] == [0, 1, 2]
+
+    def test_put_invalid_rank(self):
+        def prog(ctx):
+            yield Put(dest=9, tag="x", payload=None, words=0)
+
+        with pytest.raises(MachineError):
+            Machine(2).run(prog)
+
+    def test_ring_exchange(self):
+        def prog(ctx):
+            r, n = ctx.rank, ctx.nproc
+            yield Put(dest=(r + 1) % n, tag="ring", payload=r, words=1)
+            got = yield Recv(src=(r - 1) % n, tag="ring")
+            return got
+
+        rep = Machine(5).run(prog)
+        assert rep.results == [4, 0, 1, 2, 3]
+
+
+class TestCollectives:
+    def test_broadcast_payload_to_all(self):
+        def prog(ctx):
+            payload = "hello" if ctx.rank == 2 else None
+            got = yield Broadcast(root=2, payload=payload, words=5)
+            return got
+
+        rep = Machine(4).run(prog)
+        assert rep.results == ["hello"] * 4
+
+    def test_broadcast_synchronizes_clocks(self):
+        def prog(ctx):
+            yield Compute(float(ctx.rank))
+            yield Broadcast(root=0, payload=1, words=1)
+            return None
+
+        net = T3DNetworkParameters(broadcast_latency=0.5, bandwidth=1e18)
+        rep = Machine(4, network=net).run(prog)
+        # all ranks end at max-entry (3.0) + 2 stages × 0.5
+        for r in rep.ranks:
+            assert r.time == pytest.approx(4.0)
+        assert rep.ranks[0].by_category["idle"] == pytest.approx(3.0)
+
+    def test_barrier_synchronizes(self):
+        def prog(ctx):
+            yield Compute(1.0 if ctx.rank else 4.0)
+            yield Barrier()
+            return None
+
+        net = T3DNetworkParameters(barrier_per_stage=0.0)
+        rep = Machine(3, network=net).run(prog)
+        for r in rep.ranks:
+            assert r.time == pytest.approx(4.0)
+
+    def test_mismatched_collectives_detected(self):
+        def prog(ctx):
+            if ctx.rank == 0:
+                yield Barrier()
+            else:
+                yield Broadcast(root=1, payload=1, words=1)
+
+        with pytest.raises(DeadlockError):
+            Machine(2).run(prog)
+
+    def test_broadcast_root_disagreement_detected(self):
+        def prog(ctx):
+            yield Broadcast(root=ctx.rank, payload=1, words=1)
+
+        with pytest.raises(DeadlockError):
+            Machine(2).run(prog)
+
+    def test_single_rank_collectives_free(self):
+        def prog(ctx):
+            got = yield Broadcast(root=0, payload=3, words=8)
+            yield Barrier()
+            return got
+
+        rep = Machine(1).run(prog)
+        assert rep.results == [3]
+        assert rep.makespan == 0.0
+
+
+class TestDeadlockAndReports:
+    def test_recv_without_put_deadlocks(self):
+        def prog(ctx):
+            yield Recv(src=(ctx.rank + 1) % ctx.nproc, tag="never")
+
+        with pytest.raises(DeadlockError):
+            Machine(2).run(prog)
+
+    def test_report_aggregation(self):
+        def prog(ctx):
+            yield Compute(2.0, category="work")
+            return ctx.rank * 10
+
+        rep = Machine(3).run(prog)
+        assert rep.total_by_category()["work"] == pytest.approx(6.0)
+        assert rep.category_of_critical_rank()["work"] == pytest.approx(2.0)
+        assert rep.results == [0, 10, 20]
+
+    def test_determinism(self):
+        def prog(ctx):
+            r, n = ctx.rank, ctx.nproc
+            total = 0.0
+            for i in range(4):
+                yield Put(dest=(r + 1) % n, tag=i, payload=r, words=8)
+                got = yield Recv(src=(r - 1) % n, tag=i)
+                total += got
+                yield Compute(0.001 * (r + 1))
+                yield Barrier()
+            return total
+
+        r1 = Machine(4).run(prog)
+        r2 = Machine(4).run(prog)
+        assert r1.makespan == r2.makespan
+        assert r1.results == r2.results
+
+    def test_topology_mismatch_rejected(self):
+        with pytest.raises(ShapeError):
+            Machine(4, topology=LineTopology(8))
+
+
+class TestTopologyCosts:
+    def test_distant_put_costs_more(self):
+        from repro.blas.cray import T3DNetworkParameters
+
+        def prog_to(dest):
+            def prog(ctx):
+                if ctx.rank == 0:
+                    yield Put(dest=dest, tag="x", payload=None, words=8)
+                elif ctx.rank == dest:
+                    yield Recv(src=0, tag="x")
+                return None
+            return prog
+
+        net = T3DNetworkParameters(put_latency=1.0, bandwidth=1e18)
+        m = Machine(8, network=net, topology=LineTopology(8))
+        near = m.run(prog_to(1)).ranks[0].time
+        far = m.run(prog_to(7)).ranks[0].time
+        assert far > near
+
+    def test_torus_shortens_wraparound(self):
+        from repro.blas.cray import T3DNetworkParameters
+
+        def prog(ctx):
+            if ctx.rank == 0:
+                yield Put(dest=7, tag="x", payload=None, words=8)
+            elif ctx.rank == 7:
+                yield Recv(src=0, tag="x")
+            return None
+
+        net = T3DNetworkParameters(put_latency=1.0, bandwidth=1e18)
+        line = Machine(8, network=net,
+                       topology=LineTopology(8)).run(prog).makespan
+        torus = Machine(8, network=net,
+                        topology=Torus3D(8)).run(prog).makespan
+        assert torus < line
+
+    def test_simulated_factorization_topology_sensitivity(self):
+        # a slower (line) interconnect must not make the run faster
+        from repro.parallel import simulate_factorization
+        from repro.toeplitz import kms_toeplitz
+        t = kms_toeplitz(128, 0.5).regroup(4)
+        torus = simulate_factorization(t, nproc=8, b=1,
+                                       collect=False).time
+        line = simulate_factorization(
+            t, nproc=8, b=1, collect=False,
+            topology=LineTopology(8)).time
+        assert line >= torus * 0.99

@@ -1,0 +1,88 @@
+"""Property-based tests for the machine simulator's invariants."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.machine import Barrier, Broadcast, Compute, Machine, Put, Recv
+
+
+def _ring_program(rounds, work):
+    def prog(ctx):
+        r, n = ctx.rank, ctx.nproc
+        total = 0.0
+        for k in range(rounds):
+            yield Compute(work[(r + k) % len(work)])
+            yield Put(dest=(r + 1) % n, tag=("m", k), payload=r,
+                      words=4)
+            got = yield Recv(src=(r - 1) % n, tag=("m", k))
+            total += got
+            yield Barrier()
+        return total
+
+    return prog
+
+
+class TestSimulatorInvariants:
+    @given(st.integers(2, 6), st.integers(1, 5),
+           st.lists(st.floats(0.0, 1e-3), min_size=1, max_size=4))
+    @settings(max_examples=30, deadline=None)
+    def test_determinism(self, nproc, rounds, work):
+        prog = _ring_program(rounds, work)
+        r1 = Machine(nproc).run(prog)
+        r2 = Machine(nproc).run(prog)
+        assert r1.makespan == r2.makespan
+        assert r1.results == r2.results
+        for a, b in zip(r1.ranks, r2.ranks):
+            assert a.time == b.time
+            assert a.by_category == b.by_category
+
+    @given(st.integers(2, 6), st.integers(1, 4),
+           st.lists(st.floats(0.0, 1e-3), min_size=1, max_size=4))
+    @settings(max_examples=30, deadline=None)
+    def test_clock_conservation_with_trace(self, nproc, rounds, work):
+        # sum of traced event durations equals the rank clock
+        prog = _ring_program(rounds, work)
+        rep = Machine(nproc, trace=True).run(prog)
+        for r in rep.ranks:
+            traced = sum(e.duration
+                         for e in rep.trace.for_rank(r.rank))
+            assert abs(traced - r.time) <= 1e-12 * max(r.time, 1.0)
+
+    @given(st.integers(2, 5), st.integers(1, 4))
+    @settings(max_examples=20, deadline=None)
+    def test_ring_values_correct(self, nproc, rounds):
+        prog = _ring_program(rounds, [1e-6])
+        rep = Machine(nproc).run(prog)
+        for r in range(nproc):
+            assert rep.results[r] == rounds * ((r - 1) % nproc)
+
+    @given(st.integers(1, 6), st.integers(0, 5))
+    @settings(max_examples=20, deadline=None)
+    def test_broadcast_value_and_sync(self, nproc, root_seed):
+        root = root_seed % nproc
+
+        def prog(ctx):
+            yield Compute(1e-6 * (ctx.rank + 1))
+            got = yield Broadcast(root=root,
+                                  payload=("v", root)
+                                  if ctx.rank == root else None,
+                                  words=2)
+            return got
+
+        rep = Machine(nproc).run(prog)
+        assert rep.results == [("v", root)] * nproc
+        # all clocks equal after the collective
+        times = {round(r.time, 15) for r in rep.ranks}
+        assert len(times) == 1
+
+    @given(st.integers(2, 5), st.floats(0.0, 1e-3))
+    @settings(max_examples=20, deadline=None)
+    def test_makespan_at_least_max_compute(self, nproc, work):
+        def prog(ctx):
+            yield Compute(work * (ctx.rank + 1))
+            yield Barrier()
+            return None
+
+        rep = Machine(nproc).run(prog)
+        assert rep.makespan >= work * nproc - 1e-15

@@ -1,0 +1,98 @@
+"""Grab-bag coverage for less-traveled paths."""
+
+import numpy as np
+import pytest
+
+from repro.core.generator import spd_generator
+from repro.core.schur_spd import schur_spd_factor
+from repro.core.streaming import iter_r_block_rows
+from repro.machine import Machine
+from repro.machine.ops import Reduce
+from repro.toeplitz import ar_block_toeplitz, kms_toeplitz
+
+
+class TestStreamingGeneratorInput:
+    def test_stream_from_prebuilt_generator(self):
+        t = ar_block_toeplitz(6, 2, seed=1)
+        g = spd_generator(t)
+        fact = schur_spd_factor(t)
+        for i, row in iter_r_block_rows(g):
+            np.testing.assert_allclose(
+                row, fact.r[i * 2:(i + 1) * 2, i * 2:], atol=1e-11)
+
+    def test_generator_not_consumed(self):
+        t = kms_toeplitz(12, 0.5)
+        g = spd_generator(t)
+        snap = np.array(g.gen)
+        list(iter_r_block_rows(g))
+        np.testing.assert_array_equal(g.gen, snap)
+
+
+class TestReduceTracing:
+    def test_reduce_appears_in_trace(self):
+        def prog(ctx):
+            got = yield Reduce(root=0, payload=np.ones(2), words=2)
+            return None if got is None else float(got.sum())
+
+        rep = Machine(3, trace=True).run(prog)
+        assert rep.results[0] == 6.0
+        kinds = {e.kind for e in rep.trace.events}
+        assert "reduce" in kinds
+
+
+class TestAccumulatorGrowth:
+    @pytest.mark.parametrize("rep", ["vy1", "vy2", "yty"])
+    def test_growth_past_initial_capacity(self, rep):
+        # initial buffer capacity is 4; m = 12 forces two doublings
+        from repro.core.schur_spd import SchurOptions
+        t = kms_toeplitz(48, 0.5).regroup(12)
+        fact = schur_spd_factor(t, options=SchurOptions(
+            representation=rep))
+        np.testing.assert_allclose(fact.reconstruct(), t.dense(),
+                                   atol=1e-9)
+
+    @pytest.mark.parametrize("rep", ["vy1", "vy2", "yty"])
+    def test_finished_factors_independent_of_buffers(self, rep):
+        from repro.core.block_reflector import make_accumulator
+        from repro.core.hyperbolic import HyperbolicHouseholder
+        from repro.core.signature import signature_vector
+        rng = np.random.default_rng(3)
+        w = signature_vector([1, 1, -1, -1])
+        acc = make_accumulator(rep, w)
+        refls = []
+        while len(refls) < 6:
+            x = rng.standard_normal(4)
+            if abs((w * x) @ x) > 0.3:
+                refl = HyperbolicHouseholder(x, w)
+                refls.append(refl)
+                acc.append(refl)
+        u = acc.finish()
+        before = u.matrix().copy()
+        # further appends must not corrupt the frozen product
+        x = rng.standard_normal(4) + 2.0
+        acc.append(HyperbolicHouseholder(x, w))
+        np.testing.assert_allclose(u.matrix(), before, atol=1e-12)
+
+
+class TestCondestOptions:
+    def test_max_iter_controls_work(self):
+        from repro.core.condest import condest
+        t = kms_toeplitz(24, 0.8)
+        a = condest(t, max_iter=1)
+        b = condest(t, max_iter=8)
+        ref = np.linalg.cond(t.dense(), 1)
+        assert b <= 1.5 * ref
+        assert a > 0
+
+
+class TestCliDenseSolve:
+    def test_dense_matrix_with_block_size(self, tmp_path, capsys):
+        from repro.cli import main
+        t = ar_block_toeplitz(5, 2, seed=4)
+        mp = tmp_path / "m.npy"
+        bp = tmp_path / "b.npy"
+        np.save(mp, t.dense())
+        np.save(bp, np.ones(10))
+        assert main(["solve", str(mp), str(bp),
+                     "--block-size", "2"]) == 0
+        assert "‖T x − b‖₂" in capsys.readouterr().out

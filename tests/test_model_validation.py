@@ -1,0 +1,60 @@
+"""Closing the modeling loop: the empirical host model must predict the
+*real* wall-clock of the serial factorization to within a modest band.
+
+This is the methodology the paper applied to the Y-MP ("an empirical
+characterization of the primitives performance"), validated here
+end-to-end against actual measurements on this machine.
+"""
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.blas.empirical import measure_host_model
+from repro.core.regroup import choose_block_size
+from repro.core.schur_spd import schur_spd_factor
+from repro.toeplitz import kms_toeplitz
+
+
+def _wall(fn, repeats=3):
+    best = np.inf
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - t0)
+    return best
+
+
+@pytest.mark.slow
+class TestHostModelValidation:
+    def test_predictions_within_band(self):
+        host = measure_host_model(quick=True)
+        n = 1024
+        t = kms_toeplitz(n, 0.5)
+        _, preds = choose_block_size(n, 1, host,
+                                     candidates=[1, 4, 16])
+        pred = {p.block_size: p.seconds for p in preds}
+        measured = {}
+        for ms in (1, 4, 16):
+            ts = t.regroup(ms)
+            measured[ms] = _wall(lambda ts=ts: schur_spd_factor(ts))
+        # absolute predictions within an order of magnitude …
+        for ms in (1, 4, 16):
+            ratio = pred[ms] / measured[ms]
+            assert 0.1 < ratio < 10.0, (ms, pred[ms], measured[ms])
+        # … and the model must know that m_s = 1 is not the fastest
+        best_pred = min(pred, key=pred.get)
+        best_meas = min(measured, key=measured.get)
+        assert best_pred != 1
+        assert best_meas != 1
+
+    def test_relative_ordering_of_extremes(self):
+        host = measure_host_model(quick=True)
+        n = 512
+        _, preds = choose_block_size(n, 1, host, candidates=[1, 16])
+        pred = {p.block_size: p.seconds for p in preds}
+        t = kms_toeplitz(n, 0.5)
+        m1 = _wall(lambda: schur_spd_factor(t))
+        m16 = _wall(lambda: schur_spd_factor(t.regroup(16)))
+        assert (pred[16] < pred[1]) == (m16 < m1)

@@ -1,0 +1,133 @@
+"""Seeded fuzz grid: accuracy of every solver against LAPACK references.
+
+Condition-scaled tolerances: for a backward-stable solver the forward
+error is bounded by ≈ κ(T)·ε, so each comparison budgets
+``tol = C · κ₁(T) · ε · ‖x‖`` with a generous constant.
+"""
+
+import numpy as np
+import pytest
+
+from repro.baselines import block_levinson_solve, dense_ldl_solve
+from repro.core.gko import solve_toeplitz_gko
+from repro.core.schur_indefinite import schur_indefinite_factor
+from repro.core.schur_spd import schur_spd_factor
+from repro.core.solve import solve_refined
+from repro.errors import SingularMinorError
+from repro.toeplitz import (
+    ar_block_toeplitz,
+    fgn_toeplitz,
+    indefinite_toeplitz,
+    kms_toeplitz,
+    ma_banded_toeplitz,
+    prolate_toeplitz,
+    singular_minor_toeplitz,
+    spectral_block_toeplitz,
+)
+
+EPS = np.finfo(np.float64).eps
+
+SPD_CASES = [
+    ("kms-mild", lambda s: kms_toeplitz(48, 0.5)),
+    ("kms-hard", lambda s: kms_toeplitz(48, 0.95)),
+    ("prolate", lambda s: prolate_toeplitz(24, 0.42)),
+    ("fgn", lambda s: fgn_toeplitz(40, 0.85)),
+    ("ma", lambda s: ma_banded_toeplitz(36, (0.7, 0.4, 0.2))),
+    ("ar-m2", lambda s: ar_block_toeplitz(16, 2, seed=s)),
+    ("ar-m4", lambda s: ar_block_toeplitz(10, 4, seed=s)),
+    ("spectral-m3", lambda s: spectral_block_toeplitz(12, 3, seed=s)),
+]
+
+
+def _tolerance(t, x, factor=1e3):
+    kappa = np.linalg.cond(t.dense(), 1)
+    return factor * kappa * EPS * max(np.linalg.norm(x), 1.0)
+
+
+@pytest.mark.parametrize("name,maker", SPD_CASES)
+@pytest.mark.parametrize("seed", [0, 1, 2])
+class TestSPDGrid:
+    def test_schur_solve(self, name, maker, seed):
+        t = maker(seed)
+        rng = np.random.default_rng(seed + 100)
+        x_true = rng.standard_normal(t.order)
+        b = t.dense() @ x_true
+        x = schur_spd_factor(t).solve(b)
+        assert np.linalg.norm(x - x_true) <= _tolerance(t, x_true)
+
+    def test_levinson_solve(self, name, maker, seed):
+        t = maker(seed)
+        rng = np.random.default_rng(seed + 200)
+        x_true = rng.standard_normal(t.order)
+        b = t.dense() @ x_true
+        x = block_levinson_solve(t, b).x
+        assert np.linalg.norm(x - x_true) <= _tolerance(t, x_true)
+
+    def test_gko_solve(self, name, maker, seed):
+        t = maker(seed)
+        rng = np.random.default_rng(seed + 300)
+        x_true = rng.standard_normal(t.order)
+        b = t.dense() @ x_true
+        x = solve_toeplitz_gko(t, b)
+        assert np.linalg.norm(x - x_true) <= _tolerance(t, x_true)
+
+
+@pytest.mark.parametrize("seed", range(8))
+class TestIndefiniteGrid:
+    def test_indefinite_vs_lapack(self, seed):
+        t = indefinite_toeplitz(15, seed=seed)
+        rng = np.random.default_rng(seed + 400)
+        x_true = rng.standard_normal(15)
+        b = t.dense() @ x_true
+        fact = schur_indefinite_factor(t)
+        res = solve_refined(t, b)
+        ref = dense_ldl_solve(t, b)
+        tol = _tolerance(t, x_true, factor=1e4)
+        assert np.linalg.norm(res.x - x_true) <= tol
+        assert np.linalg.norm(ref - x_true) <= tol
+
+    def test_singular_minor_refined(self, seed):
+        t = singular_minor_toeplitz(14, minor=2, seed=seed)
+        rng = np.random.default_rng(seed + 500)
+        x_true = rng.standard_normal(14)
+        b = t.dense() @ x_true
+        res = solve_refined(t, b)
+        assert res.converged
+        assert np.linalg.norm(res.x - x_true) <= \
+            _tolerance(t, x_true, factor=1e4)
+
+    def test_gko_on_indefinite(self, seed):
+        t = indefinite_toeplitz(13, seed=seed)
+        rng = np.random.default_rng(seed + 600)
+        x_true = rng.standard_normal(13)
+        b = t.dense() @ x_true
+        x = solve_toeplitz_gko(t, b)
+        assert np.linalg.norm(x - x_true) <= \
+            _tolerance(t, x_true, factor=1e4)
+
+
+class TestGrowthAndStability:
+    @pytest.mark.parametrize("rho", [0.1, 0.5, 0.9, 0.99])
+    def test_residual_backward_stable(self, rho, rng):
+        # ‖RᵀR − T‖ should stay a modest multiple of ε‖T‖ for SPD
+        # matrices regardless of conditioning (Schur is weakly stable).
+        t = kms_toeplitz(64, rho)
+        fact = schur_spd_factor(t)
+        d = t.dense()
+        resid = np.max(np.abs(fact.reconstruct() - d))
+        assert resid <= 1e3 * EPS * np.linalg.norm(d) * \
+            np.sqrt(np.linalg.cond(d))
+
+    def test_factor_entries_bounded_spd(self):
+        # SPD: |R[i, j]| ≤ √(T_jj); no element growth.
+        t = ar_block_toeplitz(12, 3, seed=7)
+        fact = schur_spd_factor(t)
+        dmax = np.sqrt(np.max(np.diag(t.dense())))
+        assert np.max(np.abs(fact.r)) <= dmax * (1 + 1e-10)
+
+    @pytest.mark.parametrize("n", [2, 3, 5, 8, 13, 21, 34])
+    def test_size_sweep(self, n, rng):
+        t = kms_toeplitz(n, 0.6)
+        b = rng.standard_normal(n)
+        x = schur_spd_factor(t).solve(b)
+        np.testing.assert_allclose(t.dense() @ x, b, atol=1e-9)

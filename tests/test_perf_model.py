@@ -1,0 +1,157 @@
+"""Tests for the Hockney performance models and machine
+parameterizations."""
+
+import numpy as np
+import pytest
+
+from repro.blas.cray import (
+    T3DNetworkParameters,
+    cray_ymp_model,
+    t3d_node_model,
+)
+from repro.blas.empirical import _fit_hockney, measure_host_model
+from repro.blas.perf_model import BlasPerformanceModel, HockneyRate
+from repro.core.flops import PrimitiveCall
+from repro.errors import ShapeError
+
+
+class TestHockney:
+    def test_rate_monotone_in_length(self):
+        h = HockneyRate(r_inf=100e6, n_half=50)
+        rates = [h.rate(ell) for ell in (1, 4, 16, 64, 256, 4096)]
+        assert all(a < b for a, b in zip(rates, rates[1:]))
+
+    def test_asymptote(self):
+        h = HockneyRate(r_inf=100e6, n_half=10)
+        assert h.rate(1e9) == pytest.approx(100e6, rel=1e-6)
+
+    def test_half_performance_at_n_half(self):
+        h = HockneyRate(r_inf=100e6, n_half=32)
+        assert h.rate(32) == pytest.approx(50e6)
+
+    def test_time(self):
+        h = HockneyRate(r_inf=2.0, n_half=0)
+        assert h.time(10, 100) == pytest.approx(5.0)
+
+    def test_invalid_length(self):
+        with pytest.raises(ShapeError):
+            HockneyRate(1e6, 10).rate(0)
+
+
+class TestBlasPerformanceModel:
+    def _model(self):
+        return BlasPerformanceModel(
+            name="test",
+            level1=HockneyRate(10e6, 10),
+            level2=HockneyRate(20e6, 10),
+            level3=HockneyRate(40e6, 10),
+            call_latency=1e-6)
+
+    def test_level_routing(self):
+        m = self._model()
+        t1 = m.time(PrimitiveCall("axpy", (100,)))
+        t2 = m.time(PrimitiveCall("gemv", (100, 100)))
+        t3 = m.time(PrimitiveCall("gemm", (100, 100, 100)))
+        assert t1 > 0 and t2 > 0 and t3 > 0
+        # same flops run faster at higher BLAS levels
+        f = 2 * 100 * 100
+        assert m.level3.time(f, 100) < m.level2.time(f, 100) < \
+            m.level1.time(f, 100)
+
+    def test_gemm_shape_sensitivity(self):
+        # short-and-wide gemm must be slower per flop than cubic gemm
+        m = self._model()
+        cubic = PrimitiveCall("gemm", (64, 64, 64))
+        wide = PrimitiveCall("gemm", (2, 64 * 64 * 16, 2))
+        rate_cubic = cubic.flops / m.time(cubic)
+        rate_wide = wide.flops / m.time(wide)
+        assert rate_wide < rate_cubic
+
+    def test_latency_floor(self):
+        m = self._model()
+        assert m.time(PrimitiveCall("dot", (1,))) >= 1e-6
+
+    def test_time_many_and_mflops(self):
+        m = self._model()
+        calls = [PrimitiveCall("gemm", (32, 32, 32))] * 3
+        assert m.time_many(calls) == pytest.approx(
+            3 * m.time(calls[0]))
+        assert m.achieved_mflops(calls) > 0
+
+    def test_unknown_primitive(self):
+        with pytest.raises(ShapeError):
+            self._model().time(PrimitiveCall("quux", (1,)))
+
+    def test_trsm_supported(self):
+        assert self._model().time(PrimitiveCall("trsm", (8, 16))) > 0
+
+
+class TestCrayModels:
+    def test_ymp_favors_level3(self):
+        m = cray_ymp_model()
+        assert m.level3.r_inf > m.level2.r_inf > m.level1.r_inf
+
+    def test_ymp_large_block_advantage(self):
+        # the Figure-10 mechanism: gemm rate rises steeply with block size
+        m = cray_ymp_model()
+        c1 = PrimitiveCall("gemm", (1, 1000, 2))
+        c16 = PrimitiveCall("gemm", (16, 1000, 32))
+        r1 = c1.flops / m.time(c1)
+        r16 = c16.flops / m.time(c16)
+        assert r16 > 5 * r1
+
+    def test_t3d_node_under_peak(self):
+        m = t3d_node_model()
+        assert m.level3.r_inf < 150e6  # Alpha 21064 peak
+
+    def test_t3d_cache_line_effect(self):
+        # rate(m=4) comfortably above rate(m=2): the Figure-9 mechanism
+        m = t3d_node_model()
+        assert m.level3.rate(4) > 1.2 * m.level3.rate(2)
+
+
+class TestT3DNetwork:
+    def test_put_time_components(self):
+        net = T3DNetworkParameters(put_latency=1e-6, put_gap=0.5e-6,
+                                   bandwidth=300e6)
+        t1 = net.put_time(words=0, count=1)
+        assert t1 == pytest.approx(1e-6)
+        t2 = net.put_time(words=0, count=11)
+        assert t2 == pytest.approx(1e-6 + 10 * 0.5e-6)
+        t3 = net.put_time(words=300_000_000 // 8, count=1)
+        assert t3 == pytest.approx(1.0 + 1e-6)
+
+    def test_hops_scale_latency(self):
+        net = T3DNetworkParameters()
+        assert net.put_time(8, hops=4) > net.put_time(8, hops=1)
+
+    def test_broadcast_log_scaling(self):
+        net = T3DNetworkParameters()
+        t16 = net.broadcast_time(100, 16)
+        t256 = net.broadcast_time(100, 256)
+        assert t256 == pytest.approx(2 * t16)
+        assert net.broadcast_time(100, 1) == 0.0
+
+    def test_barrier_log_scaling(self):
+        net = T3DNetworkParameters()
+        assert net.barrier_time(1) == 0.0
+        assert net.barrier_time(64) == pytest.approx(
+            6 * net.barrier_per_stage)
+
+
+class TestEmpirical:
+    def test_fit_hockney_recovers_parameters(self):
+        truth = HockneyRate(r_inf=80e6, n_half=24)
+        lengths = np.array([4.0, 8, 16, 32, 64, 256, 1024])
+        rates = np.array([truth.rate(x) for x in lengths])
+        fit = _fit_hockney(lengths, rates)
+        assert fit.r_inf == pytest.approx(80e6, rel=0.05)
+        assert fit.n_half == pytest.approx(24, rel=0.1)
+
+    @pytest.mark.slow
+    def test_measure_host_model(self):
+        m = measure_host_model(quick=True)
+        assert m.level1.r_inf > 0
+        assert m.level3.r_inf > m.level1.r_inf * 0.1
+        # the fitted model must price a call sensibly
+        assert m.time(PrimitiveCall("gemm", (64, 64, 64))) > 0

@@ -1,0 +1,51 @@
+"""Tests for the ASCII chart renderer."""
+
+import math
+
+import pytest
+
+from repro.bench.plots import ascii_plot
+
+
+class TestAsciiPlot:
+    def test_basic_render(self):
+        text = ascii_plot([1, 2, 3], {"a": [1.0, 2.0, 3.0]},
+                          width=20, height=5, title="T", x_label="n")
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert "[n]" in text
+        assert "o a" in text
+        assert "o" in "".join(lines[1:6])
+
+    def test_extremes_on_axis_rows(self):
+        text = ascii_plot([0, 1], {"a": [0.0, 10.0]}, width=10, height=4)
+        lines = text.splitlines()
+        assert lines[0].strip().startswith("10")
+        assert lines[3].strip().startswith("0")
+
+    def test_multiple_series_markers(self):
+        text = ascii_plot([0, 1], {"a": [1, 2], "b": [2, 1]},
+                          width=12, height=4)
+        assert "o a" in text and "x b" in text
+
+    def test_logy(self):
+        text = ascii_plot([1, 2, 3], {"a": [1.0, 10.0, 100.0]},
+                          width=12, height=5, logy=True)
+        assert "100" in text
+
+    def test_logy_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            ascii_plot([1], {"a": [0.0]}, logy=True)
+
+    def test_nan_gap(self):
+        text = ascii_plot([1, 2, 3], {"a": [1.0, math.nan, 3.0]},
+                          width=12, height=4)
+        assert "(no data)" not in text
+
+    def test_empty_inputs(self):
+        assert ascii_plot([], {}) == "(no data)"
+        assert ascii_plot([1], {"a": [math.nan]}) == "(no data)"
+
+    def test_constant_series(self):
+        text = ascii_plot([1, 2], {"a": [5.0, 5.0]}, width=10, height=4)
+        assert "5" in text

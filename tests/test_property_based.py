@@ -1,0 +1,203 @@
+"""Property-based tests (hypothesis) for the core invariants."""
+
+import numpy as np
+import pytest
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.core.block_reflector import make_accumulator
+from repro.core.generator import displacement, spd_generator
+from repro.core.hyperbolic import HyperbolicHouseholder, \
+    reflector_annihilating
+from repro.core.schur_indefinite import schur_indefinite_factor
+from repro.core.schur_spd import SchurOptions, schur_spd_factor
+from repro.core.signature import hyperbolic_norm_squared, signature_vector
+from repro.baselines import block_levinson_solve
+from repro.errors import BreakdownError, SingularMinorError
+from repro.toeplitz import SymmetricBlockToeplitz, block_toeplitz_matvec
+from repro.toeplitz.workloads import spectral_block_toeplitz
+
+# Strategy: moderate sizes keep each example fast while varying shapes.
+dims = st.tuples(st.integers(2, 8), st.integers(1, 4))  # (p, m)
+seeds = st.integers(0, 10_000)
+
+
+def _spd_from_seed(p, m, seed):
+    return spectral_block_toeplitz(p, m, seed=seed)
+
+
+def _sym_from_seed(p, m, seed):
+    rng = np.random.default_rng(seed)
+    blocks = [rng.uniform(-1, 1, size=(m, m)) for _ in range(p)]
+    blocks[0] = blocks[0] + blocks[0].T
+    return SymmetricBlockToeplitz(blocks)
+
+
+class TestStructuralProperties:
+    @given(dims, seeds)
+    @settings(max_examples=30, deadline=None)
+    def test_dense_symmetric_and_toeplitz(self, dim, seed):
+        p, m = dim
+        t = _sym_from_seed(p, m, seed)
+        d = t.dense()
+        np.testing.assert_allclose(d, d.T, atol=1e-12)
+        for i in range(p - 1):
+            np.testing.assert_allclose(
+                d[i * m:(i + 1) * m, (i + 1) * m:(i + 2) * m],
+                d[:m, m:2 * m], atol=1e-12)
+
+    @given(dims, seeds)
+    @settings(max_examples=30, deadline=None)
+    def test_matvec_matches_dense(self, dim, seed):
+        p, m = dim
+        t = _sym_from_seed(p, m, seed)
+        x = np.random.default_rng(seed + 1).standard_normal(t.order)
+        np.testing.assert_allclose(block_toeplitz_matvec(t, x),
+                                   t.dense() @ x, atol=1e-8)
+
+    @given(dims, seeds)
+    @settings(max_examples=30, deadline=None)
+    def test_displacement_rank_bound(self, dim, seed):
+        p, m = dim
+        t = _sym_from_seed(p, m, seed)
+        s = np.linalg.svd(displacement(t), compute_uv=False)
+        if s[0] > 0:
+            rank = int(np.sum(s > 1e-9 * s[0]))
+            assert rank <= 2 * m
+
+    @given(dims, seeds, st.integers(1, 3))
+    @settings(max_examples=20, deadline=None)
+    def test_regroup_preserves_dense(self, dim, seed, factor):
+        p, m = dim
+        t = _sym_from_seed(p, m, seed)
+        ms = m * factor
+        assume(t.order % ms == 0)
+        np.testing.assert_allclose(t.regroup(ms).dense(), t.dense(),
+                                   atol=1e-12)
+
+
+class TestReflectorProperties:
+    @given(st.integers(2, 8), seeds)
+    @settings(max_examples=40, deadline=None)
+    def test_w_unitarity(self, n, seed):
+        rng = np.random.default_rng(seed)
+        w = signature_vector(rng.choice([-1, 1], size=n))
+        x = rng.standard_normal(n)
+        assume(abs(hyperbolic_norm_squared(x, w)) > 1e-3 * float(x @ x))
+        u = HyperbolicHouseholder(x, w)
+        wmat = np.diag(w.astype(float))
+        umat = u.matrix()
+        scale = max(1.0, np.linalg.norm(umat) ** 2)
+        np.testing.assert_allclose(umat.T @ wmat @ umat, wmat,
+                                   atol=1e-11 * scale)
+
+    @given(st.integers(2, 6), seeds)
+    @settings(max_examples=40, deadline=None)
+    def test_annihilation_property(self, n, seed):
+        rng = np.random.default_rng(seed)
+        w = signature_vector(rng.choice([-1, 1], size=n))
+        u_vec = rng.standard_normal(n)
+        h = hyperbolic_norm_squared(u_vec, w)
+        assume(abs(h) > 1e-3 * float(u_vec @ u_vec))
+        targets = np.nonzero(w == (1 if h > 0 else -1))[0]
+        assume(targets.size > 0)
+        j = int(targets[0])
+        refl, sigma = reflector_annihilating(u_vec, w, j)
+        out = refl.apply_left(u_vec)
+        expect = np.zeros(n)
+        expect[j] = -sigma
+        np.testing.assert_allclose(
+            out, expect, atol=1e-8 * max(1.0, abs(sigma),
+                                         np.linalg.norm(refl.x) ** 2))
+
+    @given(st.integers(1, 5), seeds,
+           st.sampled_from(["vy1", "vy2", "yty"]))
+    @settings(max_examples=30, deadline=None)
+    def test_accumulated_product(self, k, seed, rep):
+        rng = np.random.default_rng(seed)
+        n = 6
+        w = signature_vector([1, 1, 1, -1, -1, -1])
+        acc = make_accumulator(rep, w)
+        explicit = np.eye(n)
+        count = 0
+        while count < k:
+            x = rng.standard_normal(n)
+            if abs(hyperbolic_norm_squared(x, w)) < 0.5:
+                continue
+            refl = HyperbolicHouseholder(x, w)
+            acc.append(refl)
+            explicit = refl.matrix() @ explicit
+            count += 1
+        scale = max(1.0, np.linalg.norm(explicit))
+        np.testing.assert_allclose(acc.finish().matrix(), explicit,
+                                   atol=1e-9 * scale)
+
+
+class TestFactorizationProperties:
+    @given(dims, seeds)
+    @settings(max_examples=25, deadline=None)
+    def test_spd_factorization(self, dim, seed):
+        p, m = dim
+        t = _spd_from_seed(p, m, seed)
+        fact = schur_spd_factor(t)
+        d = t.dense()
+        scale = np.linalg.norm(d)
+        cond = np.linalg.cond(d)
+        assert np.max(np.abs(fact.r.T @ fact.r - d)) <= \
+            1e-12 * scale * max(cond, 10)
+        assert np.all(np.diag(fact.r) > 0)
+
+    @given(dims, seeds, st.sampled_from(["vy1", "vy2", "yty"]),
+           st.integers(1, 4))
+    @settings(max_examples=20, deadline=None)
+    def test_representation_and_panel_equivalence(self, dim, seed, rep,
+                                                  panel):
+        p, m = dim
+        t = _spd_from_seed(p, m, seed)
+        base = schur_spd_factor(t).r
+        alt = schur_spd_factor(
+            t, options=SchurOptions(representation=rep,
+                                    panel=min(panel, m))).r
+        np.testing.assert_allclose(alt, base,
+                                   atol=1e-8 * max(1, np.linalg.norm(base)))
+
+    @given(dims, seeds)
+    @settings(max_examples=20, deadline=None)
+    def test_indefinite_factorization(self, dim, seed):
+        p, m = dim
+        t = _sym_from_seed(p, m, seed)
+        try:
+            fact = schur_indefinite_factor(t, perturb=False)
+        except (SingularMinorError, BreakdownError):
+            assume(False)
+            return
+        d = t.dense()
+        scale = max(1.0, np.linalg.norm(d))
+        growth = max(1.0, np.linalg.norm(fact.r) ** 2 / scale)
+        assert np.max(np.abs(fact.reconstruct() - d)) <= \
+            1e-10 * scale * growth
+
+    @given(dims, seeds)
+    @settings(max_examples=15, deadline=None)
+    def test_levinson_agrees_with_schur(self, dim, seed):
+        p, m = dim
+        t = _spd_from_seed(p, m, seed)
+        b = np.random.default_rng(seed + 2).standard_normal(t.order)
+        x_lev = block_levinson_solve(t, b).x
+        x_schur = schur_spd_factor(t).solve(b)
+        cond = np.linalg.cond(t.dense())
+        np.testing.assert_allclose(
+            x_lev, x_schur,
+            atol=1e-10 * max(cond, 10) * max(1, np.linalg.norm(x_schur)))
+
+    @given(dims, seeds)
+    @settings(max_examples=15, deadline=None)
+    def test_solve_residual(self, dim, seed):
+        p, m = dim
+        t = _spd_from_seed(p, m, seed)
+        b = np.random.default_rng(seed + 3).standard_normal(t.order)
+        x = schur_spd_factor(t).solve(b)
+        cond = np.linalg.cond(t.dense())
+        resid = np.linalg.norm(t.dense() @ x - b)
+        assert resid <= 1e-11 * max(cond, 10) * np.linalg.norm(b)

@@ -1,0 +1,127 @@
+"""Property-based tests for the extension modules (GKO, streaming,
+generalized displacement, Toeplitz-block)."""
+
+import numpy as np
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+
+from repro.core.displacement_rank import (
+    generalized_schur_factor,
+    generator_from_dense,
+    matrix_from_generator,
+)
+from repro.core.gko import solve_toeplitz_gko
+from repro.core.schur_spd import schur_spd_factor
+from repro.core.streaming import streaming_logdet, streaming_whiten
+from repro.errors import BreakdownError, SingularMinorError
+from repro.toeplitz import BlockToeplitz, SymmetricToeplitzBlock, \
+    ar_block_toeplitz
+from repro.toeplitz.workloads import spectral_block_toeplitz
+
+dims = st.tuples(st.integers(2, 7), st.integers(1, 3))
+seeds = st.integers(0, 10_000)
+
+
+class TestGKOProperties:
+    @given(dims, seeds)
+    @settings(max_examples=25, deadline=None)
+    def test_solve_residual(self, dim, seed):
+        p, m = dim
+        rng = np.random.default_rng(seed)
+        col = [rng.uniform(-1, 1, (m, m)) for _ in range(p)]
+        row = [col[0]] + [rng.uniform(-1, 1, (m, m))
+                          for _ in range(p - 1)]
+        t = BlockToeplitz(col, row)
+        d = t.dense()
+        assume(abs(np.linalg.det(d)) > 1e-8)
+        cond = np.linalg.cond(d)
+        assume(cond < 1e8)
+        b = rng.standard_normal(t.order)
+        try:
+            x = solve_toeplitz_gko(t, b)
+        except BreakdownError:
+            assume(False)
+            return
+        assert np.linalg.norm(d @ x - b) <= \
+            1e-10 * cond * max(np.linalg.norm(b), 1.0)
+
+
+class TestStreamingProperties:
+    @given(dims, seeds)
+    @settings(max_examples=25, deadline=None)
+    def test_whiten_equals_stored_solve(self, dim, seed):
+        p, m = dim
+        t = spectral_block_toeplitz(p, m, seed=seed)
+        rng = np.random.default_rng(seed + 1)
+        b = rng.standard_normal(t.order)
+        import scipy.linalg as sla
+        fact = schur_spd_factor(t)
+        ref = sla.solve_triangular(fact.r, b, trans=1,
+                                   check_finite=False)
+        got = streaming_whiten(t, b)
+        scale = max(1.0, np.linalg.norm(ref))
+        np.testing.assert_allclose(got, ref, atol=1e-9 * scale)
+
+    @given(dims, seeds)
+    @settings(max_examples=20, deadline=None)
+    def test_logdet_matches_slogdet(self, dim, seed):
+        p, m = dim
+        t = spectral_block_toeplitz(p, m, seed=seed)
+        _, ref = np.linalg.slogdet(t.dense())
+        got = streaming_logdet(t)
+        assert abs(got - ref) <= 1e-8 * max(1.0, abs(ref))
+
+
+class TestGeneralizedDisplacementProperties:
+    @given(st.integers(4, 12), st.integers(2, 5), seeds)
+    @settings(max_examples=25, deadline=None)
+    def test_round_trip_and_factor(self, n, alpha, seed):
+        rng = np.random.default_rng(seed)
+        g = rng.uniform(-1, 1, (alpha, n))
+        w = np.array([1 if i % 2 == 0 else -1 for i in range(alpha)],
+                     dtype=np.int8)
+        a0 = matrix_from_generator(g, w)
+        lam = np.linalg.eigvalsh(a0)
+        a = a0 + (abs(lam[0]) + 1.0) * np.eye(n)
+        g2, w2 = generator_from_dense(a)
+        np.testing.assert_allclose(matrix_from_generator(g2, w2), a,
+                                   atol=1e-8 * max(1, np.linalg.norm(a)))
+        try:
+            fact = generalized_schur_factor(g2, w2)
+        except (SingularMinorError, BreakdownError):
+            assume(False)
+            return
+        np.testing.assert_allclose(
+            fact.reconstruct(), a,
+            atol=1e-8 * max(1, np.linalg.norm(a)) *
+            max(1, np.linalg.cond(a) ** 0.5))
+
+
+class TestToeplitzBlockProperties:
+    @given(st.tuples(st.integers(2, 6), st.integers(1, 3)), seeds)
+    @settings(max_examples=20, deadline=None)
+    def test_shuffle_identity(self, dim, seed):
+        p, m = dim
+        t = ar_block_toeplitz(p, m, seed=seed)
+        gammas = np.stack([np.array(t.top_blocks[k]) for k in range(p)])
+        tb = SymmetricToeplitzBlock.from_cross_covariances(gammas)
+        d = tb.dense()
+        perm = tb.permutation()
+        np.testing.assert_allclose(d[np.ix_(perm, perm)],
+                                   tb.to_block_toeplitz().dense(),
+                                   atol=1e-10)
+
+    @given(st.tuples(st.integers(2, 6), st.integers(1, 3)), seeds)
+    @settings(max_examples=15, deadline=None)
+    def test_solve_in_original_ordering(self, dim, seed):
+        p, m = dim
+        t = ar_block_toeplitz(p, m, seed=seed)
+        gammas = np.stack([np.array(t.top_blocks[k]) for k in range(p)])
+        tb = SymmetricToeplitzBlock.from_cross_covariances(gammas)
+        rng = np.random.default_rng(seed + 5)
+        b = rng.standard_normal(tb.order)
+        x = tb.solve(b)
+        d = tb.dense()
+        cond = np.linalg.cond(d)
+        assert np.linalg.norm(d @ x - b) <= \
+            1e-10 * max(cond, 10) * np.linalg.norm(b)

@@ -1,0 +1,131 @@
+"""Tests for the high-level API in :mod:`repro.core.solve`."""
+
+import numpy as np
+import pytest
+
+from repro.core.solve import cholesky, ldlt, solve, solve_refined
+from repro.errors import NotPositiveDefiniteError, ShapeError
+from repro.toeplitz import (
+    ar_block_toeplitz,
+    indefinite_toeplitz,
+    kms_toeplitz,
+    paper_example_matrix,
+    singular_minor_toeplitz,
+)
+
+
+class TestCholeskyAPI:
+    def test_block_toeplitz_input(self, small_spd_block):
+        fact = cholesky(small_spd_block)
+        np.testing.assert_allclose(fact.reconstruct(),
+                                   small_spd_block.dense(), atol=1e-9)
+
+    def test_first_row_input(self):
+        fact = cholesky([1.0, 0.5, 0.25])
+        t = kms_toeplitz(3, 0.5)
+        np.testing.assert_allclose(fact.reconstruct(), t.dense(),
+                                   atol=1e-12)
+
+    def test_dense_input_with_block_size(self, small_spd_block):
+        fact = cholesky(small_spd_block.dense(),
+                        block_size=small_spd_block.block_size)
+        np.testing.assert_allclose(fact.reconstruct(),
+                                   small_spd_block.dense(), atol=1e-9)
+
+    def test_dense_input_requires_block_size(self, small_spd_block):
+        with pytest.raises(ShapeError):
+            cholesky(small_spd_block.dense())
+
+    def test_representation_kwarg(self, small_spd_block):
+        r1 = cholesky(small_spd_block, representation="yty").r
+        r2 = cholesky(small_spd_block).r
+        np.testing.assert_allclose(r1, r2, atol=1e-10)
+
+    def test_3d_input_rejected(self):
+        with pytest.raises(ShapeError):
+            cholesky(np.ones((2, 2, 2)))
+
+
+class TestLdltAPI:
+    def test_indefinite(self):
+        t = indefinite_toeplitz(10, seed=1)
+        fact = ldlt(t)
+        if not fact.perturbed:
+            np.testing.assert_allclose(fact.reconstruct(), t.dense(),
+                                       atol=1e-7)
+
+    def test_singular_minor_with_perturb(self):
+        fact = ldlt(paper_example_matrix())
+        assert fact.perturbed
+
+    def test_perturb_false(self):
+        from repro.errors import SingularMinorError
+        with pytest.raises(SingularMinorError):
+            ldlt(paper_example_matrix(), perturb=False)
+
+
+class TestSolveAPI:
+    def test_spd_path(self, small_spd_block, rng):
+        b = rng.standard_normal(small_spd_block.order)
+        x = solve(small_spd_block, b)
+        np.testing.assert_allclose(small_spd_block.dense() @ x, b,
+                                   atol=1e-8)
+
+    def test_auto_fallback_to_indefinite(self, rng):
+        t = indefinite_toeplitz(9, seed=2)
+        b = rng.standard_normal(9)
+        x = solve(t, b)
+        np.testing.assert_allclose(t.dense() @ x, b, atol=1e-6)
+
+    def test_singular_minor_auto(self, rng):
+        t = singular_minor_toeplitz(8, seed=3)
+        b = rng.standard_normal(8)
+        x = solve(t, b)
+        np.testing.assert_allclose(t.dense() @ x, b, atol=1e-6)
+
+    def test_assume_spd_raises_on_indefinite(self):
+        t = indefinite_toeplitz(8, seed=4)
+        with pytest.raises(NotPositiveDefiniteError):
+            solve(t, np.ones(8), assume="spd")
+
+    def test_assume_indefinite_path(self, rng):
+        t = kms_toeplitz(12, 0.5)
+        b = rng.standard_normal(12)
+        x = solve(t, b, assume="indefinite")
+        np.testing.assert_allclose(t.dense() @ x, b, atol=1e-8)
+
+    def test_unknown_assume(self):
+        with pytest.raises(ShapeError):
+            solve(kms_toeplitz(4, 0.5), np.ones(4), assume="maybe")
+
+    def test_first_row_input(self, rng):
+        b = rng.standard_normal(5)
+        x = solve([2.0, 0.3, 0.1, 0.0, 0.0], b)
+        t = np.array([[2.0, .3, .1, 0, 0]])
+        from scipy.linalg import solve_toeplitz
+        ref = solve_toeplitz([2.0, .3, .1, 0, 0], b)
+        np.testing.assert_allclose(x, ref, atol=1e-9)
+
+
+class TestSolveRefinedAPI:
+    def test_paper_pipeline(self):
+        t = paper_example_matrix()
+        x_true = np.ones(6)
+        b = t.dense() @ x_true
+        res = solve_refined(t, b)
+        assert res.converged
+        assert np.linalg.norm(res.x - x_true) < 1e-11
+
+    def test_returns_refinement_trace(self, rng):
+        t = singular_minor_toeplitz(10, seed=5)
+        b = rng.standard_normal(10)
+        res = solve_refined(t, b, keep_history=True)
+        assert len(res.history) >= 1
+        assert res.residual_norms
+
+    def test_custom_delta(self):
+        t = paper_example_matrix()
+        b = t.dense() @ np.ones(6)
+        res = solve_refined(t, b, delta=1e-4)
+        assert res.converged
+        assert np.linalg.norm(res.x - np.ones(6)) < 1e-10

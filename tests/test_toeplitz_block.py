@@ -1,0 +1,140 @@
+"""Tests for Toeplitz-block matrices and the shuffle reduction."""
+
+import numpy as np
+import pytest
+
+from repro.errors import NotBlockToeplitzError, ShapeError
+from repro.toeplitz import (
+    SymmetricToeplitzBlock,
+    ar_block_toeplitz,
+    shuffle_permutation,
+)
+
+
+def _make_tb(p, m, seed=0):
+    """Toeplitz-block matrix from the cross-covariances of an AR draw."""
+    t = ar_block_toeplitz(p, m, seed=seed)
+    gammas = np.stack([np.array(t.top_blocks[k]) for k in range(p)])
+    return SymmetricToeplitzBlock.from_cross_covariances(gammas)
+
+
+class TestShufflePermutation:
+    def test_is_permutation(self):
+        perm = shuffle_permutation(3, 4)
+        assert sorted(perm) == list(range(12))
+
+    def test_index_formula(self):
+        perm = shuffle_permutation(2, 3)
+        # time-major position t·m + c ← channel-major c·p + t
+        for t in range(3):
+            for c in range(2):
+                assert perm[t * 2 + c] == c * 3 + t
+
+    def test_invalid(self):
+        with pytest.raises(ShapeError):
+            shuffle_permutation(0, 3)
+
+
+class TestConstruction:
+    def test_basic_properties(self):
+        tb = _make_tb(5, 3)
+        assert tb.num_channels == 3
+        assert tb.block_order == 5
+        assert tb.order == 15
+        assert tb.shape == (15, 15)
+
+    def test_dense_symmetric(self):
+        d = _make_tb(6, 2, seed=1).dense()
+        np.testing.assert_allclose(d, d.T, atol=1e-12)
+
+    def test_blocks_are_toeplitz(self):
+        tb = _make_tb(5, 2, seed=2)
+        d = tb.dense()
+        p = 5
+        for r in range(2):
+            for s in range(2):
+                blk = d[r * p:(r + 1) * p, s * p:(s + 1) * p]
+                for k in range(p - 1):
+                    np.testing.assert_allclose(
+                        np.diag(blk, k)[0] * np.ones(p - k),
+                        np.diag(blk, k))
+
+    def test_toeplitz_entry_accessor(self):
+        tb = _make_tb(4, 2, seed=3)
+        d = tb.dense()
+        p = 4
+        for r in range(2):
+            for s in range(2):
+                for i in range(4):
+                    for j in range(4):
+                        assert tb.toeplitz_entry(r, s, i, j) == \
+                            pytest.approx(d[r * p + i, s * p + j])
+
+    def test_shape_validation(self):
+        with pytest.raises(ShapeError):
+            SymmetricToeplitzBlock(np.ones((2, 3, 4)), np.ones((2, 3, 4)))
+        with pytest.raises(ShapeError):
+            SymmetricToeplitzBlock(np.ones((2, 2, 4)), np.ones((2, 2, 5)))
+
+    def test_corner_mismatch(self):
+        rows = np.ones((2, 2, 3))
+        cols = np.ones((2, 2, 3))
+        cols[0, 1, 0] = 2.0
+        with pytest.raises(NotBlockToeplitzError):
+            SymmetricToeplitzBlock(rows, cols)
+
+    def test_symmetry_violation(self):
+        rng = np.random.default_rng(4)
+        rows = rng.standard_normal((2, 2, 3))
+        cols = rng.standard_normal((2, 2, 3))
+        cols[..., 0] = rows[..., 0]
+        with pytest.raises(NotBlockToeplitzError):
+            SymmetricToeplitzBlock(rows, cols)
+
+    def test_cross_covariance_shape_check(self):
+        with pytest.raises(ShapeError):
+            SymmetricToeplitzBlock.from_cross_covariances(
+                np.ones((4, 2, 3)))
+
+
+class TestShuffleReduction:
+    @pytest.mark.parametrize("p,m", [(3, 2), (5, 3), (8, 2)])
+    def test_shuffled_is_block_toeplitz(self, p, m):
+        tb = _make_tb(p, m, seed=p + m)
+        d = tb.dense()
+        perm = tb.permutation()
+        bt = tb.to_block_toeplitz()
+        np.testing.assert_allclose(d[np.ix_(perm, perm)], bt.dense(),
+                                   atol=1e-12)
+
+    def test_spd_preserved(self):
+        tb = _make_tb(6, 3, seed=9)
+        assert np.linalg.eigvalsh(tb.dense())[0] > 0
+        assert np.linalg.eigvalsh(
+            tb.to_block_toeplitz().dense())[0] > 0
+
+
+class TestSolveAndFactor:
+    def test_solve_channel_major(self, rng):
+        tb = _make_tb(7, 2, seed=10)
+        b = rng.standard_normal(tb.order)
+        x = tb.solve(b)
+        np.testing.assert_allclose(tb.dense() @ x, b, atol=1e-8)
+
+    def test_solve_multi_rhs(self, rng):
+        tb = _make_tb(5, 3, seed=11)
+        b = rng.standard_normal((tb.order, 2))
+        x = tb.solve(b)
+        np.testing.assert_allclose(tb.dense() @ x, b, atol=1e-8)
+
+    def test_solve_shape_check(self):
+        tb = _make_tb(4, 2, seed=12)
+        with pytest.raises(ShapeError):
+            tb.solve(np.ones(5))
+
+    def test_cholesky_of_shuffled(self):
+        tb = _make_tb(6, 2, seed=13)
+        fact = tb.cholesky()
+        np.testing.assert_allclose(fact.reconstruct(),
+                                   tb.to_block_toeplitz().dense(),
+                                   atol=1e-9)

@@ -1,0 +1,103 @@
+"""Tests for simulator event tracing and utilization analysis."""
+
+import numpy as np
+import pytest
+
+from repro.machine import Barrier, Compute, Machine, Put, Recv
+from repro.machine.trace import Trace, TraceEvent, render_gantt
+from repro.parallel import simulate_factorization
+from repro.toeplitz import ar_block_toeplitz
+
+
+class TestTraceObject:
+    def test_event_duration(self):
+        e = TraceEvent(0, 1.0, 3.5, "compute")
+        assert e.duration == pytest.approx(2.5)
+
+    def test_zero_length_events_dropped(self):
+        t = Trace()
+        t.add(0, 1.0, 1.0, "compute")
+        assert t.events == []
+
+    def test_totals_and_filters(self):
+        t = Trace()
+        t.add(0, 0.0, 1.0, "compute")
+        t.add(1, 0.0, 2.0, "idle")
+        t.add(0, 1.0, 1.5, "idle")
+        assert t.total() == pytest.approx(3.5)
+        assert t.total("idle") == pytest.approx(2.5)
+        assert len(t.for_rank(0)) == 2
+
+    def test_phase_fractions_sum_to_one(self):
+        t = Trace()
+        t.add(0, 0.0, 1.0, "compute")
+        t.add(0, 1.0, 3.0, "idle")
+        fr = t.phase_fractions()
+        assert sum(fr.values()) == pytest.approx(1.0)
+        assert fr["idle"] == pytest.approx(2 / 3)
+
+    def test_empty_trace(self):
+        t = Trace()
+        assert t.phase_fractions() == {}
+        assert t.utilization(4, 0.0) == 0.0
+
+
+class TestMachineTracing:
+    def _run(self, trace):
+        def prog(ctx):
+            yield Compute(1.0 * (ctx.rank + 1))
+            if ctx.rank == 0:
+                yield Put(dest=1, tag="x", payload=None, words=8)
+            elif ctx.rank == 1:
+                yield Recv(src=0, tag="x")
+            yield Barrier()
+            return None
+
+        return Machine(2, trace=trace).run(prog)
+
+    def test_disabled_by_default(self):
+        assert self._run(False).trace is None
+
+    def test_events_cover_rank_time(self):
+        rep = self._run(True)
+        for r in rep.ranks:
+            traced = sum(e.duration for e in rep.trace.for_rank(r.rank))
+            assert traced == pytest.approx(r.time, rel=1e-9)
+
+    def test_events_are_contiguous_per_rank(self):
+        rep = self._run(True)
+        for r in range(2):
+            evs = sorted(rep.trace.for_rank(r), key=lambda e: e.start)
+            for a, b in zip(evs, evs[1:]):
+                assert b.start == pytest.approx(a.end)
+
+    def test_utilization_bounds(self):
+        rep = self._run(True)
+        u = rep.trace.utilization(2, rep.makespan)
+        assert 0.0 < u <= 1.0
+
+    def test_render_gantt(self):
+        rep = self._run(True)
+        text = render_gantt(rep.trace, 2, rep.makespan, width=40)
+        assert "PE0" in text and "PE1" in text
+        assert render_gantt(Trace(), 2, 0.0) == "(empty trace)"
+
+
+class TestDriverTracing:
+    def test_simulated_run_trace(self):
+        t = ar_block_toeplitz(8, 2, seed=1)
+        run = simulate_factorization(t, nproc=4, b=1, collect=False,
+                                     trace=True)
+        assert run.report.trace is not None
+        fr = run.report.trace.phase_fractions()
+        assert "application" in fr or "compute" in fr
+        # traced time per rank equals the rank clock
+        for r in run.report.ranks:
+            traced = sum(e.duration
+                         for e in run.report.trace.for_rank(r.rank))
+            assert traced == pytest.approx(r.time, rel=1e-9)
+
+    def test_trace_off_by_default(self):
+        t = ar_block_toeplitz(6, 2, seed=2)
+        run = simulate_factorization(t, nproc=2, b=1, collect=False)
+        assert run.report.trace is None

@@ -1,0 +1,82 @@
+"""Tests for the configuration autotuner."""
+
+import pytest
+
+from repro.blas.cray import cray_ymp_model
+from repro.errors import ShapeError
+from repro.toeplitz import kms_toeplitz
+from repro.tuning import DistributionChoice, choose_distribution, tune
+
+
+class TestChooseDistribution:
+    def test_reproduces_experiment1_optimum(self):
+        best, _ = choose_distribution(4096, 1, 16)
+        assert best.b == 16.0          # the paper's Figure-6 optimum
+        assert best.version == 2
+
+    def test_reproduces_experiment2_optimum(self):
+        best, _ = choose_distribution(4096, 8, 64)
+        assert best.b == 1.0           # Version 1 fastest at m = 8
+        assert best.version == 1
+
+    def test_large_blocks_prefer_spreading(self):
+        best, _ = choose_distribution(4096, 32, 64)
+        assert best.b < 1              # Version 3 pays at m = 32
+        assert best.version == 3
+
+    def test_candidates_sorted(self):
+        _, choices = choose_distribution(1024, 4, 8)
+        secs = [c.seconds for c in choices]
+        # leading entries sorted ascending
+        assert secs[0] == min(secs)
+
+    def test_candidate_set_contents(self):
+        _, choices = choose_distribution(256, 4, 4)
+        bs = {c.b for c in choices}
+        assert 1.0 in bs
+        assert any(b > 1 for b in bs)
+        assert any(b < 1 for b in bs)
+
+    def test_verify_top_simulates(self):
+        t = kms_toeplitz(256, 0.5)
+        best, choices = choose_distribution(256, 1, 4, verify_top=2,
+                                            matrix=t)
+        verified = [c for c in choices if c.simulated_seconds is not None]
+        assert len(verified) == 2
+        assert best.simulated_seconds is not None or \
+            best.predicted_seconds > 0
+
+    def test_verify_top_needs_matrix(self):
+        with pytest.raises(ShapeError):
+            choose_distribution(64, 1, 4, verify_top=1)
+
+    def test_invalid_sizes(self):
+        with pytest.raises(ShapeError):
+            choose_distribution(10, 3, 4)
+        with pytest.raises(ShapeError):
+            choose_distribution(12, 3, 0)
+
+
+class TestTune:
+    def test_serial_prefers_larger_blocks_on_ymp(self):
+        res = tune(1024, 1, node_model=cray_ymp_model())
+        assert res.distribution is None
+        assert res.block_size >= 1
+        assert res.representation in ("vy1", "vy2", "yty")
+        assert res.predicted_seconds > 0
+
+    def test_parallel_returns_distribution(self):
+        res = tune(1024, 8, nproc=16)
+        assert res.distribution is not None
+        assert res.block_size == 8
+        assert res.predicted_seconds > 0
+
+    def test_describe_mentions_choices(self):
+        res = tune(512, 4, nproc=8)
+        text = res.describe()
+        assert "m_s" in text and "representation" in text
+        assert "Version" in text
+
+    def test_candidates_exposed(self):
+        res = tune(256, 2, nproc=4)
+        assert len(res.candidates) >= 3

@@ -1,0 +1,136 @@
+"""Tests for the utility helpers and the error hierarchy."""
+
+import numpy as np
+import pytest
+
+from repro import errors
+from repro.utils import (
+    as_float_matrix,
+    as_float_vector,
+    check_block_conformance,
+    check_square,
+    check_symmetric,
+    default_rng,
+    is_lower_triangular,
+    is_upper_triangular,
+    solve_lower_triangular,
+    solve_upper_triangular,
+)
+
+
+class TestValidation:
+    def test_as_float_matrix_conversion(self):
+        a = as_float_matrix([[1, 2], [3, 4]])
+        assert a.dtype == np.float64
+        assert a.flags["C_CONTIGUOUS"]
+
+    def test_as_float_matrix_copy_flag(self):
+        src = np.eye(2)
+        a = as_float_matrix(src, copy=True)
+        a[0, 0] = 9
+        assert src[0, 0] == 1.0
+
+    def test_as_float_matrix_rejects_3d(self):
+        with pytest.raises(errors.ShapeError):
+            as_float_matrix(np.ones((2, 2, 2)))
+
+    def test_as_float_matrix_rejects_nan(self):
+        with pytest.raises(errors.ShapeError):
+            as_float_matrix([[np.nan, 0], [0, 1]])
+
+    def test_as_float_vector(self):
+        v = as_float_vector([1, 2, 3])
+        assert v.shape == (3,)
+
+    def test_as_float_vector_flattens_columns(self):
+        v = as_float_vector(np.ones((4, 1)))
+        assert v.shape == (4,)
+
+    def test_as_float_vector_rejects_matrix(self):
+        with pytest.raises(errors.ShapeError):
+            as_float_vector(np.ones((2, 3)))
+
+    def test_check_square(self):
+        assert check_square(np.eye(3)) == 3
+        with pytest.raises(errors.ShapeError):
+            check_square(np.ones((2, 3)))
+
+    def test_check_symmetric(self):
+        check_symmetric(np.eye(2))
+        with pytest.raises(errors.ShapeError):
+            check_symmetric(np.array([[1.0, 2.0], [0.0, 1.0]]))
+
+    def test_check_block_conformance(self):
+        assert check_block_conformance(12, 3) == 4
+        with pytest.raises(errors.ShapeError):
+            check_block_conformance(10, 3)
+        with pytest.raises(errors.ShapeError):
+            check_block_conformance(10, 0)
+
+
+class TestLintools:
+    def test_solve_lower(self, rng):
+        l = np.tril(rng.standard_normal((4, 4))) + 4 * np.eye(4)
+        b = rng.standard_normal(4)
+        np.testing.assert_allclose(l @ solve_lower_triangular(l, b), b,
+                                   atol=1e-10)
+        np.testing.assert_allclose(
+            l.T @ solve_lower_triangular(l, b, trans=True), b, atol=1e-10)
+
+    def test_solve_upper(self, rng):
+        u = np.triu(rng.standard_normal((4, 4))) + 4 * np.eye(4)
+        b = rng.standard_normal(4)
+        np.testing.assert_allclose(u @ solve_upper_triangular(u, b), b,
+                                   atol=1e-10)
+        np.testing.assert_allclose(
+            u.T @ solve_upper_triangular(u, b, trans=True), b, atol=1e-10)
+
+    def test_triangular_predicates(self):
+        assert is_upper_triangular(np.triu(np.ones((3, 3))))
+        assert not is_upper_triangular(np.ones((3, 3)))
+        assert is_lower_triangular(np.tril(np.ones((3, 3))))
+        assert not is_lower_triangular(np.ones((3, 3)))
+        assert not is_upper_triangular(np.ones(3))
+        assert is_upper_triangular(np.triu(np.ones((3, 3))) +
+                                   1e-12 * np.ones((3, 3)), atol=1e-10)
+
+
+class TestRng:
+    def test_seed_reproducibility(self):
+        a = default_rng(5).standard_normal(4)
+        b = default_rng(5).standard_normal(4)
+        np.testing.assert_array_equal(a, b)
+
+    def test_generator_passthrough(self):
+        g = np.random.default_rng(0)
+        assert default_rng(g) is g
+
+    def test_none_gives_generator(self):
+        assert isinstance(default_rng(None), np.random.Generator)
+
+
+class TestErrorHierarchy:
+    def test_all_derive_from_repro_error(self):
+        for name in ("ShapeError", "NotBlockToeplitzError",
+                     "NotPositiveDefiniteError", "SingularMinorError",
+                     "BreakdownError", "ConvergenceError", "MachineError",
+                     "DeadlockError", "DistributionError"):
+            cls = getattr(errors, name)
+            assert issubclass(cls, errors.ReproError)
+
+    def test_value_error_compat(self):
+        # callers catching ValueError still work for misuse errors
+        assert issubclass(errors.ShapeError, ValueError)
+        assert issubclass(errors.NotPositiveDefiniteError, ValueError)
+
+    def test_singular_minor_carries_step(self):
+        e = errors.SingularMinorError("msg", step=3)
+        assert e.step == 3
+
+    def test_convergence_error_fields(self):
+        e = errors.ConvergenceError("msg", iterations=5, residual=0.5)
+        assert e.iterations == 5
+        assert e.residual == 0.5
+
+    def test_deadlock_is_machine_error(self):
+        assert issubclass(errors.DeadlockError, errors.MachineError)

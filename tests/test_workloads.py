@@ -1,0 +1,208 @@
+"""Tests for the workload generators."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ShapeError
+from repro.toeplitz import (
+    ar_block_toeplitz,
+    indefinite_toeplitz,
+    kms_toeplitz,
+    paper_example_matrix,
+    prolate_toeplitz,
+    random_spd_block_toeplitz,
+    singular_minor_toeplitz,
+    spectral_block_toeplitz,
+)
+
+
+def _eigs(t):
+    return np.linalg.eigvalsh(t.dense())
+
+
+class TestKMS:
+    def test_spd(self):
+        assert _eigs(kms_toeplitz(40, 0.7))[0] > 0
+
+    def test_first_row(self):
+        t = kms_toeplitz(5, 0.5)
+        np.testing.assert_allclose(t.first_scalar_row(),
+                                   [1, .5, .25, .125, .0625])
+
+    def test_invalid_rho(self):
+        with pytest.raises(ShapeError):
+            kms_toeplitz(10, 1.0)
+        with pytest.raises(ShapeError):
+            kms_toeplitz(10, -1.5)
+
+    def test_invalid_n(self):
+        with pytest.raises(ShapeError):
+            kms_toeplitz(0)
+
+
+class TestProlate:
+    def test_spd_but_ill_conditioned(self):
+        t = prolate_toeplitz(24, 0.3)
+        e = _eigs(t)
+        assert e[0] > 0
+        assert e[-1] / e[0] > 1e3  # notoriously ill-conditioned
+
+    def test_invalid_bandwidth(self):
+        with pytest.raises(ShapeError):
+            prolate_toeplitz(10, 0.5)
+        with pytest.raises(ShapeError):
+            prolate_toeplitz(10, 0.0)
+
+
+class TestAR:
+    @pytest.mark.parametrize("p,m", [(4, 1), (6, 2), (8, 4)])
+    def test_spd(self, p, m):
+        t = ar_block_toeplitz(p, m, seed=1)
+        assert _eigs(t)[0] > 0
+
+    def test_deterministic_with_seed(self):
+        a = ar_block_toeplitz(5, 3, seed=7).dense()
+        b = ar_block_toeplitz(5, 3, seed=7).dense()
+        np.testing.assert_array_equal(a, b)
+
+    def test_different_seeds_differ(self):
+        a = ar_block_toeplitz(5, 3, seed=7).dense()
+        b = ar_block_toeplitz(5, 3, seed=8).dense()
+        assert not np.allclose(a, b)
+
+    def test_block_structure(self):
+        t = ar_block_toeplitz(6, 3, seed=2)
+        assert t.block_size == 3 and t.num_blocks == 6
+
+    def test_invalid_sizes(self):
+        with pytest.raises(ShapeError):
+            ar_block_toeplitz(0, 3)
+        with pytest.raises(ShapeError):
+            ar_block_toeplitz(3, 0)
+
+
+class TestSpectral:
+    @pytest.mark.parametrize("p,m", [(5, 1), (6, 3), (10, 2)])
+    def test_spd(self, p, m):
+        t = spectral_block_toeplitz(p, m, seed=3)
+        assert _eigs(t)[0] > 0
+
+    def test_deterministic(self):
+        a = spectral_block_toeplitz(4, 2, seed=5).dense()
+        b = spectral_block_toeplitz(4, 2, seed=5).dense()
+        np.testing.assert_array_equal(a, b)
+
+
+class TestRandomSPDFactory:
+    @pytest.mark.parametrize("kind", ["ar", "spectral", "kms"])
+    def test_kinds(self, kind):
+        t = random_spd_block_toeplitz(6, 2, kind=kind, seed=1)
+        assert t.order == 12
+        assert _eigs(t)[0] > 0
+
+    def test_unknown_kind(self):
+        with pytest.raises(ShapeError):
+            random_spd_block_toeplitz(4, 2, kind="nope")
+
+
+class TestIndefinite:
+    def test_is_indefinite(self):
+        t = indefinite_toeplitz(14, seed=9)
+        e = _eigs(t)
+        assert e[0] < 0 < e[-1]
+
+    def test_symmetric(self):
+        d = indefinite_toeplitz(10, seed=10).dense()
+        np.testing.assert_allclose(d, d.T)
+
+
+class TestSingularMinor:
+    def test_has_singular_minor(self):
+        t = singular_minor_toeplitz(8, minor=2, seed=11)
+        d = t.dense()
+        assert abs(np.linalg.det(d[:2, :2])) < 1e-12
+        assert abs(np.linalg.det(d)) > 1e-8
+
+    @pytest.mark.parametrize("minor", [2, 3, 4])
+    def test_minor_position(self, minor):
+        t = singular_minor_toeplitz(10, minor=minor, seed=12)
+        d = t.dense()
+        assert abs(np.linalg.det(d[:minor, :minor])) < 1e-10
+
+    def test_invalid_minor(self):
+        with pytest.raises(ShapeError):
+            singular_minor_toeplitz(5, minor=1)
+        with pytest.raises(ShapeError):
+            singular_minor_toeplitz(5, minor=6)
+
+
+class TestFgn:
+    def test_spd(self):
+        from repro.toeplitz import fgn_toeplitz
+        t = fgn_toeplitz(32, 0.75)
+        assert _eigs(t)[0] > 0
+
+    def test_long_memory_decay(self):
+        from repro.toeplitz import fgn_toeplitz
+        row = fgn_toeplitz(64, 0.9).first_scalar_row()
+        # slow (power-law) decay: lag-32 correlation still substantial
+        assert row[32] > 0.05 * row[0]
+
+    def test_h_half_is_white_noise(self):
+        from repro.toeplitz import fgn_toeplitz
+        row = fgn_toeplitz(8, 0.5).first_scalar_row()
+        np.testing.assert_allclose(row[1:], 0.0, atol=1e-12)
+        assert row[0] == pytest.approx(1.0)
+
+    def test_invalid_hurst(self):
+        from repro.toeplitz import fgn_toeplitz
+        with pytest.raises(ShapeError):
+            fgn_toeplitz(8, 1.0)
+        with pytest.raises(ShapeError):
+            fgn_toeplitz(8, 0.0)
+
+
+class TestMABanded:
+    def test_band_structure(self):
+        from repro.toeplitz import ma_banded_toeplitz
+        row = ma_banded_toeplitz(12, (0.5, 0.2)).first_scalar_row()
+        np.testing.assert_allclose(row[3:], 0.0)
+        assert row[0] == pytest.approx(1 + 0.25 + 0.04)
+
+    def test_spd(self):
+        from repro.toeplitz import ma_banded_toeplitz
+        assert _eigs(ma_banded_toeplitz(16, (0.7,)))[0] > 0
+
+    def test_block_regrouping(self):
+        from repro.toeplitz import ma_banded_toeplitz
+        t = ma_banded_toeplitz(16, (0.4, 0.1), block_size=4)
+        assert t.block_size == 4
+
+    def test_factorizable(self):
+        from repro.core.schur_spd import schur_spd_factor
+        from repro.toeplitz import ma_banded_toeplitz
+        t = ma_banded_toeplitz(20, (0.6, 0.3))
+        fact = schur_spd_factor(t)
+        np.testing.assert_allclose(fact.reconstruct(), t.dense(),
+                                   atol=1e-10)
+
+
+class TestPaperExample:
+    def test_first_row_verbatim(self, paper_matrix):
+        np.testing.assert_allclose(
+            paper_matrix.first_scalar_row(),
+            [1.0000, 1.0000, 0.5297, 0.6711, 0.0077, 0.3834])
+
+    def test_singular_2x2_minor(self, paper_matrix):
+        d = paper_matrix.dense()
+        assert abs(np.linalg.det(d[:2, :2])) < 1e-14
+
+    def test_rhs_of_paper(self, paper_matrix):
+        # eq. after (50): b = T·1 = (3.5919 4.2085 4.7305 …)
+        b = paper_matrix.dense() @ np.ones(6)
+        np.testing.assert_allclose(
+            b, [3.5919, 4.2085, 4.7305, 4.7305, 4.2085, 3.5919],
+            atol=1e-12)
+
+    def test_overall_nonsingular(self, paper_matrix):
+        assert abs(np.linalg.det(paper_matrix.dense())) > 1e-6
