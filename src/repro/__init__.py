@@ -23,6 +23,7 @@ Public surface
 * machine study: :mod:`repro.machine`, :mod:`repro.parallel`,
   :mod:`repro.blas`
 * baselines: :mod:`repro.baselines`
+* solver engine (plan/execute + factorization cache): :mod:`repro.engine`
 """
 
 from repro._version import __version__
@@ -64,6 +65,15 @@ from repro.toeplitz import (
     spectral_block_toeplitz,
 )
 from repro.tuning import tune, choose_distribution
+from repro import engine
+from repro.engine import (
+    FactorizationCache,
+    MachineSpec,
+    SolverPlan,
+    StructuredOperator,
+    execute,
+    plan,
+)
 from repro import errors
 
 __all__ = [
@@ -103,5 +113,12 @@ __all__ = [
     "spectral_block_toeplitz",
     "tune",
     "choose_distribution",
+    "engine",
+    "FactorizationCache",
+    "MachineSpec",
+    "SolverPlan",
+    "StructuredOperator",
+    "execute",
+    "plan",
     "errors",
 ]

@@ -84,24 +84,27 @@ def _cmd_info(args) -> int:
 
 
 def _cmd_factor(args) -> int:
-    from repro.core.solve import cholesky, ldlt
-    from repro.errors import NotPositiveDefiniteError
+    import repro.engine as engine
     t = _load_matrix(args.matrix, args.block_size)
-    try:
-        fact = cholesky(t, representation=args.representation)
+    pl = engine.plan(t, representation=args.representation,
+                     use_cache=not args.no_cache)
+    if args.explain:
+        print(pl.describe())
+    fres = engine.factor(pl)
+    fact = fres.factorization
+    if fres.algorithm == "spd-schur":
         d = np.ones(t.order, dtype=np.int8)
         print(f"SPD Cholesky factorization T = RᵀR "
               f"(representation {args.representation})")
         print(f"log det T = {fact.logdet():.6e}")
         r = fact.r
-    except NotPositiveDefiniteError:
-        ifact = ldlt(t)
-        r, d = ifact.r, ifact.d
+    else:
+        r, d = fact.r, fact.d
         print(f"indefinite factorization T ≈ RᵀDR: "
-              f"inertia {ifact.inertia}, "
-              f"{len(ifact.perturbations)} perturbation(s), "
-              f"{len(ifact.interchanges)} interchange(s)")
-        if ifact.perturbed:
+              f"inertia {fact.inertia}, "
+              f"{len(fact.perturbations)} perturbation(s), "
+              f"{len(fact.interchanges)} interchange(s)")
+        if fact.perturbed:
             print("note: factorization is of a nearby matrix; solve "
                   "with iterative refinement (`repro solve`)")
     resid = np.max(np.abs(r.T @ (d.astype(float)[:, None] * r)
@@ -114,26 +117,35 @@ def _cmd_factor(args) -> int:
     return 0
 
 
+_METHOD_MESSAGES = {
+    "spd-schur": "solved with SPD block Schur factorization T = RᵀR",
+    "indefinite+refine": "solved with perturbed RᵀDR + refinement",
+    "gko": "solved with GKO Cauchy-like LU (partial pivoting)",
+    "levinson": "solved with block Levinson recursion",
+    "pcg": "solved with preconditioned conjugate gradients",
+    "dense-chol": "solved with dense LAPACK Cholesky",
+}
+
+
 def _cmd_solve(args) -> int:
+    import repro.engine as engine
     t = _load_matrix(args.matrix, args.block_size)
     b = _load_array(args.rhs)
-    if args.method == "auto":
-        from repro.core.solve import solve_refined
-        res = solve_refined(t, b)
-        x = res.x
-        print(f"solved with perturbed RᵀDR + refinement: "
-              f"{res.iterations} correction step(s), "
-              f"converged={res.converged}")
-    elif args.method == "gko":
-        from repro.core.gko import solve_toeplitz_gko
-        x = solve_toeplitz_gko(t, b)
-        print("solved with GKO Cauchy-like LU (partial pivoting)")
-    elif args.method == "levinson":
-        from repro.baselines import block_levinson_solve
-        x = block_levinson_solve(t, b).x
-        print("solved with block Levinson recursion")
-    else:
-        raise ReproError(f"unknown method {args.method!r}")
+    pl = engine.plan(
+        t, algorithm=None if args.method == "auto" else args.method,
+        use_cache=not args.no_cache)
+    if args.explain:
+        print(pl.describe())
+    res = engine.execute(pl, b)
+    x = res.x
+    msg = _METHOD_MESSAGES.get(res.algorithm,
+                               f"solved with {res.algorithm}")
+    if res.algorithm == "indefinite+refine":
+        msg += (f": {res.detail.iterations} correction step(s), "
+                f"converged={res.detail.converged}")
+    elif res.cache_hit:
+        msg += " (cached factorization)"
+    print(msg)
     from repro.toeplitz.matvec import BlockCirculantEmbedding
     resid = float(np.linalg.norm(BlockCirculantEmbedding(t)(x) - b))
     print(f"‖T x − b‖₂ = {resid:.3e}")
@@ -168,6 +180,7 @@ def _cmd_tune(args) -> int:
     res = tune(t.order, t.block_size, nproc=args.nproc)
     print(f"problem: n={t.order}, m={t.block_size}, NP={args.nproc}")
     print("recommendation:", res.describe())
+    print(res.to_plan(t).describe())
     if res.distribution is not None:
         print("top distribution candidates:")
         seen = set()
@@ -239,10 +252,17 @@ def build_parser() -> argparse.ArgumentParser:
     add_matrix_args(p)
     p.set_defaults(func=_cmd_info)
 
+    def add_engine_args(p):
+        p.add_argument("--no-cache", action="store_true",
+                       help="bypass the factorization cache")
+        p.add_argument("--explain", action="store_true",
+                       help="print the solver plan before running it")
+
     p = sub.add_parser("factor", help="factor the matrix")
     add_matrix_args(p)
     p.add_argument("--representation", default="vy2",
                    choices=["vy1", "vy2", "yty", "unblocked", "dense"])
+    add_engine_args(p)
     p.add_argument("-o", "--output", help="write factor to .npz")
     p.set_defaults(func=_cmd_factor)
 
@@ -250,7 +270,9 @@ def build_parser() -> argparse.ArgumentParser:
     add_matrix_args(p)
     p.add_argument("rhs", help="right-hand side file")
     p.add_argument("--method", default="auto",
-                   choices=["auto", "gko", "levinson"])
+                   choices=["auto", "spd-schur", "indefinite+refine",
+                            "gko", "levinson", "pcg", "dense-chol"])
+    add_engine_args(p)
     p.add_argument("-o", "--output", help="write solution to .npy")
     p.set_defaults(func=_cmd_solve)
 

@@ -28,11 +28,16 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.blas import primitives as blas
-from repro.core.block_reflector import BlockReflector, make_accumulator
+from repro.core.block_reflector import (
+    REPRESENTATIONS,
+    BlockReflector,
+    make_accumulator,
+)
 from repro.core.generator import Generator, spd_generator
 from repro.core.hyperbolic import reflector_annihilating
 from repro.errors import (
     BreakdownError,
+    InvalidOptionError,
     NotPositiveDefiniteError,
     ShapeError,
 )
@@ -75,6 +80,12 @@ class SchurOptions:
     in_place: bool = True
     normalize_diagonal: bool = True
     breakdown_tol: float = 1e-14
+
+    def __post_init__(self):
+        if self.representation not in REPRESENTATIONS:
+            raise InvalidOptionError(
+                f"unknown representation {self.representation!r}; "
+                f"expected one of {REPRESENTATIONS}")
 
 
 @dataclass

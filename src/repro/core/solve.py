@@ -10,23 +10,24 @@ Most callers want one of four verbs:
 * :func:`solve_refined` — indefinite factorization + iterative refinement
   (the full Section 8 pipeline; the right call whenever the matrix may
   have singular or near-singular principal minors).
+
+All four route through the solver engine (:mod:`repro.engine`): each
+call builds a :class:`~repro.engine.SolverPlan` and executes it, so
+repeated solves against the same operator reuse the factorization from
+the engine's process-wide cache.  Build a plan yourself with
+:func:`repro.engine.plan` for full control (machine-tuned ``m_s``,
+explicit algorithms, per-call caches).
 """
 
 from __future__ import annotations
 
 import numpy as np
 
-from repro.core.refinement import RefinementResult, refine
-from repro.core.schur_indefinite import (
-    IndefiniteFactorization,
-    schur_indefinite_factor,
-)
-from repro.core.schur_spd import (
-    SchurOptions,
-    SPDFactorization,
-    schur_spd_factor,
-)
-from repro.errors import NotPositiveDefiniteError, ShapeError
+import repro.engine as _engine
+from repro.core.refinement import RefinementResult
+from repro.core.schur_indefinite import IndefiniteFactorization
+from repro.core.schur_spd import SPDFactorization
+from repro.errors import InvalidOptionError, ShapeError
 from repro.toeplitz.block_toeplitz import SymmetricBlockToeplitz
 
 __all__ = ["cholesky", "ldlt", "solve", "solve_refined"]
@@ -58,9 +59,9 @@ def cholesky(t, *, block_size: int | None = None,
     matrix together with ``block_size``.
     """
     bt = _as_block_toeplitz(t, block_size)
-    opts = SchurOptions(representation=representation, panel=panel,
-                        in_place=in_place)
-    return schur_spd_factor(bt, options=opts)
+    pl = _engine.plan(bt, assume="spd", representation=representation,
+                      panel=panel, in_place=in_place)
+    return _engine.factor(pl).factorization
 
 
 def ldlt(t, *, block_size: int | None = None,
@@ -70,31 +71,36 @@ def ldlt(t, *, block_size: int | None = None,
     matrix, perturbing across singular principal minors when ``perturb``.
     """
     bt = _as_block_toeplitz(t, block_size)
-    return schur_indefinite_factor(bt, perturb=perturb, delta=delta)
+    pl = _engine.plan(bt, assume="indefinite", perturb=perturb,
+                      delta=delta)
+    return _engine.factor(pl).factorization
 
 
 def solve(t, b, *, block_size: int | None = None,
           assume: str = "auto",
-          representation: str = "vy2") -> np.ndarray:
+          representation: str = "vy2",
+          panel: int | None = None,
+          in_place: bool = True,
+          use_cache: bool = True) -> np.ndarray:
     """Solve ``T x = b`` for symmetric block Toeplitz ``T``.
 
     ``assume`` ∈ {"auto", "spd", "indefinite"}: "auto" tries the SPD path
     and falls back to the indefinite algorithm (plus refinement if it
-    perturbed) on breakdown.
+    perturbed) on breakdown.  The full set of factorization options
+    (``panel``, ``in_place``) is forwarded to the plan; ``use_cache``
+    lets repeated solves against the same matrix reuse the
+    factorization.
     """
+    if assume not in ("auto", "spd", "indefinite"):
+        raise InvalidOptionError(
+            f"unknown assume={assume!r}; expected one of "
+            "('auto', 'spd', 'indefinite')")
     bt = _as_block_toeplitz(t, block_size)
     b = np.asarray(b, dtype=np.float64)
-    if assume not in ("auto", "spd", "indefinite"):
-        raise ShapeError(f"unknown assume={assume!r}")
-    if assume in ("auto", "spd"):
-        try:
-            fact = cholesky(bt, representation=representation)
-            return fact.solve(b)
-        except NotPositiveDefiniteError:
-            if assume == "spd":
-                raise
-    res = solve_refined(bt, b)
-    return res.x
+    pl = _engine.plan(bt, assume=assume, representation=representation,
+                      panel=panel, in_place=in_place,
+                      use_cache=use_cache)
+    return _engine.execute(pl, b).x
 
 
 def solve_refined(t, b, *, block_size: int | None = None,
@@ -108,6 +114,7 @@ def solve_refined(t, b, *, block_size: int | None = None,
     principal minors); returns the full refinement trace.
     """
     bt = _as_block_toeplitz(t, block_size)
-    fact = schur_indefinite_factor(bt, perturb=True, delta=delta)
-    return refine(fact, bt, b, tol=tol, max_iter=max_iter,
-                  keep_history=keep_history)
+    pl = _engine.plan(bt, assume="indefinite", delta=delta)
+    res = _engine.execute(pl, b, tol=tol, max_iter=max_iter,
+                          keep_history=keep_history)
+    return res.detail

@@ -1,0 +1,61 @@
+"""Unified solver engine: plan/execute split over structured operators.
+
+Every solve entry point in the package routes through this subsystem:
+
+1. :func:`plan` inspects a :class:`StructuredOperator` (and optionally a
+   :class:`MachineSpec`) and produces an immutable, inspectable
+   :class:`SolverPlan` — which algorithm, which reflector representation,
+   which algorithmic block size ``m_s``, which data distribution;
+2. :func:`execute` runs a plan against a right-hand side, transparently
+   reusing factorizations through the process-wide
+   :class:`FactorizationCache` (factor once, solve many);
+3. the **algorithm registry** (:func:`register_algorithm`,
+   :func:`algorithms`) makes the Schur solvers and every baseline
+   first-class, uniformly benchmarkable engine algorithms.
+
+The per-plan record of which algorithm actually ran (fallbacks included)
+attaches stability/accuracy diagnostics to the plan rather than to
+scattered call sites — the bookkeeping the Bojanczyk–de Hoog–Brent
+stability analysis of the Schur recursion asks for.
+"""
+
+from repro.engine.operator import StructuredOperator, content_fingerprint
+from repro.engine.plan import MachineSpec, SolverPlan, plan
+from repro.engine.cache import (
+    CacheStats,
+    FactorizationCache,
+    default_cache,
+    set_default_cache,
+)
+from repro.engine.engine import (
+    Algorithm,
+    ExecutionResult,
+    FactorResult,
+    algorithms,
+    execute,
+    factor,
+    get_algorithm,
+    register_algorithm,
+    solve,
+)
+
+__all__ = [
+    "StructuredOperator",
+    "content_fingerprint",
+    "MachineSpec",
+    "SolverPlan",
+    "plan",
+    "CacheStats",
+    "FactorizationCache",
+    "default_cache",
+    "set_default_cache",
+    "Algorithm",
+    "ExecutionResult",
+    "FactorResult",
+    "algorithms",
+    "execute",
+    "factor",
+    "get_algorithm",
+    "register_algorithm",
+    "solve",
+]

@@ -1,0 +1,206 @@
+"""LRU factorization cache: factor once, solve many.
+
+The serve-many-RHS workload the ROADMAP implies — repeated
+``solve(T, b_i)`` against the same operator — should pay the ``O(m n²)``
+factorization cost once.  The cache is keyed on
+``(operator fingerprint, plan key)``: the fingerprint is a stable
+content hash (:meth:`~repro.engine.StructuredOperator.fingerprint`), the
+plan key covers every knob that changes the factorization (algorithm,
+representation, ``m_s``, panel, perturbation size …), so distinct
+configurations never collide.
+
+Entries account their byte footprint (every ``ndarray`` reachable one
+level deep through the stored factorization object); eviction is
+least-recently-used, triggered by either an entry-count or a byte
+budget.  All operations take an internal lock, so concurrent solves from
+multiple threads are safe; hit/miss/eviction counters make the behaviour
+observable (and testable).
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = [
+    "CacheStats",
+    "FactorizationCache",
+    "default_cache",
+    "set_default_cache",
+]
+
+
+def _estimate_nbytes(obj) -> int:
+    """Byte footprint of the ndarrays reachable from a factorization.
+
+    Walks the object's attributes (and one level of list/tuple/dict
+    containers) summing ``ndarray.nbytes``; non-array payload is counted
+    at a flat 64 bytes per attribute so empty results still have nonzero
+    size.
+    """
+    seen: set[int] = set()
+
+    def walk(v, depth: int) -> int:
+        if id(v) in seen:
+            return 0
+        seen.add(id(v))
+        if isinstance(v, np.ndarray):
+            return int(v.nbytes)
+        if depth <= 0:
+            return 64
+        if isinstance(v, (list, tuple)):
+            return sum(walk(x, depth - 1) for x in v)
+        if isinstance(v, dict):
+            return sum(walk(x, depth - 1) for x in v.values())
+        attrs = getattr(v, "__dict__", None)
+        if attrs:
+            return sum(walk(x, depth - 1) for x in attrs.values())
+        return 64
+
+    return walk(obj, 3)
+
+
+@dataclass(frozen=True)
+class CacheStats:
+    """Snapshot of the cache counters."""
+
+    hits: int
+    misses: int
+    evictions: int
+    entries: int
+    current_bytes: int
+    max_entries: int
+    max_bytes: int
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+
+class FactorizationCache:
+    """Thread-safe LRU cache of factorization objects.
+
+    Parameters
+    ----------
+    max_entries : int
+        Entry-count budget (≥ 1).
+    max_bytes : int
+        Byte budget over the stored factorizations' array payloads.
+    """
+
+    def __init__(self, max_entries: int = 32,
+                 max_bytes: int = 512 * 2 ** 20):
+        if max_entries < 1:
+            raise ValueError(f"max_entries must be >= 1, got {max_entries}")
+        self.max_entries = int(max_entries)
+        self.max_bytes = int(max_bytes)
+        self._lock = threading.RLock()
+        self._entries: OrderedDict[tuple, tuple[object, int]] = OrderedDict()
+        self._bytes = 0
+        self._hits = 0
+        self._misses = 0
+        self._evictions = 0
+
+    # ------------------------------------------------------------------
+    def get(self, key: tuple):
+        """Look up ``key``; returns the value or ``None`` (counts the
+        hit/miss and refreshes recency)."""
+        with self._lock:
+            try:
+                value, nbytes = self._entries.pop(key)
+            except KeyError:
+                self._misses += 1
+                return None
+            self._entries[key] = (value, nbytes)
+            self._hits += 1
+            return value
+
+    def put(self, key: tuple, value) -> None:
+        """Insert ``value`` under ``key``, evicting LRU entries past the
+        entry/byte budgets.  Values larger than the whole byte budget are
+        not cached at all."""
+        nbytes = _estimate_nbytes(value)
+        if nbytes > self.max_bytes:
+            return
+        with self._lock:
+            if key in self._entries:
+                _, old = self._entries.pop(key)
+                self._bytes -= old
+            self._entries[key] = (value, nbytes)
+            self._bytes += nbytes
+            while (len(self._entries) > self.max_entries
+                   or self._bytes > self.max_bytes):
+                _, (_, evicted_bytes) = self._entries.popitem(last=False)
+                self._bytes -= evicted_bytes
+                self._evictions += 1
+
+    def get_or_create(self, key: tuple, builder) -> tuple[object, bool]:
+        """Return ``(value, cache_hit)``, building and inserting on miss.
+
+        The builder runs outside the lock (factorizations are slow); two
+        racing threads may both build, with the later insert winning —
+        correctness is unaffected since equal keys mean equal content.
+        """
+        value = self.get(key)
+        if value is not None:
+            return value, True
+        value = builder()
+        self.put(key, value)
+        return value, False
+
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def __contains__(self, key: tuple) -> bool:
+        with self._lock:
+            return key in self._entries
+
+    def clear(self) -> None:
+        """Drop every entry (counters are kept)."""
+        with self._lock:
+            self._entries.clear()
+            self._bytes = 0
+
+    def reset_stats(self) -> None:
+        """Zero the hit/miss/eviction counters."""
+        with self._lock:
+            self._hits = self._misses = self._evictions = 0
+
+    def stats(self) -> CacheStats:
+        """Consistent snapshot of the counters."""
+        with self._lock:
+            return CacheStats(
+                hits=self._hits, misses=self._misses,
+                evictions=self._evictions, entries=len(self._entries),
+                current_bytes=self._bytes, max_entries=self.max_entries,
+                max_bytes=self.max_bytes)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        s = self.stats()
+        return (f"FactorizationCache(entries={s.entries}, "
+                f"bytes={s.current_bytes}, hits={s.hits}, "
+                f"misses={s.misses}, evictions={s.evictions})")
+
+
+_default_cache = FactorizationCache()
+_default_lock = threading.Lock()
+
+
+def default_cache() -> FactorizationCache:
+    """The process-wide cache used when a plan has ``use_cache=True``."""
+    return _default_cache
+
+
+def set_default_cache(cache: FactorizationCache) -> FactorizationCache:
+    """Swap the process-wide cache; returns the previous one."""
+    global _default_cache
+    with _default_lock:
+        previous = _default_cache
+        _default_cache = cache
+    return previous

@@ -1,0 +1,274 @@
+"""Execution: run a :class:`~repro.engine.SolverPlan` against RHS data.
+
+The engine is a small algorithm registry plus two verbs:
+
+* :func:`factor` — produce (or fetch from cache) the factorization the
+  plan calls for;
+* :func:`execute` — factor + solve, with automatic fallback to the
+  plan's armed fallback algorithm on SPD breakdown, returning an
+  :class:`ExecutionResult` that records what actually ran.
+
+Core algorithms (``spd-schur``, ``indefinite+refine``, ``gko``) register
+here; the baselines register themselves from
+:mod:`repro.baselines`, so ``algorithms()`` gives benchmarks one uniform
+iteration surface.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass
+from typing import Any, Callable
+
+import numpy as np
+
+from repro.engine.cache import FactorizationCache, default_cache
+from repro.engine.plan import SolverPlan
+from repro.engine.plan import plan as make_plan
+from repro.errors import InvalidOptionError, NotPositiveDefiniteError
+
+__all__ = [
+    "Algorithm",
+    "ExecutionResult",
+    "FactorResult",
+    "algorithms",
+    "execute",
+    "factor",
+    "get_algorithm",
+    "register_algorithm",
+    "solve",
+]
+
+
+@dataclass(frozen=True)
+class Algorithm:
+    """One registered solver algorithm.
+
+    ``factor(op, plan)`` returns a factorization object with a
+    ``solve`` method (or is ``None`` for factorization-free methods);
+    ``solve(op, b, plan, factorization, **kwargs)`` returns
+    ``(x, detail)`` where ``detail`` is the algorithm's native result
+    object (factorization, refinement trace, iteration record, …).
+    """
+
+    name: str
+    solve: Callable[..., tuple[np.ndarray, Any]]
+    factor: Callable[..., Any] | None = None
+    description: str = ""
+
+    @property
+    def cacheable(self) -> bool:
+        return self.factor is not None
+
+
+_REGISTRY: dict[str, Algorithm] = {}
+
+
+def register_algorithm(name: str, *, solve, factor=None,
+                       description: str = "",
+                       overwrite: bool = False) -> Algorithm:
+    """Register a solver under ``name`` (see :class:`Algorithm`)."""
+    if name in _REGISTRY and not overwrite:
+        raise InvalidOptionError(
+            f"algorithm {name!r} is already registered")
+    algo = Algorithm(name=name, solve=solve, factor=factor,
+                     description=description)
+    _REGISTRY[name] = algo
+    return algo
+
+
+def _ensure_registered() -> None:
+    """Pull in the modules that register algorithms on import."""
+    import repro.baselines  # noqa: F401  (registers its solvers)
+
+
+def get_algorithm(name: str) -> Algorithm:
+    """Look up a registered algorithm by name."""
+    _ensure_registered()
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise InvalidOptionError(
+            f"unknown algorithm {name!r}; registered: "
+            f"{sorted(_REGISTRY)}") from None
+
+
+def algorithms() -> dict[str, Algorithm]:
+    """Snapshot of the full registry (benchmarks iterate this)."""
+    _ensure_registered()
+    return dict(_REGISTRY)
+
+
+# ----------------------------------------------------------------------
+# Results
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class FactorResult:
+    """Outcome of :func:`factor`."""
+
+    factorization: Any
+    algorithm: str          #: the algorithm that actually factored
+    plan: SolverPlan
+    cache_hit: bool
+
+
+@dataclass(frozen=True)
+class ExecutionResult:
+    """Outcome of :func:`execute`.
+
+    ``algorithm`` is what actually ran (it differs from
+    ``plan.algorithm`` when the SPD path broke down and the armed
+    fallback took over — the per-plan record that stability diagnostics
+    attach to).
+    """
+
+    x: np.ndarray
+    plan: SolverPlan
+    algorithm: str
+    cache_hit: bool
+    fallback_used: bool
+    detail: Any = None
+
+
+# ----------------------------------------------------------------------
+# Execution
+# ----------------------------------------------------------------------
+def _resolve_cache(pl: SolverPlan,
+                   cache: FactorizationCache | None
+                   ) -> FactorizationCache | None:
+    if cache is not None:
+        return cache
+    return default_cache() if pl.use_cache else None
+
+
+def _obtain_factorization(algo: Algorithm, pl: SolverPlan,
+                          cache: FactorizationCache | None
+                          ) -> tuple[Any, bool]:
+    if algo.factor is None:
+        return None, False
+    c = _resolve_cache(pl, cache)
+    if c is None:
+        return algo.factor(pl.operator, pl), False
+    return c.get_or_create(pl.cache_key(),
+                           lambda: algo.factor(pl.operator, pl))
+
+
+def _require_operator(pl: SolverPlan):
+    if pl.operator is None:
+        raise InvalidOptionError(
+            "plan has no operator attached (deserialized plans must be "
+            "re-attached via SolverPlan.from_dict(d, operator=op))")
+    return pl.operator
+
+
+def factor(pl: SolverPlan, *,
+           cache: FactorizationCache | None = None) -> FactorResult:
+    """Factor according to the plan (through the cache when enabled).
+
+    Falls back to ``plan.fallback`` on SPD breakdown, like
+    :func:`execute`; the returned ``algorithm`` says which one ran.
+    """
+    _require_operator(pl)
+    algo = get_algorithm(pl.algorithm)
+    if algo.factor is None:
+        raise InvalidOptionError(
+            f"algorithm {pl.algorithm!r} has no factorization stage")
+    try:
+        fact, hit = _obtain_factorization(algo, pl, cache)
+        return FactorResult(factorization=fact, algorithm=pl.algorithm,
+                            plan=pl, cache_hit=hit)
+    except NotPositiveDefiniteError:
+        if pl.fallback is None:
+            raise
+        fres = factor(pl.with_(algorithm=pl.fallback, fallback=None),
+                      cache=cache)
+        return dataclasses.replace(fres, plan=pl)
+
+
+def execute(pl: SolverPlan, b, *,
+            cache: FactorizationCache | None = None,
+            **solve_kwargs) -> ExecutionResult:
+    """Run the plan: factor (cached), solve, record what happened.
+
+    ``solve_kwargs`` reach the algorithm's solve stage (e.g. ``tol``,
+    ``max_iter``, ``keep_history`` for ``indefinite+refine``).
+    """
+    op = _require_operator(pl)
+    b = np.asarray(b, dtype=np.float64)
+    algo = get_algorithm(pl.algorithm)
+    try:
+        fact, hit = _obtain_factorization(algo, pl, cache)
+        x, detail = algo.solve(op, b, pl, fact, **solve_kwargs)
+        return ExecutionResult(x=x, plan=pl, algorithm=pl.algorithm,
+                               cache_hit=hit, fallback_used=False,
+                               detail=detail)
+    except NotPositiveDefiniteError:
+        if pl.fallback is None:
+            raise
+        res = execute(pl.with_(algorithm=pl.fallback, fallback=None),
+                      b, cache=cache, **solve_kwargs)
+        return dataclasses.replace(res, plan=pl, fallback_used=True)
+
+
+def solve(op, b, *, cache: FactorizationCache | None = None,
+          solve_options: dict | None = None,
+          **plan_kwargs) -> ExecutionResult:
+    """Convenience one-shot: ``execute(plan(op, **plan_kwargs), b)``."""
+    pl = make_plan(op, **plan_kwargs)
+    return execute(pl, b, cache=cache, **(solve_options or {}))
+
+
+# ----------------------------------------------------------------------
+# Core algorithms (lazy imports keep repro.core <-> engine acyclic)
+# ----------------------------------------------------------------------
+def _regrouped(op, pl: SolverPlan):
+    if pl.block_size != op.block_size:
+        return op.regroup(pl.block_size)
+    return op
+
+
+def _spd_factor(op, pl: SolverPlan):
+    from repro.core.schur_spd import SchurOptions, schur_spd_factor
+    opts = SchurOptions(representation=pl.representation, panel=pl.panel,
+                        in_place=pl.in_place)
+    return schur_spd_factor(_regrouped(op, pl), options=opts)
+
+
+def _spd_solve(op, b, pl, fact, **_kwargs):
+    return fact.solve(b), fact
+
+
+def _indefinite_factor(op, pl: SolverPlan):
+    from repro.core.schur_indefinite import schur_indefinite_factor
+    return schur_indefinite_factor(_regrouped(op, pl), perturb=pl.perturb,
+                                   delta=pl.delta)
+
+
+def _indefinite_solve(op, b, pl, fact, *, tol=None, max_iter=25,
+                      keep_history=False):
+    from repro.core.refinement import refine
+    res = refine(fact, op, b, tol=tol, max_iter=max_iter,
+                 keep_history=keep_history)
+    return res.x, res
+
+
+def _gko_factor(op, pl: SolverPlan):
+    from repro.core.gko import gko_factor
+    return gko_factor(op)
+
+
+def _gko_solve(op, b, pl, fact, **_kwargs):
+    return fact.solve(b), fact
+
+
+register_algorithm(
+    "spd-schur", factor=_spd_factor, solve=_spd_solve,
+    description="block Schur Cholesky T = RᵀR (Sections 2–6)")
+register_algorithm(
+    "indefinite+refine", factor=_indefinite_factor,
+    solve=_indefinite_solve,
+    description="perturbed RᵀDR + iterative refinement (Section 8)")
+register_algorithm(
+    "gko", factor=_gko_factor, solve=_gko_solve,
+    description="GKO Cauchy-like LU with partial pivoting "
+                "(nonsymmetric block Toeplitz)")

@@ -1,0 +1,55 @@
+"""The structured-operator protocol the engine plans over.
+
+Anything that exposes the five members below can be planned and executed
+against: the block Toeplitz classes, the Toeplitz-block (channel-major)
+arrangement, and the tall convolution operators all qualify.  The
+protocol is structural (:class:`typing.Protocol`), so no inheritance is
+required — third-party operators only need the right methods.
+"""
+
+from __future__ import annotations
+
+from typing import Protocol, runtime_checkable
+
+import numpy as np
+
+from repro.utils.fingerprint import content_fingerprint
+
+__all__ = ["StructuredOperator", "content_fingerprint"]
+
+
+@runtime_checkable
+class StructuredOperator(Protocol):
+    """Minimal interface the solver engine requires of an operator.
+
+    Implemented by :class:`~repro.toeplitz.SymmetricBlockToeplitz`,
+    :class:`~repro.toeplitz.BlockToeplitz`,
+    :class:`~repro.toeplitz.SymmetricToeplitzBlock` and
+    :class:`~repro.toeplitz.ConvolutionOperator`.
+    """
+
+    @property
+    def shape(self) -> tuple[int, int]:
+        """Operator shape ``(rows, cols)``."""
+        ...
+
+    @property
+    def block_size(self) -> int:
+        """Structural block size ``m``."""
+        ...
+
+    def matvec(self, x: np.ndarray) -> np.ndarray:
+        """Fast product ``A x`` (never via dense assembly)."""
+        ...
+
+    def assemble(self) -> np.ndarray:
+        """Dense assembly (diagnostics; ``O(n²)`` memory)."""
+        ...
+
+    def fingerprint(self) -> str:
+        """Stable content hash of the defining data + structure tag.
+
+        Equal-content operators — however constructed — must return
+        equal fingerprints; the factorization cache is keyed on it.
+        """
+        ...

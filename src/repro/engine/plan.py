@@ -1,0 +1,301 @@
+"""Planning: choose *how* to solve before touching the right-hand side.
+
+The paper's practical message (Sections 6.5 and 7) is that the winning
+configuration — reflector representation, algorithmic block size
+``m_s``, data distribution — depends on the matrix *and* the machine.
+:func:`plan` packages that decision into an immutable
+:class:`SolverPlan` that
+
+* records which algorithm will run (and which fallback is armed),
+* is inspectable (:meth:`SolverPlan.describe`) and serializable
+  (:meth:`SolverPlan.to_dict` / :meth:`SolverPlan.from_dict`),
+* carries the cache key (operator fingerprint + factorization knobs)
+  that lets repeated executions reuse the factorization.
+
+When a :class:`MachineSpec` is given, the §7 autotuner
+(:mod:`repro.tuning`) acts as the planner backend: it picks ``m_s``,
+the representation and the distribution parameter ``b`` from the machine
+model instead of defaults.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import InvalidOptionError, ShapeError
+
+__all__ = ["MachineSpec", "SolverPlan", "plan"]
+
+_ASSUME_VALUES = ("auto", "spd", "indefinite")
+
+#: Fields that change the factorization (and hence the cache key).
+_PLAN_KEY_FIELDS = ("algorithm", "representation", "block_size", "panel",
+                    "in_place", "perturb", "delta")
+
+
+@dataclass(frozen=True)
+class MachineSpec:
+    """Target-machine description handed to the planner.
+
+    ``node_model``/``network`` default to the paper's T3D
+    parameterization inside :mod:`repro.tuning`; ``nproc > 1`` switches
+    the planner to the distributed trade-off (representation + ``b``).
+    """
+
+    nproc: int = 1
+    node_model: object | None = None
+    network: object | None = None
+    representations: tuple[str, ...] = ("vy1", "vy2", "yty")
+
+
+@dataclass(frozen=True)
+class SolverPlan:
+    """Immutable description of one way to solve ``A x = b``.
+
+    Produced by :func:`plan`; consumed by
+    :func:`repro.engine.execute` / :func:`repro.engine.factor`.
+    """
+
+    algorithm: str
+    representation: str
+    block_size: int               #: algorithmic block size ``m_s``
+    structural_block_size: int    #: the operator's native ``m``
+    order: int
+    fingerprint: str
+    assume: str = "auto"
+    fallback: str | None = None
+    panel: int | None = None
+    in_place: bool = True
+    perturb: bool = True
+    delta: float | None = None
+    use_cache: bool = True
+    nproc: int = 1
+    distribution_b: float | None = None
+    predicted_seconds: float | None = None
+    note: str = ""
+    #: The operator the plan was made for (not part of equality or the
+    #: serialized form — re-attach on :meth:`from_dict`).
+    operator: object | None = field(default=None, compare=False,
+                                    repr=False)
+
+    # ------------------------------------------------------------------
+    def plan_key(self) -> tuple:
+        """The factorization-relevant knobs, as a hashable tuple."""
+        return tuple(getattr(self, f) for f in _PLAN_KEY_FIELDS)
+
+    def cache_key(self) -> tuple:
+        """Cache key: ``(operator fingerprint, plan key)``."""
+        return (self.fingerprint,) + self.plan_key()
+
+    def with_(self, **changes) -> "SolverPlan":
+        """A modified copy (plans are frozen)."""
+        return dataclasses.replace(self, **changes)
+
+    @property
+    def distribution_version(self) -> int | None:
+        """The paper's scheme number for ``distribution_b`` (1/2/3)."""
+        b = self.distribution_b
+        if b is None:
+            return None
+        return 3 if b < 1 else (1 if b == 1 else 2)
+
+    # ------------------------------------------------------------------
+    def describe(self) -> str:
+        """Human-readable multi-line plan summary."""
+        lines = ["solver plan:"]
+        algo = self.algorithm
+        if self.fallback:
+            algo += f" (fallback: {self.fallback})"
+        lines.append(f"  algorithm       {algo}")
+        lines.append(f"  operator        {self.order}x{self.order}, "
+                     f"m={self.structural_block_size}, "
+                     f"m_s={self.block_size}")
+        lines.append(f"  representation  {self.representation}")
+        if self.panel is not None:
+            lines.append(f"  panel width     {self.panel}")
+        if not self.in_place:
+            lines.append("  phase 3         explicit shift")
+        if self.delta is not None:
+            lines.append(f"  delta           {self.delta:g}")
+        cache = "on" if self.use_cache else "off"
+        lines.append(f"  cache           {cache} "
+                     f"(fingerprint {self.fingerprint[:12]}…)")
+        if self.nproc > 1:
+            lines.append(
+                f"  distribution    Version {self.distribution_version} "
+                f"(b={self.distribution_b}), NP={self.nproc}")
+        if self.predicted_seconds is not None:
+            lines.append(f"  predicted time  "
+                         f"{self.predicted_seconds * 1e3:.3f} ms")
+        if self.note:
+            lines.append(f"  note            {self.note}")
+        return "\n".join(lines)
+
+    def to_dict(self) -> dict:
+        """JSON-ready dict of every field except the operator."""
+        d = dataclasses.asdict(self)
+        d.pop("operator")
+        return d
+
+    @classmethod
+    def from_dict(cls, d: dict, operator=None) -> "SolverPlan":
+        """Rebuild a plan from :meth:`to_dict` output, optionally
+        re-attaching the operator it was made for."""
+        d = dict(d)
+        d.pop("operator", None)
+        return cls(operator=operator, **d)
+
+
+# ----------------------------------------------------------------------
+# Planning
+# ----------------------------------------------------------------------
+def _normalize_operator(op):
+    """Map protocol implementers onto the class the algorithms consume.
+
+    Returns ``(square symmetric/general block Toeplitz operator, note)``.
+    """
+    from repro.toeplitz.block_toeplitz import (
+        BlockToeplitz,
+        SymmetricBlockToeplitz,
+    )
+    from repro.toeplitz.convolution import ConvolutionOperator
+    from repro.toeplitz.toeplitz_block import SymmetricToeplitzBlock
+
+    if isinstance(op, (SymmetricBlockToeplitz, BlockToeplitz)):
+        return op, ""
+    if isinstance(op, SymmetricToeplitzBlock):
+        return op.to_block_toeplitz(), \
+            "shuffled from channel-major (Toeplitz-block) arrangement"
+    if isinstance(op, ConvolutionOperator):
+        return op.normal_matrix(), \
+            "normal equations CᵀC of a convolution operator"
+    raise InvalidOptionError(
+        f"cannot plan for operator of type {type(op).__name__}; expected "
+        "a StructuredOperator (SymmetricBlockToeplitz, BlockToeplitz, "
+        "SymmetricToeplitzBlock or ConvolutionOperator)")
+
+
+def _probe_spd(t, *, window: int = 64) -> bool:
+    """Cheap definiteness probe: dense Cholesky of the leading
+    ``min(n, window)``-ish principal minor.
+
+    Catches indefinite operators and the singular-minor families at plan
+    time (so the plan says ``indefinite+refine`` up front); a passing
+    probe is *not* a certificate — execution still arms the fallback.
+    """
+    q = max(1, min(t.num_blocks, -(-window // t.block_size)))
+    minor = t.leading(q).dense()
+    try:
+        np.linalg.cholesky(minor)
+        return True
+    except np.linalg.LinAlgError:
+        return False
+
+
+def plan(op, *, assume: str = "auto", machine: MachineSpec | None = None,
+         algorithm: str | None = None, representation: str | None = None,
+         block_size: int | None = None, panel: int | None = None,
+         in_place: bool = True, perturb: bool = True,
+         delta: float | None = None, use_cache: bool = True,
+         probe: bool = True) -> SolverPlan:
+    """Produce a :class:`SolverPlan` for ``op``.
+
+    Parameters
+    ----------
+    op : StructuredOperator
+        The operator to solve with.  Toeplitz-block operators are
+        shuffled, convolution operators are replaced by their
+        normal-equations matrix (recorded in ``plan.note``).
+    assume : {"auto", "spd", "indefinite"}
+        Definiteness assumption.  ``"auto"`` probes a leading principal
+        minor and arms the indefinite fallback.
+    machine : MachineSpec, optional
+        When given, the §7 autotuner picks representation, algorithmic
+        block size ``m_s`` (serial) and distribution ``b`` (parallel).
+    algorithm : str, optional
+        Explicit algorithm override (any registered name, e.g.
+        ``"levinson"``, ``"pcg"``, ``"dense-chol"``).
+    representation, block_size, panel, in_place, perturb, delta
+        Factorization knobs (see :class:`~repro.core.SchurOptions` and
+        :func:`~repro.core.schur_indefinite.schur_indefinite_factor`);
+        explicit values win over machine-tuned ones.
+    use_cache : bool
+        Whether executions of this plan may reuse cached factorizations.
+    probe : bool
+        Disable the definiteness probe (``assume="auto"`` then always
+        plans the SPD path with the fallback armed).
+    """
+    from repro.toeplitz.block_toeplitz import SymmetricBlockToeplitz
+
+    if assume not in _ASSUME_VALUES:
+        raise InvalidOptionError(
+            f"unknown assume={assume!r}; expected one of {_ASSUME_VALUES}")
+
+    target, note = _normalize_operator(op)
+    symmetric = isinstance(target, SymmetricBlockToeplitz)
+    n = target.order
+    m = target.block_size
+
+    # --- machine-tuned knobs (the §7 planner backend) -----------------
+    nproc = 1
+    dist_b: float | None = None
+    predicted: float | None = None
+    tuned_rep: str | None = None
+    tuned_ms: int | None = None
+    if machine is not None and symmetric:
+        from repro.tuning import tune
+        nproc = max(1, machine.nproc)
+        result = tune(n, m, nproc=nproc,
+                      node_model=machine.node_model,
+                      network=machine.network,
+                      representations=machine.representations)
+        tuned_rep = result.representation
+        tuned_ms = result.block_size
+        predicted = result.predicted_seconds
+        if result.distribution is not None:
+            dist_b = result.distribution.b
+
+    # --- algorithm selection ------------------------------------------
+    fallback: str | None = None
+    if algorithm is not None:
+        from repro.engine.engine import get_algorithm
+        get_algorithm(algorithm)  # validates the name
+    elif not symmetric:
+        algorithm = "gko"
+    elif assume == "spd":
+        algorithm = "spd-schur"
+    elif assume == "indefinite":
+        algorithm = "indefinite+refine"
+    else:  # auto
+        if probe and not _probe_spd(target):
+            algorithm = "indefinite+refine"
+        else:
+            algorithm = "spd-schur"
+            fallback = "indefinite+refine"
+
+    # --- representation / block size ----------------------------------
+    rep = representation if representation is not None else \
+        (tuned_rep or "vy2")
+    from repro.core.block_reflector import REPRESENTATIONS
+    if rep not in REPRESENTATIONS:
+        raise InvalidOptionError(
+            f"unknown representation {rep!r}; expected one of "
+            f"{REPRESENTATIONS}")
+    ms = block_size if block_size is not None else (tuned_ms or m)
+    if ms != m:
+        if ms <= 0 or ms % m != 0 or n % ms != 0:
+            raise ShapeError(
+                f"algorithmic block size {ms} must be a multiple of "
+                f"m={m} dividing n={n}")
+
+    return SolverPlan(
+        algorithm=algorithm, representation=rep, block_size=ms,
+        structural_block_size=m, order=n,
+        fingerprint=target.fingerprint(), assume=assume,
+        fallback=fallback, panel=panel, in_place=in_place,
+        perturb=perturb, delta=delta, use_cache=use_cache,
+        nproc=nproc, distribution_b=dist_b,
+        predicted_seconds=predicted, note=note, operator=target)

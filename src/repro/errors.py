@@ -16,6 +16,15 @@ class ShapeError(ReproError, ValueError):
     """An array argument has an incompatible or non-conforming shape."""
 
 
+class InvalidOptionError(ReproError, ValueError):
+    """A string/enumeration option has a value outside its legal set.
+
+    Distinct from :class:`ShapeError` (which is about array geometry):
+    raised for bad ``assume=``, ``representation=``, ``algorithm=`` and
+    similar configuration strings.
+    """
+
+
 class NotBlockToeplitzError(ReproError, ValueError):
     """A dense matrix claimed to be (symmetric) block Toeplitz is not."""
 

@@ -79,10 +79,12 @@ def _scatter_spread(gen: np.ndarray, m: int, p: int,
     return initial
 
 
-def simulate_factorization(t: SymmetricBlockToeplitz, nproc: int, *,
+def simulate_factorization(t: SymmetricBlockToeplitz,
+                           nproc: int | None = None, *,
                            b: float = 1,
+                           plan=None,
                            layout=None,
-                           representation: str = "vy2",
+                           representation: str | None = None,
                            node_model=None,
                            network: T3DNetworkParameters | None = None,
                            topology=None,
@@ -97,10 +99,15 @@ def simulate_factorization(t: SymmetricBlockToeplitz, nproc: int, *,
         SPD block Toeplitz matrix.
     nproc : int
         Number of PEs (linear array embedded in a 3-D torus by default).
+        May be omitted when ``plan`` carries it.
     b : float
         The paper's distribution parameter: ``b ≥ 1`` selects Versions
         1/2 with ``b`` adjacent blocks per PE; ``b < 1`` selects Version
         3 with ``spread = 1/b``.  Ignored when ``layout`` is given.
+    plan : repro.engine.SolverPlan, optional
+        A machine-tuned plan: supplies ``nproc``, the distribution
+        parameter ``b`` (hence the Version 1/2/3 layout) and the
+        reflector representation, unless overridden explicitly.
     representation : str
         Block reflector representation (affects both compute cost and
         broadcast volume).
@@ -117,6 +124,18 @@ def simulate_factorization(t: SymmetricBlockToeplitz, nproc: int, *,
     SimulatedRun
         With ``r`` (when collected) and the virtual-time report.
     """
+    if plan is not None:
+        if nproc is None:
+            nproc = plan.nproc
+        if layout is None and plan.distribution_b is not None:
+            b = plan.distribution_b
+        if representation is None:
+            representation = plan.representation
+    if representation is None:
+        representation = "vy2"
+    if nproc is None:
+        raise DistributionError(
+            "nproc is required (directly or through a SolverPlan)")
     if layout is None:
         layout = make_layout(nproc, b=b)
     if node_model is None:

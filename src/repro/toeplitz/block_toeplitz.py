@@ -160,6 +160,16 @@ class SymmetricBlockToeplitz:
                 out[i * m:(i + 1) * m, j * m:(j + 1) * m] = self.block(i, j)
         return out
 
+    def assemble(self) -> np.ndarray:
+        """Dense assembly (the :class:`~repro.engine.StructuredOperator`
+        spelling of :meth:`dense`)."""
+        return self.dense()
+
+    def fingerprint(self) -> str:
+        """Stable content hash of the defining blocks + structure tag."""
+        from repro.utils.fingerprint import content_fingerprint
+        return content_fingerprint("sym-block-toeplitz", self._blocks)
+
     def first_scalar_row(self) -> np.ndarray:
         """First scalar row of the matrix (length ``n``)."""
         return self.row_strip(1).ravel()
@@ -299,6 +309,16 @@ class BlockToeplitz:
             for j in range(p):
                 out[i * m:(i + 1) * m, j * m:(j + 1) * m] = self.block(i, j)
         return out
+
+    def assemble(self) -> np.ndarray:
+        """Dense assembly (the :class:`~repro.engine.StructuredOperator`
+        spelling of :meth:`dense`)."""
+        return self.dense()
+
+    def fingerprint(self) -> str:
+        """Stable content hash of the defining column/row + structure tag."""
+        from repro.utils.fingerprint import content_fingerprint
+        return content_fingerprint("block-toeplitz", self._col, self._row)
 
     def matvec(self, x: np.ndarray) -> np.ndarray:
         """Fast FFT product ``T x`` (see BlockCirculantEmbedding)."""

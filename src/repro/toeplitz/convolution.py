@@ -95,6 +95,17 @@ class ConvolutionOperator:
         x = x.reshape(self.n_in * m, -1)
         return x[:, 0] if single else x
 
+    def assemble(self) -> np.ndarray:
+        """Dense assembly (the :class:`~repro.engine.StructuredOperator`
+        spelling of :meth:`dense`)."""
+        return self.dense()
+
+    def fingerprint(self) -> str:
+        """Stable content hash of the taps + geometry + structure tag."""
+        from repro.utils.fingerprint import content_fingerprint
+        return content_fingerprint("convolution", self.taps,
+                                   meta=(self.n_in,))
+
     def dense(self) -> np.ndarray:
         """Dense convolution matrix (tests/diagnostics)."""
         m = self.block_size

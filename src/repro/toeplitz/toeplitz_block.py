@@ -111,6 +111,13 @@ class SymmetricToeplitzBlock:
         return self._m
 
     @property
+    def block_size(self) -> int:
+        """Block size of the shuffled block Toeplitz equivalent (= the
+        number of channels), making the class a
+        :class:`~repro.engine.StructuredOperator`."""
+        return self._m
+
+    @property
     def block_order(self) -> int:
         return self._p
 
@@ -142,6 +149,30 @@ class SymmetricToeplitzBlock:
                                  self._cols[r, s][np.abs(diff)])
                 out[r * p:(r + 1) * p, s * p:(s + 1) * p] = block
         return out
+
+    def assemble(self) -> np.ndarray:
+        """Dense assembly (the :class:`~repro.engine.StructuredOperator`
+        spelling of :meth:`dense`)."""
+        return self.dense()
+
+    def fingerprint(self) -> str:
+        """Stable content hash of the defining rows/cols + structure tag."""
+        from repro.utils.fingerprint import content_fingerprint
+        return content_fingerprint("sym-toeplitz-block",
+                                   self._rows, self._cols)
+
+    def matvec(self, x: np.ndarray) -> np.ndarray:
+        """``A x`` in channel-major order via the shuffled fast matvec."""
+        x = np.asarray(x, dtype=np.float64)
+        if x.shape[0] != self.order:
+            raise ShapeError(
+                f"x has {x.shape[0]} rows, expected {self.order}")
+        perm = self.permutation()
+        xt = x[perm] if x.ndim == 1 else x[perm, :]
+        yt = self.to_block_toeplitz().matvec(xt)
+        y = np.empty_like(yt)
+        y[perm] = yt
+        return y
 
     # ------------------------------------------------------------------
     def to_block_toeplitz(self) -> SymmetricBlockToeplitz:

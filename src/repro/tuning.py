@@ -112,13 +112,37 @@ def choose_distribution(n: int, m: int, nproc: int, *,
 
 @dataclass
 class TuningResult:
-    """Recommended configuration for a (problem, machine) pair."""
+    """Recommended configuration for a (problem, machine) pair.
+
+    This is the solver engine's planner backend: ``tune`` picks the
+    knobs, :meth:`to_plan` turns the recommendation into an executable
+    :class:`~repro.engine.SolverPlan` (and
+    ``repro.engine.plan(op, machine=MachineSpec(...))`` runs the same
+    machinery in one step).
+    """
 
     block_size: int
     representation: str
     distribution: DistributionChoice | None
     predicted_seconds: float
+    nproc: int = 1
     candidates: list = field(default_factory=list)
+
+    def to_plan(self, op, *, assume: str = "auto",
+                use_cache: bool = True):
+        """Materialize this recommendation as a
+        :class:`~repro.engine.SolverPlan` for ``op``."""
+        from repro.engine.plan import plan as make_plan
+        pl = make_plan(op, assume=assume,
+                       representation=self.representation,
+                       block_size=(self.block_size
+                                   if self.nproc <= 1 else None),
+                       use_cache=use_cache)
+        return pl.with_(
+            nproc=self.nproc,
+            distribution_b=(self.distribution.b
+                            if self.distribution is not None else None),
+            predicted_seconds=self.predicted_seconds)
 
     def describe(self) -> str:
         """One-line human-readable summary of the recommendation."""
@@ -162,7 +186,7 @@ def tune(n: int, m: int, *, nproc: int = 1,
         rep, ms, sec = best
         return TuningResult(block_size=ms, representation=rep,
                             distribution=None, predicted_seconds=sec,
-                            candidates=cands)
+                            nproc=1, candidates=cands)
     best = None
     cands = []
     for rep in representations:
@@ -176,4 +200,4 @@ def tune(n: int, m: int, *, nproc: int = 1,
     return TuningResult(block_size=m, representation=rep,
                         distribution=choice,
                         predicted_seconds=choice.seconds,
-                        candidates=cands)
+                        nproc=nproc, candidates=cands)

@@ -1,0 +1,50 @@
+"""Stable content fingerprints for structured operators.
+
+The solver engine's factorization cache is keyed on
+``(operator fingerprint, plan key)``; the fingerprint must therefore be
+
+* **content-based** — two independently constructed operators with equal
+  defining data hash identically (so a re-loaded matrix hits the cache);
+* **structure-tagged** — a symmetric block Toeplitz matrix and a general
+  one with the same first block row must not collide;
+* **cheap** — ``O(defining data)``, never ``O(n²)`` dense assembly.
+
+Kept in :mod:`repro.utils` (rather than the engine package) so the
+operator classes can implement ``fingerprint()`` without importing the
+engine, which imports them.
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+import numpy as np
+
+__all__ = ["content_fingerprint"]
+
+
+def content_fingerprint(tag: str, *arrays, meta: tuple = ()) -> str:
+    """SHA-256 hex digest of a structure tag + defining arrays + scalars.
+
+    Parameters
+    ----------
+    tag : str
+        Structure discriminator (e.g. ``"sym-block-toeplitz"``).
+    *arrays
+        The defining data, hashed as float64 C-contiguous bytes together
+        with their shapes (so ``(2, 3)`` and ``(3, 2)`` data differ).
+    meta : tuple
+        Extra hashable scalars folded into the digest (block sizes,
+        lengths, …).
+    """
+    h = hashlib.sha256()
+    h.update(tag.encode("utf-8"))
+    for v in meta:
+        h.update(b"|")
+        h.update(repr(v).encode("utf-8"))
+    for a in arrays:
+        arr = np.ascontiguousarray(np.asarray(a, dtype=np.float64))
+        h.update(b"#")
+        h.update(str(arr.shape).encode("utf-8"))
+        h.update(arr.tobytes())
+    return h.hexdigest()

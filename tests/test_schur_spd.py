@@ -7,7 +7,11 @@ import scipy.linalg as sla
 from repro.core.block_reflector import REPRESENTATIONS
 from repro.core.generator import spd_generator
 from repro.core.schur_spd import SchurOptions, schur_spd_factor
-from repro.errors import NotPositiveDefiniteError, ShapeError
+from repro.errors import (
+    InvalidOptionError,
+    NotPositiveDefiniteError,
+    ShapeError,
+)
 from repro.toeplitz import (
     SymmetricBlockToeplitz,
     ar_block_toeplitz,
@@ -88,7 +92,7 @@ class TestRepresentations:
             np.testing.assert_allclose(r, rs[0], atol=1e-9)
 
     def test_unknown_representation_raises(self, small_spd_block):
-        with pytest.raises(ShapeError):
+        with pytest.raises(InvalidOptionError):
             schur_spd_factor(small_spd_block,
                              options=SchurOptions(representation="nope"))
 

@@ -4,7 +4,11 @@ import numpy as np
 import pytest
 
 from repro.core.solve import cholesky, ldlt, solve, solve_refined
-from repro.errors import NotPositiveDefiniteError, ShapeError
+from repro.errors import (
+    InvalidOptionError,
+    NotPositiveDefiniteError,
+    ShapeError,
+)
 from repro.toeplitz import (
     ar_block_toeplitz,
     indefinite_toeplitz,
@@ -95,7 +99,7 @@ class TestSolveAPI:
         np.testing.assert_allclose(t.dense() @ x, b, atol=1e-8)
 
     def test_unknown_assume(self):
-        with pytest.raises(ShapeError):
+        with pytest.raises(InvalidOptionError):
             solve(kms_toeplitz(4, 0.5), np.ones(4), assume="maybe")
 
     def test_first_row_input(self, rng):
