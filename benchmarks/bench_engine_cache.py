@@ -6,14 +6,22 @@ pays the ``O(m_s n²)`` factorization; with it only the first does, and
 the remaining ``k − 1`` calls are ``O(n²/m_s)``-ish triangular solves.
 With ``m_s = 16`` the factor/solve flop ratio is ≈ 30×, so a 10-RHS
 workload must clear a 5× end-to-end speedup.
+
+This bench also guards the observability budget: the span/metric
+instrumentation threaded through the engine must cost < 2 % of a solve
+when disabled (the production default).  Both the timings and the
+measured overhead land in ``BENCH_engine_cache.json``; one profiled
+execution is exported as ``engine_cache_trace.jsonl`` (the CI artifact).
 """
 
+import os
 import time
 
 import numpy as np
 
 import repro.engine as engine
-from repro.bench import format_table, write_result
+import repro.obs as obs
+from repro.bench import format_table, write_json_result, write_result
 from repro.bench.runner import full_scale
 from repro.engine import FactorizationCache
 from repro.toeplitz import kms_toeplitz
@@ -47,6 +55,54 @@ def run_cache_bench(n, ms, nrhs):
     return t_off, t_on, off.stats()
 
 
+def measure_obs(pl, rhs, nrhs):
+    """Observability cost: enabled wall time and disabled-path estimate.
+
+    The enabled cost is a direct re-timing of the cached-solve loop with
+    tracing on.  The *disabled* instrumentation cost cannot be measured
+    against code that no longer exists, so it is bounded from the two
+    measurable factors: the per-call cost of a disabled ``obs.span``
+    (the only thing the hot path touches) times the number of span
+    sites one execution passes through.
+    """
+    was_enabled = obs.enabled()
+    obs.disable()
+    cache = FactorizationCache(max_entries=1)
+    t_disabled = _wall(lambda: (cache.clear(), cache.reset_stats(),
+                                _solve_many(pl, rhs, cache)))
+
+    # Disabled fast path: per-call cost of span() + the enabled() checks.
+    calls = 100_000
+    t0 = time.perf_counter()
+    for _ in range(calls):
+        with obs.span("overhead-probe"):
+            pass
+    per_span = (time.perf_counter() - t0) / calls
+
+    obs.enable()
+    try:
+        cache.clear()
+        cache.reset_stats()
+        t_enabled = _wall(lambda: (cache.clear(), cache.reset_stats(),
+                                   _solve_many(pl, rhs, cache)))
+        profiled = engine.execute(pl, rhs[0], cache=cache)
+        spans_per_execute = sum(1 for _ in profiled.profile.root.walk())
+    finally:
+        if not was_enabled:
+            obs.disable()
+
+    disabled_overhead = (spans_per_execute * per_span * nrhs) / t_disabled
+    return {
+        "seconds_obs_disabled": t_disabled,
+        "seconds_obs_enabled": t_enabled,
+        "enabled_overhead_pct": 100.0 * (t_enabled - t_disabled)
+        / t_disabled,
+        "disabled_span_cost_seconds": per_span,
+        "spans_per_execute": spans_per_execute,
+        "disabled_overhead_pct": 100.0 * disabled_overhead,
+    }, profiled.profile
+
+
 def test_engine_cache_throughput(benchmark):
     n = 1536 if full_scale() else 768
     ms, nrhs = 16, 10
@@ -63,8 +119,38 @@ def test_engine_cache_throughput(benchmark):
                "one matrix): factorization cache on vs off"))
     write_result("engine_cache", text)
 
+    # --- observability budget + trace artifact -----------------------
+    t = kms_toeplitz(n, 0.5)
+    rng = np.random.default_rng(0)
+    rhs = [rng.standard_normal(n) for _ in range(nrhs)]
+    pl = engine.plan(t, assume="spd", block_size=ms)
+    overhead, profile = measure_obs(pl, rhs, nrhs)
+
+    trace_path = os.path.join(
+        os.environ.get("REPRO_RESULTS_DIR",
+                       os.path.join(os.path.dirname(__file__), "results")),
+        "engine_cache_trace.jsonl")
+    obs.write_jsonl(profile.to_records(), trace_path)
+
+    write_json_result("engine_cache", {
+        "workload": {"n": n, "m_s": ms, "nrhs": nrhs,
+                     "matrix": "kms(0.5)", "full_scale": full_scale()},
+        "timings": {"cache_off_seconds": t_off,
+                    "cache_on_seconds": t_on,
+                    "speedup": speedup},
+        "cache": {"hits": stats.hits, "misses": stats.misses,
+                  "evictions": stats.evictions,
+                  "bytes": stats.current_bytes},
+        "observability": overhead,
+        "model_flops_factorization":
+            profile.root.children[0].attributes.get("model_flops"),
+        "trace_jsonl": trace_path,
+    })
+
     # the last timed pass factored once and hit on every later solve
     assert stats.misses == 1
     assert stats.hits == nrhs - 1
     # factor-once must dominate: ≥5× end-to-end on 10 RHS
     assert speedup >= 5.0, (t_off, t_on)
+    # the disabled instrumentation path must stay below 2% of a solve
+    assert overhead["disabled_overhead_pct"] < 2.0, overhead

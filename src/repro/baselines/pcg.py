@@ -18,6 +18,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+import repro.obs as obs
 from repro.errors import ConvergenceError, ShapeError
 from repro.toeplitz.block_toeplitz import SymmetricBlockToeplitz
 from repro.toeplitz.matvec import BlockCirculantEmbedding
@@ -73,40 +74,53 @@ def pcg(t: SymmetricBlockToeplitz, b: np.ndarray, *,
     if bnorm == 0.0:
         res.converged = True
         return res
-    x = np.zeros(n)
-    r = b.copy()
-    if preconditioner is not None:
-        z = preconditioner.solve(r)
-        res.precond_solves += 1
-    else:
-        z = r.copy()
-    p = z.copy()
-    rz = float(r @ z)
-    res.residual_norms.append(float(np.linalg.norm(r)))
-    for it in range(1, max_iter + 1):
-        ap = emb(p)
-        res.matvecs += 1
-        pap = float(p @ ap)
-        if pap == 0.0:
-            break
-        alpha = rz / pap
-        x += alpha * p
-        r -= alpha * ap
-        rnorm = float(np.linalg.norm(r))
-        res.residual_norms.append(rnorm)
-        res.iterations = it
-        if rnorm <= tol * bnorm:
-            res.converged = True
-            break
+    traced = obs.enabled()
+    residual_gauge = obs.default_registry().gauge(
+        "repro_pcg_residual",
+        "‖b − T x‖₂ after the most recent PCG iteration"
+    ) if traced else None
+    with obs.span("pcg", order=n, tol=tol, max_iter=max_iter,
+                  preconditioned=preconditioner is not None) as sp:
+        x = np.zeros(n)
+        r = b.copy()
         if preconditioner is not None:
             z = preconditioner.solve(r)
             res.precond_solves += 1
         else:
             z = r.copy()
-        rz_new = float(r @ z)
-        beta = rz_new / rz if rz != 0.0 else 0.0
-        p = z + beta * p
-        rz = rz_new
+        p = z.copy()
+        rz = float(r @ z)
+        res.residual_norms.append(float(np.linalg.norm(r)))
+        if traced:
+            residual_gauge.set(res.residual_norms[0])
+        for it in range(1, max_iter + 1):
+            ap = emb(p)
+            res.matvecs += 1
+            pap = float(p @ ap)
+            if pap == 0.0:
+                break
+            alpha = rz / pap
+            x += alpha * p
+            r -= alpha * ap
+            rnorm = float(np.linalg.norm(r))
+            res.residual_norms.append(rnorm)
+            res.iterations = it
+            if traced:
+                residual_gauge.set(rnorm)
+            if rnorm <= tol * bnorm:
+                res.converged = True
+                break
+            if preconditioner is not None:
+                z = preconditioner.solve(r)
+                res.precond_solves += 1
+            else:
+                z = r.copy()
+            rz_new = float(r @ z)
+            beta = rz_new / rz if rz != 0.0 else 0.0
+            p = z + beta * p
+            rz = rz_new
+        sp.set(iterations=res.iterations, converged=res.converged,
+               matvecs=res.matvecs, precond_solves=res.precond_solves)
     res.x = x
     if not res.converged and raise_on_fail:
         raise ConvergenceError(

@@ -1,8 +1,13 @@
 """Shared helpers for the benchmark harness (table formatting, sizing)."""
 
-from repro.bench.tables import format_table, format_series, write_result
+from repro.bench.tables import (
+    format_table,
+    format_series,
+    write_result,
+    write_json_result,
+)
 from repro.bench.runner import bench_scale, full_scale
 from repro.bench.plots import ascii_plot
 
 __all__ = ["format_table", "format_series", "write_result",
-           "bench_scale", "full_scale", "ascii_plot"]
+           "write_json_result", "bench_scale", "full_scale", "ascii_plot"]

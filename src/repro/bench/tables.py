@@ -7,10 +7,12 @@ the output survives pytest's capture.
 
 from __future__ import annotations
 
+import json
 import os
 from typing import Sequence
 
-__all__ = ["format_table", "format_series", "write_result"]
+__all__ = ["format_table", "format_series", "write_result",
+           "write_json_result"]
 
 
 def format_table(headers: Sequence[str], rows: Sequence[Sequence],
@@ -39,9 +41,7 @@ def format_series(x_label: str, xs: Sequence, series: dict[str, Sequence],
     return format_table(headers, rows, title=title)
 
 
-def write_result(name: str, text: str, *, directory: str | None = None,
-                 echo: bool = True) -> str:
-    """Print ``text`` and persist it under ``benchmarks/results/``."""
+def _results_dir(directory: str | None) -> str:
     if directory is None:
         directory = os.environ.get(
             "REPRO_RESULTS_DIR",
@@ -49,10 +49,36 @@ def write_result(name: str, text: str, *, directory: str | None = None,
                 os.path.dirname(os.path.abspath(__file__))))),
                 "benchmarks", "results"))
     os.makedirs(directory, exist_ok=True)
+    return directory
+
+
+def write_result(name: str, text: str, *, directory: str | None = None,
+                 echo: bool = True) -> str:
+    """Print ``text`` and persist it under ``benchmarks/results/``."""
+    directory = _results_dir(directory)
     path = os.path.join(directory, f"{name}.txt")
     with open(path, "w", encoding="utf-8") as fh:
         fh.write(text.rstrip() + "\n")
     if echo:
         print("\n" + text)
         print(f"[written to {path}]")
+    return path
+
+
+def write_json_result(name: str, payload: dict, *,
+                      directory: str | None = None,
+                      echo: bool = True) -> str:
+    """Persist a machine-readable benchmark record.
+
+    Written as ``benchmarks/results/BENCH_<name>.json`` next to the
+    human-readable ``<name>.txt``, so the perf trajectory (timings,
+    flops, cache statistics) can be diffed and plotted PR-over-PR.
+    """
+    directory = _results_dir(directory)
+    path = os.path.join(directory, f"BENCH_{name}.json")
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(payload, fh, indent=2, sort_keys=True, default=str)
+        fh.write("\n")
+    if echo:
+        print(f"[json written to {path}]")
     return path

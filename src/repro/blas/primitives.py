@@ -29,9 +29,12 @@ from __future__ import annotations
 
 from contextlib import contextmanager
 from dataclasses import dataclass, field
+from time import perf_counter
 
 import numpy as np
 import scipy.linalg as sla
+
+from repro.obs import spans as _obs
 
 __all__ = [
     "FlopCounter",
@@ -105,12 +108,27 @@ _CATEGORY: list[str] = ["misc"]
 
 @contextmanager
 def category(name: str):
-    """Attribute all charges inside the block to ``name``."""
+    """Attribute all charges inside the block to ``name``.
+
+    When observability is enabled *and* a span is open, the block's wall
+    time is also folded into the current span's phase accumulator
+    (:func:`repro.obs.record_phase`) — that is how the Schur loop's
+    blocking / application / panel split surfaces in ``--profile``
+    output without per-call child spans.
+    """
     _CATEGORY.append(name)
-    try:
-        yield
-    finally:
-        _CATEGORY.pop()
+    if _obs.enabled() and _obs.current_span() is not None:
+        t0 = perf_counter()
+        try:
+            yield
+        finally:
+            _CATEGORY.pop()
+            _obs.record_phase(name, perf_counter() - t0)
+    else:
+        try:
+            yield
+        finally:
+            _CATEGORY.pop()
 
 
 def charge(flops: int, primitive: str = "misc") -> None:

@@ -83,8 +83,31 @@ def _cmd_info(args) -> int:
     return 0
 
 
+def _want_profile(args) -> bool:
+    """Enable observability for this run when asked; returns whether."""
+    if getattr(args, "profile", False) or getattr(args, "trace_out", None):
+        import repro.obs as obs
+        obs.enable()
+        return True
+    return False
+
+
+def _emit_profile(args, profile) -> None:
+    """Print the span tree / metrics and write the JSONL trace."""
+    if profile is None:
+        return
+    if args.profile:
+        print()
+        print(profile.render())
+    if args.trace_out:
+        from repro.obs import write_jsonl
+        write_jsonl(profile.to_records(), args.trace_out)
+        print(f"trace written to {args.trace_out}")
+
+
 def _cmd_factor(args) -> int:
     import repro.engine as engine
+    _want_profile(args)
     t = _load_matrix(args.matrix, args.block_size)
     pl = engine.plan(t, representation=args.representation,
                      use_cache=not args.no_cache)
@@ -114,6 +137,7 @@ def _cmd_factor(args) -> int:
     if args.output:
         np.savez(args.output, r=r, d=d)
         print(f"factor written to {args.output}")
+    _emit_profile(args, fres.profile)
     return 0
 
 
@@ -129,6 +153,7 @@ _METHOD_MESSAGES = {
 
 def _cmd_solve(args) -> int:
     import repro.engine as engine
+    _want_profile(args)
     t = _load_matrix(args.matrix, args.block_size)
     b = _load_array(args.rhs)
     pl = engine.plan(
@@ -155,6 +180,7 @@ def _cmd_solve(args) -> int:
     else:
         np.set_printoptions(precision=6, suppress=False, threshold=20)
         print(f"x = {x}")
+    _emit_profile(args, res.profile)
     return 0
 
 
@@ -163,7 +189,8 @@ def _cmd_simulate(args) -> int:
     t = _load_matrix(args.matrix, args.block_size)
     run = simulate_factorization(t, nproc=args.nproc, b=args.b,
                                  collect=False,
-                                 representation=args.representation)
+                                 representation=args.representation,
+                                 trace=bool(args.trace_out))
     scheme = "v3" if args.b < 1 else ("v1" if args.b == 1 else "v2")
     print(f"simulated T3D: NP={args.nproc}, b={args.b} ({scheme}), "
           f"m={t.block_size}")
@@ -171,6 +198,10 @@ def _cmd_simulate(args) -> int:
     print("slowest-PE phase breakdown:")
     for k, v in sorted(run.breakdown().items(), key=lambda kv: -kv[1]):
         print(f"  {k:<12} {v * 1e3:9.3f} ms")
+    if args.trace_out:
+        from repro.obs import write_jsonl
+        write_jsonl(run.report.trace.to_records(), args.trace_out)
+        print(f"trace written to {args.trace_out}")
     return 0
 
 
@@ -257,6 +288,12 @@ def build_parser() -> argparse.ArgumentParser:
                        help="bypass the factorization cache")
         p.add_argument("--explain", action="store_true",
                        help="print the solver plan before running it")
+        p.add_argument("--profile", action="store_true",
+                       help="enable observability and print the span "
+                            "tree + metrics table after the run")
+        p.add_argument("--trace-out", metavar="FILE", default=None,
+                       help="write the execution trace as JSON lines "
+                            "(implies observability)")
 
     p = sub.add_parser("factor", help="factor the matrix")
     add_matrix_args(p)
@@ -284,6 +321,9 @@ def build_parser() -> argparse.ArgumentParser:
                    help="distribution parameter (b<1 ⇒ Version 3)")
     p.add_argument("--representation", default="vy2",
                    choices=["vy1", "vy2", "yty"])
+    p.add_argument("--trace-out", metavar="FILE", default=None,
+                   help="write the simulated per-PE event trace as "
+                        "JSON lines (same schema as solve --trace-out)")
     p.set_defaults(func=_cmd_simulate)
 
     p = sub.add_parser("tune", help="recommend a configuration")

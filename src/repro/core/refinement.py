@@ -23,6 +23,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+import repro.obs as obs
 from repro.errors import ShapeError
 from repro.toeplitz.block_toeplitz import SymmetricBlockToeplitz
 from repro.toeplitz.matvec import BlockCirculantEmbedding
@@ -85,30 +86,46 @@ def refine(factorization, t: SymmetricBlockToeplitz, b: np.ndarray, *,
         raise ShapeError(f"b has {b.shape[0]} rows, expected {n}")
     if tol is None:
         tol = 4.0 * float(np.finfo(np.float64).eps)
+    traced = obs.enabled()
+    residual_gauge = obs.default_registry().gauge(
+        "repro_refinement_residual",
+        "‖b − T x‖₂ after the most recent refinement iterate"
+    ) if traced else None
     emb = BlockCirculantEmbedding(t)
-    x = factorization.solve(b)
-    r = b - emb(x)
-    res_norms = [float(np.linalg.norm(r))]
-    corr_norms: list[float] = []
-    history: list[np.ndarray] = [x.copy()] if keep_history else []
-    converged = False
-    for _ in range(max_iter):
-        dx = factorization.solve(r)
-        dx_norm = float(np.linalg.norm(dx))
-        x_norm = float(np.linalg.norm(x))
-        corr_norms.append(dx_norm)
-        if dx_norm < tol * max(x_norm, 1e-300):
-            converged = True
-            break
-        x = x + dx
+    with obs.span("refine", max_iter=max_iter, tol=tol) as sp:
+        with obs.span("refine.initial_solve"):
+            x = factorization.solve(b)
         r = b - emb(x)
-        res_norms.append(float(np.linalg.norm(r)))
-        if keep_history:
-            history.append(x.copy())
-        # Stagnation: corrections no longer shrinking ⇒ rounding floor.
-        if len(corr_norms) >= 2 and dx_norm > 0.5 * corr_norms[-2]:
-            converged = True
-            break
+        res_norms = [float(np.linalg.norm(r))]
+        if traced:
+            residual_gauge.set(res_norms[0], iteration="0")
+        corr_norms: list[float] = []
+        history: list[np.ndarray] = [x.copy()] if keep_history else []
+        converged = False
+        for it in range(max_iter):
+            with obs.span("refine.iteration", i=it + 1):
+                dx = factorization.solve(r)
+                dx_norm = float(np.linalg.norm(dx))
+                x_norm = float(np.linalg.norm(x))
+                corr_norms.append(dx_norm)
+                if dx_norm < tol * max(x_norm, 1e-300):
+                    converged = True
+                    break
+                x = x + dx
+                r = b - emb(x)
+                res_norms.append(float(np.linalg.norm(r)))
+                if traced:
+                    residual_gauge.set(res_norms[-1])
+                    residual_gauge.set(res_norms[-1],
+                                       iteration=str(it + 1))
+            if keep_history:
+                history.append(x.copy())
+            # Stagnation: corrections no longer shrinking ⇒ rounding floor.
+            if len(corr_norms) >= 2 and dx_norm > 0.5 * corr_norms[-2]:
+                converged = True
+                break
+        sp.set(iterations=len(corr_norms), converged=converged,
+               final_residual=res_norms[-1])
     return RefinementResult(
         x=x,
         iterations=len(corr_norms),

@@ -29,6 +29,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+import repro.obs as obs
 from repro.blas import primitives as blas
 from repro.core.generator import Generator, indefinite_generator
 from repro.core.hyperbolic import reflector_annihilating
@@ -263,10 +264,11 @@ def schur_indefinite_factor(t: SymmetricBlockToeplitz | Generator, *,
         delta = default_delta()
     if perturb_threshold is None:
         perturb_threshold = delta
-    if isinstance(t, Generator):
-        g = t.copy()
-    else:
-        g = indefinite_generator(t, singular_tol=singular_tol)
+    with obs.span("schur.generator"):
+        if isinstance(t, Generator):
+            g = t.copy()
+        else:
+            g = indefinite_generator(t, singular_tol=singular_tol)
     m, p = g.block_size, g.num_blocks
     n = m * p
     r = np.zeros((n, n))
@@ -286,17 +288,22 @@ def schur_indefinite_factor(t: SymmetricBlockToeplitz | Generator, *,
     # its signature is the current upper-half signature.
     r[:m, :] = top
     d[:m] = w[:m]
-    for i in range(1, p):
-        q = n - i * m
-        upper = top[:, :q]
-        lower = bot[:, i * m:]
-        step_norm = _eliminate_block_indefinite(
-            upper, lower, w, step=i, delta=delta, perturb=perturb,
-            perturb_threshold=perturb_threshold, scale0=scale0,
-            events_p=events_p, events_i=events_i)
-        transform_norms.append(step_norm)
-        r[i * m:(i + 1) * m, i * m:] = upper
-        d[i * m:(i + 1) * m] = w[:m]
+    with obs.span("schur.eliminate", order=n, block_size=m,
+                  delta=delta) as sp:
+        for i in range(1, p):
+            q = n - i * m
+            upper = top[:, :q]
+            lower = bot[:, i * m:]
+            step_norm = _eliminate_block_indefinite(
+                upper, lower, w, step=i, delta=delta, perturb=perturb,
+                perturb_threshold=perturb_threshold, scale0=scale0,
+                events_p=events_p, events_i=events_i)
+            transform_norms.append(step_norm)
+            r[i * m:(i + 1) * m, i * m:] = upper
+            d[i * m:(i + 1) * m] = w[:m]
+        sp.set(perturbations=len(events_p), interchanges=len(events_i),
+               max_transform_norm=(max(transform_norms)
+                                   if transform_norms else 0.0))
     return IndefiniteFactorization(r, d, m, p,
                                    perturbations=events_p,
                                    interchanges=events_i,

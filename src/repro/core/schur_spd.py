@@ -23,10 +23,12 @@ The factorization satisfies ``T = Rᵀ R`` with ``R`` upper triangular
 
 from __future__ import annotations
 
+from contextlib import ExitStack
 from dataclasses import dataclass, field
 
 import numpy as np
 
+import repro.obs as obs
 from repro.blas import primitives as blas
 from repro.core.block_reflector import (
     REPRESENTATIONS,
@@ -263,22 +265,34 @@ def schur_spd_factor(t: SymmetricBlockToeplitz | Generator, *,
         leading principal minor of ``T`` is not positive.
     """
     opts = options or SchurOptions()
-    if isinstance(t, Generator):
-        g = t.copy()
-    else:
-        g = spd_generator(t)
+    with obs.span("schur.generator"):
+        if isinstance(t, Generator):
+            g = t.copy()
+        else:
+            g = spd_generator(t)
     m, p = g.block_size, g.num_blocks
     n = m * p
     r = np.zeros((n, n))
     collected: list[BlockReflector] | None = [] if keep_reflectors else None
-    try:
-        if opts.in_place:
-            _factor_in_place(g, r, opts, collected)
-        else:
-            _factor_with_shift(g, r, opts, collected)
-    except BreakdownError as exc:
-        raise NotPositiveDefiniteError(
-            f"matrix is not positive definite: {exc}") from exc
+    with ExitStack() as stack:
+        sp = stack.enter_context(obs.span(
+            "schur.eliminate", representation=opts.representation,
+            panel=opts.panel or m, in_place=opts.in_place,
+            order=n, block_size=m))
+        # Measured per-category flops ride on the span (obs runs only).
+        counter = (stack.enter_context(blas.counting())
+                   if obs.enabled() else None)
+        try:
+            if opts.in_place:
+                _factor_in_place(g, r, opts, collected)
+            else:
+                _factor_with_shift(g, r, opts, collected)
+        except BreakdownError as exc:
+            raise NotPositiveDefiniteError(
+                f"matrix is not positive definite: {exc}") from exc
+        if counter is not None:
+            sp.set(counted_flops=counter.total,
+                   counted_flops_by_phase=dict(counter.by_category))
     return SPDFactorization(r, m, p, opts,
                             reflectors=collected or [])
 

@@ -25,6 +25,9 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.obs import metrics as _metrics
+from repro.obs import spans as _spans
+
 __all__ = [
     "CacheStats",
     "FactorizationCache",
@@ -106,6 +109,30 @@ class FactorizationCache:
         self._evictions = 0
 
     # ------------------------------------------------------------------
+    def _publish_gauges(self) -> None:
+        """Mirror the counters into live observability gauges.
+
+        Called under the cache lock after every state change when
+        observability is enabled (one boolean check otherwise).  With
+        several cache instances alive the gauges reflect the most
+        recently active one — the default process-wide cache in every
+        production configuration.
+        """
+        registry = _metrics.default_registry()
+        registry.gauge("repro_cache_hits",
+                       "Factorization cache hits").set(self._hits)
+        registry.gauge("repro_cache_misses",
+                       "Factorization cache misses").set(self._misses)
+        registry.gauge("repro_cache_evictions",
+                       "Factorization cache LRU evictions"
+                       ).set(self._evictions)
+        registry.gauge("repro_cache_entries",
+                       "Factorizations currently cached"
+                       ).set(len(self._entries))
+        registry.gauge("repro_cache_bytes",
+                       "Byte footprint of cached factorizations"
+                       ).set(self._bytes)
+
     def get(self, key: tuple):
         """Look up ``key``; returns the value or ``None`` (counts the
         hit/miss and refreshes recency)."""
@@ -114,9 +141,13 @@ class FactorizationCache:
                 value, nbytes = self._entries.pop(key)
             except KeyError:
                 self._misses += 1
+                if _spans.enabled():
+                    self._publish_gauges()
                 return None
             self._entries[key] = (value, nbytes)
             self._hits += 1
+            if _spans.enabled():
+                self._publish_gauges()
             return value
 
     def put(self, key: tuple, value) -> None:
@@ -137,6 +168,8 @@ class FactorizationCache:
                 _, (_, evicted_bytes) = self._entries.popitem(last=False)
                 self._bytes -= evicted_bytes
                 self._evictions += 1
+            if _spans.enabled():
+                self._publish_gauges()
 
     def get_or_create(self, key: tuple, builder) -> tuple[object, bool]:
         """Return ``(value, cache_hit)``, building and inserting on miss.
@@ -166,11 +199,15 @@ class FactorizationCache:
         with self._lock:
             self._entries.clear()
             self._bytes = 0
+            if _spans.enabled():
+                self._publish_gauges()
 
     def reset_stats(self) -> None:
         """Zero the hit/miss/eviction counters."""
         with self._lock:
             self._hits = self._misses = self._evictions = 0
+            if _spans.enabled():
+                self._publish_gauges()
 
     def stats(self) -> CacheStats:
         """Consistent snapshot of the counters."""

@@ -22,6 +22,7 @@ from typing import Any, Callable
 
 import numpy as np
 
+import repro.obs as obs
 from repro.engine.cache import FactorizationCache, default_cache
 from repro.engine.plan import SolverPlan
 from repro.engine.plan import plan as make_plan
@@ -110,6 +111,8 @@ class FactorResult:
     algorithm: str          #: the algorithm that actually factored
     plan: SolverPlan
     cache_hit: bool
+    #: Span tree + metrics snapshot (None unless observability is on).
+    profile: "obs.Profile | None" = None
 
 
 @dataclass(frozen=True)
@@ -119,7 +122,10 @@ class ExecutionResult:
     ``algorithm`` is what actually ran (it differs from
     ``plan.algorithm`` when the SPD path broke down and the armed
     fallback took over — the per-plan record that stability diagnostics
-    attach to).
+    attach to).  With observability enabled (``repro.obs``), ``profile``
+    holds the execution's span tree — per-phase wall time and flop-model
+    attributes — plus a metrics snapshot; it is ``None`` when tracing is
+    off or when this execution was nested inside an enclosing span.
     """
 
     x: np.ndarray
@@ -128,6 +134,8 @@ class ExecutionResult:
     cache_hit: bool
     fallback_used: bool
     detail: Any = None
+    #: Span tree + metrics snapshot (None unless observability is on).
+    profile: "obs.Profile | None" = None
 
 
 # ----------------------------------------------------------------------
@@ -141,16 +149,49 @@ def _resolve_cache(pl: SolverPlan,
     return default_cache() if pl.use_cache else None
 
 
+def _model_flops(pl: SolverPlan) -> float | None:
+    """Closed-form factorization cost (eqs. 25–32) for Schur-type plans."""
+    if pl.algorithm not in ("spd-schur", "indefinite+refine"):
+        return None
+    if pl.order % pl.block_size != 0:
+        return None
+    from repro.core.flops import factorization_flops
+    try:
+        return factorization_flops(pl.order, pl.block_size,
+                                   representation=pl.representation,
+                                   k=pl.panel)
+    except Exception:
+        return None
+
+
 def _obtain_factorization(algo: Algorithm, pl: SolverPlan,
                           cache: FactorizationCache | None
                           ) -> tuple[Any, bool]:
     if algo.factor is None:
         return None, False
-    c = _resolve_cache(pl, cache)
-    if c is None:
-        return algo.factor(pl.operator, pl), False
-    return c.get_or_create(pl.cache_key(),
-                           lambda: algo.factor(pl.operator, pl))
+    with obs.span("factor", algorithm=pl.algorithm) as sp:
+        c = _resolve_cache(pl, cache)
+        if c is None:
+            fact, hit = algo.factor(pl.operator, pl), False
+        else:
+            fact, hit = c.get_or_create(
+                pl.cache_key(), lambda: algo.factor(pl.operator, pl))
+        if obs.enabled():
+            sp.set(cache_hit=hit)
+            model = _model_flops(pl)
+            if model is not None:
+                sp.set(model_flops=model)
+                if not hit:
+                    obs.default_registry().counter(
+                        "repro_engine_model_flops_total",
+                        "Modeled flops of factorizations actually computed"
+                    ).inc(model, algorithm=pl.algorithm)
+            obs.default_registry().counter(
+                "repro_engine_factorizations_total",
+                "Factorizations requested through the engine"
+            ).inc(1, algorithm=pl.algorithm,
+                  cache_hit=str(hit).lower())
+    return fact, hit
 
 
 def _require_operator(pl: SolverPlan):
@@ -173,16 +214,20 @@ def factor(pl: SolverPlan, *,
     if algo.factor is None:
         raise InvalidOptionError(
             f"algorithm {pl.algorithm!r} has no factorization stage")
-    try:
-        fact, hit = _obtain_factorization(algo, pl, cache)
-        return FactorResult(factorization=fact, algorithm=pl.algorithm,
-                            plan=pl, cache_hit=hit)
-    except NotPositiveDefiniteError:
-        if pl.fallback is None:
-            raise
-        fres = factor(pl.with_(algorithm=pl.fallback, fallback=None),
-                      cache=cache)
-        return dataclasses.replace(fres, plan=pl)
+    with obs.span("engine.factor", algorithm=pl.algorithm,
+                  order=pl.order) as sp:
+        try:
+            fact, hit = _obtain_factorization(algo, pl, cache)
+            fres = FactorResult(factorization=fact, algorithm=pl.algorithm,
+                                plan=pl, cache_hit=hit)
+        except NotPositiveDefiniteError:
+            if pl.fallback is None:
+                raise
+            sp.set(fallback=pl.fallback)
+            inner = factor(pl.with_(algorithm=pl.fallback, fallback=None),
+                           cache=cache)
+            fres = dataclasses.replace(inner, plan=pl)
+    return dataclasses.replace(fres, profile=obs.profile_from(sp))
 
 
 def execute(pl: SolverPlan, b, *,
@@ -196,18 +241,35 @@ def execute(pl: SolverPlan, b, *,
     op = _require_operator(pl)
     b = np.asarray(b, dtype=np.float64)
     algo = get_algorithm(pl.algorithm)
-    try:
-        fact, hit = _obtain_factorization(algo, pl, cache)
-        x, detail = algo.solve(op, b, pl, fact, **solve_kwargs)
-        return ExecutionResult(x=x, plan=pl, algorithm=pl.algorithm,
-                               cache_hit=hit, fallback_used=False,
-                               detail=detail)
-    except NotPositiveDefiniteError:
-        if pl.fallback is None:
-            raise
-        res = execute(pl.with_(algorithm=pl.fallback, fallback=None),
-                      b, cache=cache, **solve_kwargs)
-        return dataclasses.replace(res, plan=pl, fallback_used=True)
+    nrhs = 1 if b.ndim == 1 else b.shape[1]
+    with obs.span("engine.execute", algorithm=pl.algorithm,
+                  order=pl.order, nrhs=nrhs) as sp:
+        try:
+            fact, hit = _obtain_factorization(algo, pl, cache)
+            with obs.span("solve", algorithm=pl.algorithm):
+                x, detail = algo.solve(op, b, pl, fact, **solve_kwargs)
+            res = ExecutionResult(x=x, plan=pl, algorithm=pl.algorithm,
+                                  cache_hit=hit, fallback_used=False,
+                                  detail=detail)
+            if obs.enabled():
+                obs.default_registry().counter(
+                    "repro_engine_executions_total",
+                    "Solves executed through the engine"
+                ).inc(1, algorithm=res.algorithm)
+        except NotPositiveDefiniteError:
+            if pl.fallback is None:
+                raise
+            sp.set(fallback=pl.fallback)
+            if obs.enabled():
+                obs.default_registry().counter(
+                    "repro_engine_fallbacks_total",
+                    "Executions where the armed fallback algorithm ran"
+                ).inc(1, algorithm=pl.fallback)
+            # The recursive call counts its own execution.
+            inner = execute(pl.with_(algorithm=pl.fallback, fallback=None),
+                            b, cache=cache, **solve_kwargs)
+            res = dataclasses.replace(inner, plan=pl, fallback_used=True)
+    return dataclasses.replace(res, profile=obs.profile_from(sp))
 
 
 def solve(op, b, *, cache: FactorizationCache | None = None,
@@ -234,8 +296,18 @@ def _spd_factor(op, pl: SolverPlan):
     return schur_spd_factor(_regrouped(op, pl), options=opts)
 
 
+def _triangular_solve_flops(order: int, b) -> int:
+    # Two triangular solves (Rᵀy = b, Rx = y) at n² flops per RHS each.
+    nrhs = 1 if getattr(b, "ndim", 1) == 1 else b.shape[1]
+    return 2 * order * order * nrhs
+
+
 def _spd_solve(op, b, pl, fact, **_kwargs):
-    return fact.solve(b), fact
+    if not obs.enabled():
+        return fact.solve(b), fact
+    with obs.span("triangular_solve",
+                  model_flops=_triangular_solve_flops(pl.order, b)):
+        return fact.solve(b), fact
 
 
 def _indefinite_factor(op, pl: SolverPlan):
@@ -258,7 +330,11 @@ def _gko_factor(op, pl: SolverPlan):
 
 
 def _gko_solve(op, b, pl, fact, **_kwargs):
-    return fact.solve(b), fact
+    if not obs.enabled():
+        return fact.solve(b), fact
+    with obs.span("triangular_solve",
+                  model_flops=_triangular_solve_flops(pl.order, b)):
+        return fact.solve(b), fact
 
 
 register_algorithm(

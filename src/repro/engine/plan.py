@@ -25,6 +25,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+import repro.obs as obs
 from repro.errors import InvalidOptionError, ShapeError
 
 __all__ = ["MachineSpec", "SolverPlan", "plan"]
@@ -187,12 +188,15 @@ def _probe_spd(t, *, window: int = 64) -> bool:
     probe is *not* a certificate — execution still arms the fallback.
     """
     q = max(1, min(t.num_blocks, -(-window // t.block_size)))
-    minor = t.leading(q).dense()
-    try:
-        np.linalg.cholesky(minor)
-        return True
-    except np.linalg.LinAlgError:
-        return False
+    with obs.span("plan.probe", window=window) as sp:
+        minor = t.leading(q).dense()
+        try:
+            np.linalg.cholesky(minor)
+            spd = True
+        except np.linalg.LinAlgError:
+            spd = False
+        sp.set(spd=spd)
+    return spd
 
 
 def plan(op, *, assume: str = "auto", machine: MachineSpec | None = None,
@@ -201,6 +205,30 @@ def plan(op, *, assume: str = "auto", machine: MachineSpec | None = None,
          in_place: bool = True, perturb: bool = True,
          delta: float | None = None, use_cache: bool = True,
          probe: bool = True) -> SolverPlan:
+    """Produce a :class:`SolverPlan` for ``op``.
+
+    See :func:`_make_plan` for the parameter reference; this wrapper
+    only adds the ``engine.plan`` observability span.
+    """
+    with obs.span("engine.plan", assume=assume) as sp:
+        pl = _make_plan(op, assume=assume, machine=machine,
+                        algorithm=algorithm, representation=representation,
+                        block_size=block_size, panel=panel,
+                        in_place=in_place, perturb=perturb, delta=delta,
+                        use_cache=use_cache, probe=probe)
+        sp.set(algorithm=pl.algorithm, order=pl.order,
+               block_size=pl.block_size)
+    return pl
+
+
+def _make_plan(op, *, assume: str = "auto",
+               machine: MachineSpec | None = None,
+               algorithm: str | None = None,
+               representation: str | None = None,
+               block_size: int | None = None, panel: int | None = None,
+               in_place: bool = True, perturb: bool = True,
+               delta: float | None = None, use_cache: bool = True,
+               probe: bool = True) -> SolverPlan:
     """Produce a :class:`SolverPlan` for ``op``.
 
     Parameters

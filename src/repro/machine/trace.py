@@ -10,6 +10,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from repro.obs.schema import COMPUTE_KINDS
+
 __all__ = ["TraceEvent", "Trace", "render_gantt"]
 
 
@@ -48,13 +50,28 @@ class Trace:
                    if kind is None or e.kind == kind)
 
     def utilization(self, nproc: int, makespan: float) -> float:
-        """Fraction of machine-time spent in compute phases."""
+        """Fraction of machine-time spent in compute phases.
+
+        "Compute" is defined by the shared
+        :data:`repro.obs.schema.COMPUTE_KINDS` list — the same one the
+        span exporter uses — so a phase kind added there counts here
+        too (and cannot silently count as idle).
+        """
         if makespan <= 0:
             return 0.0
         busy = sum(e.duration for e in self.events
-                   if e.kind in ("compute", "blocking", "application",
-                                 "panel"))
+                   if e.kind in COMPUTE_KINDS)
         return busy / (nproc * makespan)
+
+    def to_records(self) -> list[dict]:
+        """Flatten into the unified trace schema (JSONL-ready records).
+
+        Same record shape as the engine's span exporter
+        (:func:`repro.obs.span_records`), so simulated and real runs
+        share one downstream pipeline.
+        """
+        from repro.obs.export import trace_records
+        return trace_records(self)
 
     def phase_fractions(self) -> dict[str, float]:
         """Share of total traced time per phase kind."""
@@ -72,9 +89,9 @@ def render_gantt(trace: Trace, nproc: int, makespan: float, *,
     """ASCII Gantt chart (one row per rank) for small simulated runs."""
     if makespan <= 0:
         return "(empty trace)"
-    glyph = {"compute": "#", "blocking": "B", "application": "#",
-             "panel": "#", "shift": ">", "broadcast": "*",
-             "barrier": "|", "idle": ".", }
+    glyph = {k: "#" for k in COMPUTE_KINDS}
+    glyph.update({"blocking": "B", "shift": ">", "broadcast": "*",
+                  "barrier": "|", "idle": "."})
     lines = []
     for r in range(nproc):
         row = [" "] * width

@@ -1,0 +1,82 @@
+"""Observability: spans, metrics, and one trace schema end to end.
+
+The paper's evaluation is quantitative — flop counts (eqs. 25–32),
+achieved rates, per-PE phase breakdowns — and this package makes the
+reproduction observable the same way in *production* terms:
+
+* :mod:`repro.obs.spans` — hierarchical wall-time spans threaded
+  through ``engine.factor`` / ``engine.execute`` down to the Schur
+  elimination phases, with flop-model attributes; zero overhead while
+  disabled;
+* :mod:`repro.obs.metrics` — thread-safe counters/gauges (cache
+  occupancy, refinement residuals, execution totals) with a
+  Prometheus text exposition (:func:`render_prometheus`);
+* :mod:`repro.obs.schema` / :mod:`repro.obs.export` — one flat record
+  schema shared by real spans and the simulated machine's
+  :class:`~repro.machine.trace.Trace`, serialized as JSONL for the
+  benchmark harness and CI artifacts.
+
+Enable per-process with ``REPRO_OBS=1``, programmatically with
+:func:`enable`, or per-run with the CLI ``--profile`` flag; execution
+results then carry a :class:`Profile` (span tree + metrics snapshot).
+"""
+
+from repro.obs.schema import (
+    COMM_KINDS,
+    COMPUTE_KINDS,
+    SCHEMA_VERSION,
+    is_compute_kind,
+)
+from repro.obs.spans import (
+    Profile,
+    Span,
+    current_span,
+    disable,
+    enable,
+    enabled,
+    profile_from,
+    record_phase,
+    render_tree,
+    span,
+)
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    MetricsRegistry,
+    default_registry,
+    render_prometheus,
+    set_default_registry,
+)
+from repro.obs.export import (
+    read_jsonl,
+    span_records,
+    trace_records,
+    write_jsonl,
+)
+
+__all__ = [
+    "COMM_KINDS",
+    "COMPUTE_KINDS",
+    "SCHEMA_VERSION",
+    "is_compute_kind",
+    "Profile",
+    "Span",
+    "current_span",
+    "disable",
+    "enable",
+    "enabled",
+    "profile_from",
+    "record_phase",
+    "render_tree",
+    "span",
+    "Counter",
+    "Gauge",
+    "MetricsRegistry",
+    "default_registry",
+    "render_prometheus",
+    "set_default_registry",
+    "read_jsonl",
+    "span_records",
+    "trace_records",
+    "write_jsonl",
+]

@@ -1,0 +1,115 @@
+"""JSON-lines export of spans and simulated traces (one shared schema).
+
+Flattens either a span tree (:func:`span_records`) or a simulated
+machine trace (:func:`trace_records`) into the record shape of
+:mod:`repro.obs.schema` and reads/writes them as JSONL — one record per
+line, the format the benchmark harness persists and CI uploads as an
+artifact.
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.obs.schema import (
+    SCHEMA_VERSION,
+    SOURCE_ENGINE,
+    SOURCE_SIMULATOR,
+    make_record,
+)
+
+__all__ = [
+    "span_records",
+    "trace_records",
+    "write_jsonl",
+    "read_jsonl",
+]
+
+
+def _json_safe(value):
+    """Coerce numpy scalars / odd attribute values to JSON-ready ones."""
+    if isinstance(value, (str, int, float, bool)) or value is None:
+        return value
+    if isinstance(value, (list, tuple)):
+        return [_json_safe(v) for v in value]
+    if isinstance(value, dict):
+        return {str(k): _json_safe(v) for k, v in value.items()}
+    item = getattr(value, "item", None)
+    if callable(item):
+        try:
+            return item()
+        except (TypeError, ValueError):
+            pass
+    return str(value)
+
+
+def span_records(root, *, source: str = SOURCE_ENGINE) -> list[dict]:
+    """Flatten one span tree into schema records (depth-first ids).
+
+    Each span contributes one record; its accumulated phase times
+    (``Span.phases``) become synthetic child records of kind
+    ``<phase name>`` so phase-level roll-ups need no special casing.
+    """
+    records: list[dict] = []
+
+    def emit(sp, parent_id: int | None) -> None:
+        rec_id = len(records)
+        attrs = {k: _json_safe(v) for k, v in sp.attributes.items()}
+        records.append(make_record(
+            source=source, rec_id=rec_id, parent=parent_id,
+            name=sp.name, kind="span", rank=None,
+            start=sp.start, end=sp.end if sp.end is not None else sp.start,
+            attrs=attrs))
+        cursor = sp.start
+        for phase, seconds in sorted(sp.phases.items()):
+            records.append(make_record(
+                source=source, rec_id=len(records), parent=rec_id,
+                name=phase, kind=phase, rank=None,
+                start=cursor, end=cursor + seconds,
+                attrs={"aggregated": True}))
+            cursor += seconds
+        for child in sp.children:
+            emit(child, rec_id)
+
+    emit(root, None)
+    return records
+
+
+def trace_records(trace, *, source: str = SOURCE_SIMULATOR) -> list[dict]:
+    """Flatten a simulated :class:`~repro.machine.trace.Trace`.
+
+    Every event is a root record carrying its rank; ``kind`` is the
+    event kind, so utilization roll-ups work directly off
+    :data:`repro.obs.schema.COMPUTE_KINDS`.
+    """
+    return [
+        make_record(source=source, rec_id=i, parent=None,
+                    name=event.kind, kind=event.kind, rank=event.rank,
+                    start=event.start, end=event.end)
+        for i, event in enumerate(trace.events)
+    ]
+
+
+def write_jsonl(records, path: str) -> str:
+    """Write records as JSON lines; returns ``path``."""
+    with open(path, "w", encoding="utf-8") as fh:
+        for record in records:
+            fh.write(json.dumps(record, sort_keys=True) + "\n")
+    return path
+
+
+def read_jsonl(path: str) -> list[dict]:
+    """Load a JSONL trace back (skips blank lines, checks the version)."""
+    records: list[dict] = []
+    with open(path, "r", encoding="utf-8") as fh:
+        for line in fh:
+            line = line.strip()
+            if not line:
+                continue
+            record = json.loads(line)
+            if record.get("v") != SCHEMA_VERSION:
+                raise ValueError(
+                    f"unsupported trace schema version {record.get('v')!r} "
+                    f"in {path} (expected {SCHEMA_VERSION})")
+            records.append(record)
+    return records

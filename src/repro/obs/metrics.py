@@ -1,0 +1,199 @@
+"""Thread-safe metric registry: counters and gauges with labels.
+
+A deliberately small subset of the Prometheus data model — enough for
+the solver engine's production surface:
+
+* :class:`Counter` — monotonically increasing totals (solves run,
+  fallbacks taken, model flops executed);
+* :class:`Gauge` — last-written values (cache occupancy bytes, the
+  residual norm of the most recent refinement iteration).
+
+Both support optional labels (``counter.inc(1, algorithm="spd-schur")``)
+and publish through :func:`MetricsRegistry.render_prometheus`, the
+text exposition format a scrape endpoint would serve, or
+:func:`MetricsRegistry.snapshot` for programmatic access.
+
+Like the span tracer, metric *updates* are expected to be guarded by
+``obs.enabled()`` at the instrumentation site, so the disabled mode
+costs one boolean check; the registry itself is always importable and
+thread-safe.
+"""
+
+from __future__ import annotations
+
+import threading
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "MetricsRegistry",
+    "default_registry",
+    "set_default_registry",
+    "render_prometheus",
+]
+
+
+def _label_key(labels: dict) -> tuple:
+    return tuple(sorted(labels.items()))
+
+
+class _Metric:
+    """Shared machinery: one name, samples keyed by label set."""
+
+    kind = "untyped"
+
+    def __init__(self, name: str, help: str = ""):
+        self.name = name
+        self.help = help
+        self._lock = threading.Lock()
+        self._samples: dict[tuple, float] = {}
+
+    def value(self, **labels) -> float:
+        """Current value for the given label set (0.0 when unseen)."""
+        with self._lock:
+            return self._samples.get(_label_key(labels), 0.0)
+
+    def samples(self) -> dict[tuple, float]:
+        """Snapshot of ``{label tuple: value}``."""
+        with self._lock:
+            return dict(self._samples)
+
+
+class Counter(_Metric):
+    """Monotonically increasing metric (``*_total`` by convention)."""
+
+    kind = "counter"
+
+    def inc(self, amount: float = 1.0, **labels) -> None:
+        """Add ``amount`` (must be ≥ 0) to the labeled sample."""
+        if amount < 0:
+            raise ValueError(f"counter increment must be >= 0, got {amount}")
+        key = _label_key(labels)
+        with self._lock:
+            self._samples[key] = self._samples.get(key, 0.0) + amount
+
+
+class Gauge(_Metric):
+    """Set-to-current-value metric (may go up and down)."""
+
+    kind = "gauge"
+
+    def set(self, value: float, **labels) -> None:
+        """Overwrite the labeled sample with ``value``."""
+        with self._lock:
+            self._samples[_label_key(labels)] = float(value)
+
+    def inc(self, amount: float = 1.0, **labels) -> None:
+        """Adjust the labeled sample by ``amount`` (negative allowed)."""
+        key = _label_key(labels)
+        with self._lock:
+            self._samples[key] = self._samples.get(key, 0.0) + amount
+
+    def dec(self, amount: float = 1.0, **labels) -> None:
+        self.inc(-amount, **labels)
+
+
+class MetricsRegistry:
+    """Get-or-create store of named metrics.
+
+    Metric names follow the Prometheus convention used throughout the
+    package: ``repro_<subsystem>_<quantity>[_total]`` — e.g.
+    ``repro_cache_bytes``, ``repro_engine_executions_total``.
+    """
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._metrics: dict[str, _Metric] = {}
+
+    def _get_or_create(self, cls, name: str, help: str) -> _Metric:
+        with self._lock:
+            metric = self._metrics.get(name)
+            if metric is None:
+                metric = cls(name, help)
+                self._metrics[name] = metric
+            elif not isinstance(metric, cls):
+                raise ValueError(
+                    f"metric {name!r} already registered as {metric.kind}")
+            return metric
+
+    def counter(self, name: str, help: str = "") -> Counter:
+        """The counter named ``name`` (created on first use)."""
+        return self._get_or_create(Counter, name, help)
+
+    def gauge(self, name: str, help: str = "") -> Gauge:
+        """The gauge named ``name`` (created on first use)."""
+        return self._get_or_create(Gauge, name, help)
+
+    def metrics(self) -> dict[str, _Metric]:
+        """Snapshot of the registered metric objects."""
+        with self._lock:
+            return dict(self._metrics)
+
+    def clear(self) -> None:
+        """Drop every registered metric (tests / fresh runs)."""
+        with self._lock:
+            self._metrics.clear()
+
+    # ------------------------------------------------------------------
+    def snapshot(self) -> dict[str, float]:
+        """Flat ``{exposition name: value}`` dict of every sample.
+
+        Labeled samples render their label set into the key, matching
+        the exposition format: ``name{k="v"}``.
+        """
+        out: dict[str, float] = {}
+        for name, metric in sorted(self.metrics().items()):
+            for key, value in sorted(metric.samples().items()):
+                out[_sample_name(name, key)] = value
+        return out
+
+    def render_prometheus(self) -> str:
+        """Prometheus text exposition of every metric and sample."""
+        lines: list[str] = []
+        for name, metric in sorted(self.metrics().items()):
+            if metric.help:
+                lines.append(f"# HELP {name} {metric.help}")
+            lines.append(f"# TYPE {name} {metric.kind}")
+            samples = metric.samples()
+            if not samples:
+                lines.append(f"{name} 0")
+                continue
+            for key, value in sorted(samples.items()):
+                lines.append(f"{_sample_name(name, key)} {_format(value)}")
+        return "\n".join(lines) + "\n"
+
+
+def _sample_name(name: str, label_key: tuple) -> str:
+    if not label_key:
+        return name
+    inner = ",".join(f'{k}="{v}"' for k, v in label_key)
+    return f"{name}{{{inner}}}"
+
+
+def _format(value: float) -> str:
+    if float(value).is_integer():
+        return str(int(value))
+    return repr(float(value))
+
+
+_default_registry = MetricsRegistry()
+_default_lock = threading.Lock()
+
+
+def default_registry() -> MetricsRegistry:
+    """The process-wide registry the built-in instrumentation uses."""
+    return _default_registry
+
+
+def set_default_registry(registry: MetricsRegistry) -> MetricsRegistry:
+    """Swap the process-wide registry; returns the previous one."""
+    global _default_registry
+    with _default_lock:
+        previous = _default_registry
+        _default_registry = registry
+    return previous
+
+
+def render_prometheus(registry: MetricsRegistry | None = None) -> str:
+    """Text exposition of ``registry`` (default: the process-wide one)."""
+    return (registry or default_registry()).render_prometheus()

@@ -1,0 +1,69 @@
+"""The unified trace-record schema shared by real and simulated runs.
+
+Both instrumentation sources — the in-process span tracer
+(:mod:`repro.obs.spans`) and the simulated-machine event log
+(:class:`repro.machine.trace.Trace`) — export the same flat record
+shape, so one consumer (the JSONL sink, the CI artifact, an external
+trace viewer) handles either:
+
+``{"v": 1, "source": str, "id": int, "parent": int | None,
+   "name": str, "kind": str, "rank": int | None,
+   "start": float, "end": float, "attrs": dict}``
+
+``kind`` classifies the record for utilization-style roll-ups;
+:data:`COMPUTE_KINDS` is the single authoritative list of kinds that
+count as useful compute.  Both ``Trace.utilization`` (simulated runs)
+and span-based roll-ups consult it, so adding a new phase kind in one
+place cannot silently count as idle in the other.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "SCHEMA_VERSION",
+    "COMPUTE_KINDS",
+    "COMM_KINDS",
+    "SOURCE_ENGINE",
+    "SOURCE_SIMULATOR",
+    "is_compute_kind",
+    "make_record",
+]
+
+#: Version tag stamped on every exported record.
+SCHEMA_VERSION = 1
+
+#: Phase kinds that count as useful compute in utilization roll-ups.
+#: The simulated SPMD programs emit "compute"; the Schur elimination
+#: loop splits its work into "blocking" / "panel" (building reflectors)
+#: and "application" (applying them) — Section 6's cost split.
+COMPUTE_KINDS = ("compute", "blocking", "application", "panel")
+
+#: Communication / synchronization kinds (everything else is idle).
+COMM_KINDS = ("shift", "broadcast", "barrier", "put", "recv")
+
+SOURCE_ENGINE = "engine"
+SOURCE_SIMULATOR = "simulator"
+
+
+def is_compute_kind(kind: str) -> bool:
+    """Whether ``kind`` counts toward compute utilization."""
+    return kind in COMPUTE_KINDS
+
+
+def make_record(*, source: str, rec_id: int, parent: int | None,
+                name: str, kind: str, rank: int | None,
+                start: float, end: float,
+                attrs: dict | None = None) -> dict:
+    """Assemble one schema-conforming record (plain JSON-ready dict)."""
+    return {
+        "v": SCHEMA_VERSION,
+        "source": source,
+        "id": int(rec_id),
+        "parent": None if parent is None else int(parent),
+        "name": name,
+        "kind": kind,
+        "rank": None if rank is None else int(rank),
+        "start": float(start),
+        "end": float(end),
+        "attrs": dict(attrs or {}),
+    }

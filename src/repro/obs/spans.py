@@ -1,0 +1,274 @@
+"""Hierarchical wall-time spans with a zero-overhead disabled mode.
+
+The tracer is a per-thread stack of :class:`Span` objects.  Entering
+``span("engine.factor", algorithm="spd-schur")`` pushes a child of the
+current span, times the enclosed block with ``perf_counter`` and pops it
+on exit; attributes (flop-model values, cache hits, iteration counts)
+attach to the span, and phase accumulators (:func:`record_phase`) fold
+sub-span-granularity wall time — the Schur loop's blocking /
+application / panel split — into the innermost open span without
+allocating per-call child spans.
+
+Tracing is **off by default**.  When disabled, :func:`span` returns a
+shared no-op context manager and touches neither the clock nor the span
+stack, so instrumented hot paths cost one module-global check.  Enable
+with :func:`enable`, per-process with ``REPRO_OBS=1`` in the
+environment, or per-run through the CLI ``--profile`` flag.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+import time
+from dataclasses import dataclass, field
+
+__all__ = [
+    "Span",
+    "Profile",
+    "span",
+    "enabled",
+    "enable",
+    "disable",
+    "current_span",
+    "record_phase",
+    "profile_from",
+    "render_tree",
+]
+
+_ENABLED = os.environ.get("REPRO_OBS", "").lower() not in ("", "0", "false")
+
+
+def enabled() -> bool:
+    """Whether span tracing is currently on."""
+    return _ENABLED
+
+
+def enable() -> None:
+    """Turn span tracing on for the whole process."""
+    global _ENABLED
+    _ENABLED = True
+
+
+def disable() -> None:
+    """Turn span tracing off (instrumentation reverts to no-ops)."""
+    global _ENABLED
+    _ENABLED = False
+
+
+@dataclass
+class Span:
+    """One timed interval in the execution hierarchy.
+
+    ``start``/``end`` are ``perf_counter`` seconds; ``attributes`` carry
+    scalar annotations (model flops, cache hits, iteration counts);
+    ``phases`` accumulates named sub-interval wall time recorded through
+    :func:`record_phase` (e.g. the blocking/application split of one
+    factorization, too fine-grained for child spans of their own).
+    """
+
+    name: str
+    start: float = 0.0
+    end: float | None = None
+    attributes: dict = field(default_factory=dict)
+    phases: dict[str, float] = field(default_factory=dict)
+    children: list["Span"] = field(default_factory=list)
+    parent: "Span | None" = field(default=None, repr=False, compare=False)
+
+    @property
+    def duration(self) -> float:
+        """Elapsed seconds (to now when the span is still open)."""
+        return (self.end if self.end is not None
+                else time.perf_counter()) - self.start
+
+    def set(self, **attrs) -> None:
+        """Attach (or overwrite) attributes on this span."""
+        self.attributes.update(attrs)
+
+    def walk(self):
+        """This span and all descendants, depth-first."""
+        yield self
+        for child in self.children:
+            yield from child.walk()
+
+    def to_dict(self) -> dict:
+        """Recursive JSON-ready representation."""
+        return {
+            "name": self.name,
+            "start": self.start,
+            "end": self.end,
+            "duration": self.duration,
+            "attributes": dict(self.attributes),
+            "phases": dict(self.phases),
+            "children": [c.to_dict() for c in self.children],
+        }
+
+
+class _NullSpan:
+    """No-op span record handed out by the disabled fast path."""
+
+    __slots__ = ()
+
+    def set(self, **attrs) -> None:
+        pass
+
+    def __bool__(self) -> bool:
+        return False
+
+
+class _NullContext:
+    """No-op context manager (shared singleton, zero per-call state)."""
+
+    __slots__ = ()
+
+    def __enter__(self):
+        return _NULL_SPAN
+
+    def __exit__(self, *exc):
+        return False
+
+
+_NULL_SPAN = _NullSpan()
+_NULL_CONTEXT = _NullContext()
+
+
+class _ThreadState(threading.local):
+    def __init__(self):
+        self.stack: list[Span] = []
+
+
+_STATE = _ThreadState()
+
+
+class _SpanContext:
+    """Context manager that pushes/pops one :class:`Span`."""
+
+    __slots__ = ("_span",)
+
+    def __init__(self, name: str, attrs: dict):
+        self._span = Span(name=name, attributes=attrs)
+
+    def __enter__(self) -> Span:
+        sp = self._span
+        stack = _STATE.stack
+        if stack:
+            sp.parent = stack[-1]
+            stack[-1].children.append(sp)
+        stack.append(sp)
+        sp.start = time.perf_counter()
+        return sp
+
+    def __exit__(self, *exc):
+        sp = _STATE.stack.pop()
+        sp.end = time.perf_counter()
+        return False
+
+
+def span(name: str, **attrs):
+    """Open a span named ``name`` for the enclosed block.
+
+    Returns a context manager yielding the :class:`Span` (or a shared
+    no-op object when tracing is disabled — safe to call ``.set`` on in
+    either case).
+    """
+    if not _ENABLED:
+        return _NULL_CONTEXT
+    return _SpanContext(name, attrs)
+
+
+def current_span() -> Span | None:
+    """The innermost open span of this thread, or ``None``."""
+    stack = _STATE.stack
+    return stack[-1] if stack else None
+
+
+def record_phase(name: str, seconds: float) -> None:
+    """Fold ``seconds`` of wall time into the current span's ``phases``.
+
+    No-op when no span is open; callers on hot paths should guard with
+    :func:`enabled` before timing.
+    """
+    stack = _STATE.stack
+    if stack:
+        phases = stack[-1].phases
+        phases[name] = phases.get(name, 0.0) + seconds
+
+
+# ----------------------------------------------------------------------
+# Profiles (span tree + metrics snapshot)
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class Profile:
+    """Everything one execution observed: span tree + metric values.
+
+    Attached to :class:`repro.engine.ExecutionResult` (``.profile``)
+    when tracing is enabled; ``render()`` gives the human-readable tree
+    + metrics table the CLI ``--profile`` flag prints.
+    """
+
+    root: Span
+    metrics: dict
+
+    def render(self) -> str:
+        """Span tree followed by a metrics table."""
+        parts = [render_tree(self.root)]
+        if self.metrics:
+            width = max(len(k) for k in self.metrics)
+            parts.append("metrics:")
+            for key in sorted(self.metrics):
+                value = self.metrics[key]
+                text = f"{value:.6g}" if isinstance(value, float) else str(value)
+                parts.append(f"  {key:<{width}}  {text}")
+        return "\n".join(parts)
+
+    def to_records(self) -> list[dict]:
+        """Flat schema records (see :mod:`repro.obs.export`)."""
+        from repro.obs.export import span_records
+        return span_records(self.root)
+
+
+def profile_from(sp, metrics: dict | None = None) -> Profile | None:
+    """Build a :class:`Profile` from a *closed root* span.
+
+    Returns ``None`` for the disabled-mode null span and for nested
+    spans (the enclosing root will capture those).
+    """
+    if not isinstance(sp, Span) or sp.parent is not None or sp.end is None:
+        return None
+    if metrics is None:
+        from repro.obs.metrics import default_registry
+        metrics = default_registry().snapshot()
+    return Profile(root=sp, metrics=metrics)
+
+
+def _format_attrs(sp: Span) -> str:
+    parts = []
+    for key in sorted(sp.attributes):
+        value = sp.attributes[key]
+        if isinstance(value, float):
+            value = f"{value:.4g}"
+        parts.append(f"{key}={value}")
+    for key in sorted(sp.phases):
+        parts.append(f"{key}={sp.phases[key] * 1e3:.2f}ms")
+    return "  ".join(parts)
+
+
+def render_tree(root: Span, *, indent: str = "") -> str:
+    """ASCII tree of a span hierarchy with per-span wall time."""
+    lines: list[str] = []
+
+    def emit(sp: Span, prefix: str, child_prefix: str) -> None:
+        label = f"{prefix}{sp.name}"
+        line = f"{label:<40} {sp.duration * 1e3:9.3f} ms"
+        attrs = _format_attrs(sp)
+        if attrs:
+            line += f"  [{attrs}]"
+        lines.append(line)
+        for i, child in enumerate(sp.children):
+            last = i == len(sp.children) - 1
+            emit(child,
+                 child_prefix + ("└─ " if last else "├─ "),
+                 child_prefix + ("   " if last else "│  "))
+
+    emit(root, indent, indent)
+    return "\n".join(lines)

@@ -102,6 +102,56 @@ class TestSolve:
         assert "refinement" in capsys.readouterr().out
 
 
+class TestProfile:
+    @pytest.fixture(autouse=True)
+    def _restore_obs(self):
+        import repro.obs as obs
+        was = obs.enabled()
+        yield
+        obs.enable() if was else obs.disable()
+
+    def test_solve_profile_prints_span_tree(self, first_row_file,
+                                            rhs_file, capsys):
+        assert main(["solve", first_row_file, rhs_file,
+                     "--profile"]) == 0
+        out = capsys.readouterr().out
+        assert "engine.execute" in out
+        assert "factor" in out and "solve" in out
+        assert "ms" in out
+        assert "model_flops" in out
+        assert "repro_engine_executions_total" in out
+
+    def test_solve_trace_out_jsonl(self, first_row_file, rhs_file,
+                                   tmp_path, capsys):
+        import repro.obs as obs
+        trace = str(tmp_path / "trace.jsonl")
+        assert main(["solve", first_row_file, rhs_file,
+                     "--trace-out", trace]) == 0
+        records = obs.read_jsonl(trace)
+        assert records[0]["name"] == "engine.execute"
+        assert records[0]["source"] == "engine"
+        assert all(r["v"] == obs.SCHEMA_VERSION for r in records)
+
+    def test_factor_profile(self, tmp_path, capsys):
+        # a matrix no other test factors, so the cache can't elide the
+        # schur spans
+        path = tmp_path / "row.npy"
+        np.save(path, kms_toeplitz(20, 0.37).first_scalar_row())
+        assert main(["factor", str(path), "--profile"]) == 0
+        out = capsys.readouterr().out
+        assert "engine.factor" in out
+        assert "schur.eliminate" in out
+
+    def test_simulate_trace_out(self, first_row_file, tmp_path, capsys):
+        import repro.obs as obs
+        trace = str(tmp_path / "sim.jsonl")
+        assert main(["simulate", first_row_file, "--nproc", "4",
+                     "--trace-out", trace]) == 0
+        records = obs.read_jsonl(trace)
+        assert records and records[0]["source"] == "simulator"
+        assert all(r["rank"] is not None for r in records)
+
+
 class TestSimulate:
     def test_simulate(self, first_row_file, capsys):
         assert main(["simulate", first_row_file, "--nproc", "4"]) == 0

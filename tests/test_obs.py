@@ -1,0 +1,323 @@
+"""Tests for the observability layer: spans, metrics, trace export."""
+
+import json
+
+import numpy as np
+import pytest
+
+import repro.engine as engine
+import repro.obs as obs
+from repro.engine import FactorizationCache, set_default_cache
+from repro.machine.trace import Trace
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.spans import _NULL_CONTEXT, _STATE
+from repro.toeplitz import kms_toeplitz, paper_example_matrix
+
+
+@pytest.fixture
+def traced():
+    """Enable tracing with a fresh registry and cache; restore after."""
+    registry = MetricsRegistry()
+    prev_registry = obs.set_default_registry(registry)
+    prev_cache = set_default_cache(FactorizationCache())
+    obs.enable()
+    yield registry
+    obs.disable()
+    obs.set_default_registry(prev_registry)
+    set_default_cache(prev_cache)
+
+
+@pytest.fixture
+def untraced():
+    """Force-disable tracing (even under REPRO_OBS=1 CI runs)."""
+    was = obs.enabled()
+    obs.disable()
+    yield
+    if was:
+        obs.enable()
+
+
+# ----------------------------------------------------------------------
+# Spans
+# ----------------------------------------------------------------------
+class TestSpans:
+    def test_nesting_and_timing(self, traced):
+        with obs.span("outer", kind="test") as outer:
+            with obs.span("inner") as inner:
+                assert obs.current_span() is inner
+            with obs.span("inner2"):
+                pass
+        assert obs.current_span() is None
+        assert [c.name for c in outer.children] == ["inner", "inner2"]
+        assert inner.parent is outer
+        # timing monotonicity: children nested within the parent window
+        assert outer.end >= outer.start
+        for child in outer.children:
+            assert child.start >= outer.start
+            assert child.end <= outer.end
+        assert outer.children[1].start >= outer.children[0].end
+        assert outer.duration >= sum(c.duration for c in outer.children)
+        assert outer.attributes == {"kind": "test"}
+
+    def test_walk_depth_first(self, traced):
+        with obs.span("a") as a:
+            with obs.span("b"):
+                with obs.span("c"):
+                    pass
+            with obs.span("d"):
+                pass
+        assert [s.name for s in a.walk()] == ["a", "b", "c", "d"]
+
+    def test_record_phase_accumulates(self, traced):
+        with obs.span("s") as sp:
+            obs.record_phase("blocking", 0.25)
+            obs.record_phase("blocking", 0.5)
+            obs.record_phase("application", 1.0)
+        assert sp.phases == {"blocking": 0.75, "application": 1.0}
+
+    def test_disabled_fast_path(self, untraced):
+        # disabled mode hands out one shared no-op context manager and
+        # never touches the span stack — the zero-allocation fast path
+        assert obs.span("x") is _NULL_CONTEXT
+        assert obs.span("y") is obs.span("z")
+        depth = len(_STATE.stack)
+        with obs.span("x") as sp:
+            assert not sp          # null record is falsy
+            sp.set(anything=1)     # and absorbs attributes
+            assert len(_STATE.stack) == depth
+            assert obs.current_span() is None
+
+    def test_profile_from_nested_span_is_none(self, traced):
+        with obs.span("outer") as outer:
+            with obs.span("inner") as inner:
+                pass
+        assert obs.profile_from(inner) is None
+        profile = obs.profile_from(outer)
+        assert profile is not None and profile.root is outer
+
+    def test_render_tree(self, traced):
+        with obs.span("root", algorithm="spd-schur") as root:
+            with obs.span("child"):
+                pass
+        text = obs.render_tree(root)
+        assert "root" in text and "child" in text
+        assert "ms" in text and "algorithm=spd-schur" in text
+
+
+# ----------------------------------------------------------------------
+# Metrics
+# ----------------------------------------------------------------------
+class TestMetrics:
+    def test_counter_and_gauge(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("repro_test_total", "help text")
+        counter.inc()
+        counter.inc(2, algorithm="gko")
+        gauge = registry.gauge("repro_test_bytes")
+        gauge.set(128)
+        gauge.inc(64)
+        assert counter.value() == 1
+        assert counter.value(algorithm="gko") == 2
+        assert gauge.value() == 192
+        with pytest.raises(ValueError):
+            counter.inc(-1)
+        with pytest.raises(ValueError):
+            registry.gauge("repro_test_total")  # kind mismatch
+
+    def test_snapshot_names(self):
+        registry = MetricsRegistry()
+        registry.counter("repro_a_total").inc(3)
+        registry.gauge("repro_b").set(1.5, shard="x")
+        snap = registry.snapshot()
+        assert snap == {"repro_a_total": 3.0, 'repro_b{shard="x"}': 1.5}
+
+    def test_prometheus_exposition(self):
+        registry = MetricsRegistry()
+        registry.counter("repro_solves_total",
+                         "Solves executed").inc(4, algorithm="gko")
+        registry.gauge("repro_cache_bytes", "Cache bytes").set(1024)
+        registry.gauge("repro_unsampled")
+        text = registry.render_prometheus()
+        lines = text.splitlines()
+        assert "# HELP repro_solves_total Solves executed" in lines
+        assert "# TYPE repro_solves_total counter" in lines
+        assert 'repro_solves_total{algorithm="gko"} 4' in lines
+        assert "# TYPE repro_cache_bytes gauge" in lines
+        assert "repro_cache_bytes 1024" in lines
+        assert "repro_unsampled 0" in lines
+        assert text.endswith("\n")
+        assert obs.render_prometheus(registry) == text
+
+    def test_registry_thread_safety(self):
+        import threading
+        registry = MetricsRegistry()
+        counter = registry.counter("repro_race_total")
+
+        def spin():
+            for _ in range(1000):
+                counter.inc()
+
+        threads = [threading.Thread(target=spin) for _ in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert counter.value() == 8000
+
+
+# ----------------------------------------------------------------------
+# Cache gauges
+# ----------------------------------------------------------------------
+class TestCacheGauges:
+    def test_gauges_track_cache_counters(self, traced):
+        cache = FactorizationCache(max_entries=2)
+        cache.put(("a",), np.zeros(4))
+        cache.put(("b",), np.zeros(4))
+        cache.get(("a",))        # hit
+        cache.get(("zz",))       # miss
+        cache.put(("c",), np.zeros(4))  # evicts LRU
+        stats = cache.stats()
+        assert stats.evictions == 1
+        for gauge_name, expected in [
+            ("repro_cache_hits", stats.hits),
+            ("repro_cache_misses", stats.misses),
+            ("repro_cache_evictions", stats.evictions),
+            ("repro_cache_entries", stats.entries),
+            ("repro_cache_bytes", stats.current_bytes),
+        ]:
+            assert traced.gauge(gauge_name).value() == expected, gauge_name
+
+    def test_no_gauges_when_disabled(self, untraced):
+        registry = MetricsRegistry()
+        previous = obs.set_default_registry(registry)
+        try:
+            cache = FactorizationCache()
+            cache.put(("a",), np.zeros(4))
+            cache.get(("a",))
+            assert registry.snapshot() == {}
+        finally:
+            obs.set_default_registry(previous)
+
+
+# ----------------------------------------------------------------------
+# Engine profiles
+# ----------------------------------------------------------------------
+class TestEngineProfile:
+    def test_execute_attaches_profile(self, traced):
+        t = kms_toeplitz(24, 0.5)
+        res = engine.solve(t, np.ones(24))
+        profile = res.profile
+        assert profile is not None
+        assert profile.root.name == "engine.execute"
+        names = [s.name for s in profile.root.walk()]
+        assert "factor" in names and "solve" in names
+        assert "schur.generator" in names and "schur.eliminate" in names
+        factor_span = profile.root.children[0]
+        assert factor_span.attributes["cache_hit"] is False
+        assert factor_span.attributes["model_flops"] > 0
+        # the blocking/application wall-time split made it onto the span
+        eliminate = next(s for s in profile.root.walk()
+                         if s.name == "schur.eliminate")
+        assert "application" in eliminate.phases
+        assert eliminate.attributes["counted_flops"] > 0
+        assert profile.metrics[
+            'repro_engine_executions_total{algorithm="spd-schur"}'] == 1
+
+    def test_profile_none_when_disabled(self, untraced):
+        t = kms_toeplitz(16, 0.5)
+        res = engine.solve(t, np.ones(16))
+        assert res.profile is None
+
+    def test_factor_result_profile(self, traced):
+        t = kms_toeplitz(16, 0.5)
+        fres = engine.factor(engine.plan(t, assume="spd"))
+        assert fres.profile is not None
+        assert fres.profile.root.name == "engine.factor"
+
+    def test_fallback_profile_and_counters(self, traced):
+        t = paper_example_matrix()
+        pl = engine.plan(t, probe=False)  # arms the fallback blind
+        res = engine.execute(pl, t.dense() @ np.ones(t.order))
+        assert res.fallback_used
+        assert res.profile is not None
+        assert res.profile.root.attributes["fallback"] == \
+            "indefinite+refine"
+        assert traced.counter("repro_engine_fallbacks_total").value(
+            algorithm="indefinite+refine") == 1
+        # refinement published its residual gauge while iterating
+        assert traced.gauge("repro_refinement_residual").value() >= 0.0
+        refine_span = next(s for s in res.profile.root.walk()
+                           if s.name == "refine")
+        assert refine_span.attributes["converged"] is True
+
+    def test_pcg_gauge_and_span(self, traced):
+        from repro.baselines.pcg import pcg
+        t = kms_toeplitz(16, 0.5)
+        with obs.span("harness") as sp:
+            result = pcg(t, np.ones(16), tol=1e-10)
+        assert result.converged
+        pcg_span = next(s for s in sp.walk() if s.name == "pcg")
+        assert pcg_span.attributes["iterations"] == result.iterations
+        assert ('repro_pcg_residual'
+                in obs.default_registry().snapshot())
+
+
+# ----------------------------------------------------------------------
+# Unified export schema
+# ----------------------------------------------------------------------
+class TestExport:
+    def test_span_jsonl_round_trip(self, traced, tmp_path):
+        t = kms_toeplitz(24, 0.5)
+        res = engine.solve(t, np.ones(24))
+        records = res.profile.to_records()
+        path = str(tmp_path / "trace.jsonl")
+        obs.write_jsonl(records, path)
+        loaded = obs.read_jsonl(path)
+        assert loaded == json.loads(json.dumps(records))
+        # parent ids form a tree rooted at record 0
+        assert loaded[0]["parent"] is None
+        ids = {r["id"] for r in loaded}
+        assert all(r["parent"] in ids for r in loaded[1:])
+        assert all(r["v"] == obs.SCHEMA_VERSION for r in loaded)
+        assert all(r["end"] >= r["start"] for r in loaded)
+
+    def test_simulated_trace_records(self, tmp_path):
+        trace = Trace()
+        trace.add(0, 0.0, 1.0, "compute")
+        trace.add(1, 0.0, 0.5, "shift")
+        records = trace.to_records()
+        assert [r["rank"] for r in records] == [0, 1]
+        assert records[0]["source"] == "simulator"
+        assert records[0]["kind"] == "compute"
+        path = str(tmp_path / "sim.jsonl")
+        obs.write_jsonl(records, path)
+        assert obs.read_jsonl(path) == records
+
+    def test_read_rejects_unknown_version(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text('{"v": 99}\n')
+        with pytest.raises(ValueError):
+            obs.read_jsonl(str(path))
+
+    def test_phase_accumulators_become_child_records(self, traced):
+        with obs.span("factor") as sp:
+            obs.record_phase("blocking", 0.25)
+            obs.record_phase("application", 0.75)
+        records = obs.span_records(sp)
+        kinds = {r["kind"] for r in records}
+        assert {"span", "blocking", "application"} <= kinds
+        blocking = next(r for r in records if r["kind"] == "blocking")
+        assert blocking["parent"] == 0
+        assert blocking["end"] - blocking["start"] == pytest.approx(0.25)
+
+    def test_compute_kinds_shared_with_utilization(self):
+        # every kind the exporter treats as compute counts as busy
+        # machine-time in Trace.utilization, and vice versa
+        for kind in obs.COMPUTE_KINDS:
+            trace = Trace()
+            trace.add(0, 0.0, 1.0, kind)
+            assert trace.utilization(1, 1.0) == pytest.approx(1.0), kind
+            assert obs.is_compute_kind(kind)
+        idle = Trace()
+        idle.add(0, 0.0, 1.0, "idle")
+        assert idle.utilization(1, 1.0) == 0.0
