@@ -7,10 +7,15 @@ Commands
     condition estimate.
 ``factor <matrix> [-o out.npz]``
     Factor (SPD Cholesky or indefinite RᵀDR with perturbation) and
-    report diagnostics; optionally save the factor.
+    report diagnostics; optionally save the factor.  With
+    ``--nproc NP`` the factorization runs distributed —
+    ``--backend multiprocess`` on real worker processes,
+    ``--backend simulated`` (default) on the T3D model; ``--dist-b``
+    picks the Version 1/2/3 data distribution.
 ``solve <matrix> <rhs> [-o x.npy]``
     Solve ``T x = b`` with the automatic SPD → indefinite+refinement
-    pipeline (or ``--method gko`` / ``levinson``).
+    pipeline (or ``--method gko`` / ``levinson``); accepts the same
+    ``--nproc``/``--backend``/``--dist-b`` distribution flags.
 ``simulate <matrix> --nproc NP [--b B]``
     Run the distributed factorization on the simulated T3D and print the
     time/phase breakdown.
@@ -105,16 +110,35 @@ def _emit_profile(args, profile) -> None:
         print(f"trace written to {args.trace_out}")
 
 
+def _report_backend(fact, pl) -> None:
+    """One line about which distributed backend actually ran."""
+    backend = getattr(fact, "backend", None)
+    if backend is None:
+        return
+    run = fact.run
+    secs = getattr(run, "wall_seconds", None)
+    clock = (f"{secs * 1e3:.3f} ms wall" if secs is not None
+             else f"{run.time * 1e3:.3f} ms virtual")
+    line = (f"distributed: backend={backend}, NP={fact.nproc}, "
+            f"Version {pl.distribution_version} "
+            f"(b={pl.distribution_b}), {clock}")
+    if fact.fell_back:
+        line += f"\n  (multiprocess unavailable: {fact.fallback_reason})"
+    print(line)
+
+
 def _cmd_factor(args) -> int:
     import repro.engine as engine
     _want_profile(args)
     t = _load_matrix(args.matrix, args.block_size)
     pl = engine.plan(t, representation=args.representation,
-                     use_cache=not args.no_cache)
+                     use_cache=not args.no_cache, nproc=args.nproc,
+                     distribution_b=args.dist_b, backend=args.backend)
     if args.explain:
         print(pl.describe())
     fres = engine.factor(pl)
     fact = fres.factorization
+    _report_backend(fact, pl)
     if fres.algorithm == "spd-schur":
         d = np.ones(t.order, dtype=np.int8)
         print(f"SPD Cholesky factorization T = RᵀR "
@@ -158,10 +182,13 @@ def _cmd_solve(args) -> int:
     b = _load_array(args.rhs)
     pl = engine.plan(
         t, algorithm=None if args.method == "auto" else args.method,
-        use_cache=not args.no_cache)
+        use_cache=not args.no_cache, nproc=args.nproc,
+        distribution_b=args.dist_b, backend=args.backend)
     if args.explain:
         print(pl.describe())
     res = engine.execute(pl, b)
+    if res.algorithm == "spd-schur":
+        _report_backend(res.detail, pl)
     x = res.x
     msg = _METHOD_MESSAGES.get(res.algorithm,
                                f"solved with {res.algorithm}")
@@ -294,6 +321,19 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("--trace-out", metavar="FILE", default=None,
                        help="write the execution trace as JSON lines "
                             "(implies observability)")
+        p.add_argument("--nproc", type=int, default=None,
+                       help="run the factorization distributed over NP "
+                            "PEs")
+        p.add_argument("--backend", default="simulated",
+                       choices=["simulated", "multiprocess"],
+                       help="distributed backend (with --nproc > 1): "
+                            "the discrete-event T3D model or real "
+                            "worker processes; multiprocess falls back "
+                            "to simulated when unavailable")
+        p.add_argument("--dist-b", type=float, default=None,
+                       dest="dist_b", metavar="B",
+                       help="distribution parameter b (b≥1: Versions "
+                            "1/2; b<1 ⇒ Version 3)")
 
     p = sub.add_parser("factor", help="factor the matrix")
     add_matrix_args(p)

@@ -290,6 +290,12 @@ def _regrouped(op, pl: SolverPlan):
 
 
 def _spd_factor(op, pl: SolverPlan):
+    if pl.nproc > 1:
+        # Distributed plan: route through the backend dispatcher
+        # (simulated T3D model, or real worker processes with graceful
+        # degradation to the simulator).
+        from repro.parallel.backends import factor_distributed
+        return factor_distributed(_regrouped(op, pl), pl)
     from repro.core.schur_spd import SchurOptions, schur_spd_factor
     opts = SchurOptions(representation=pl.representation, panel=pl.panel,
                         in_place=pl.in_place)

@@ -31,10 +31,15 @@ from repro.errors import InvalidOptionError, ShapeError
 __all__ = ["MachineSpec", "SolverPlan", "plan"]
 
 _ASSUME_VALUES = ("auto", "spd", "indefinite")
+_BACKEND_VALUES = ("simulated", "multiprocess")
 
 #: Fields that change the factorization (and hence the cache key).
+#: ``nproc``/``distribution_b``/``backend`` are included so a serial
+#: factorization, a simulated run and a real multiprocess run never
+#: alias in the cache (their result objects differ even though R agrees).
 _PLAN_KEY_FIELDS = ("algorithm", "representation", "block_size", "panel",
-                    "in_place", "perturb", "delta")
+                    "in_place", "perturb", "delta", "nproc",
+                    "distribution_b", "backend")
 
 
 @dataclass(frozen=True)
@@ -75,6 +80,11 @@ class SolverPlan:
     use_cache: bool = True
     nproc: int = 1
     distribution_b: float | None = None
+    #: Where a distributed (``nproc > 1``) factorization runs:
+    #: ``"simulated"`` (discrete-event T3D model) or ``"multiprocess"``
+    #: (real OS processes over shared memory, with graceful fallback to
+    #: the simulator when unavailable).
+    backend: str = "simulated"
     predicted_seconds: float | None = None
     note: str = ""
     #: The operator the plan was made for (not part of equality or the
@@ -128,6 +138,7 @@ class SolverPlan:
             lines.append(
                 f"  distribution    Version {self.distribution_version} "
                 f"(b={self.distribution_b}), NP={self.nproc}")
+            lines.append(f"  backend         {self.backend}")
         if self.predicted_seconds is not None:
             lines.append(f"  predicted time  "
                          f"{self.predicted_seconds * 1e3:.3f} ms")
@@ -204,7 +215,9 @@ def plan(op, *, assume: str = "auto", machine: MachineSpec | None = None,
          block_size: int | None = None, panel: int | None = None,
          in_place: bool = True, perturb: bool = True,
          delta: float | None = None, use_cache: bool = True,
-         probe: bool = True) -> SolverPlan:
+         probe: bool = True, nproc: int | None = None,
+         distribution_b: float | None = None,
+         backend: str = "simulated") -> SolverPlan:
     """Produce a :class:`SolverPlan` for ``op``.
 
     See :func:`_make_plan` for the parameter reference; this wrapper
@@ -215,7 +228,8 @@ def plan(op, *, assume: str = "auto", machine: MachineSpec | None = None,
                         algorithm=algorithm, representation=representation,
                         block_size=block_size, panel=panel,
                         in_place=in_place, perturb=perturb, delta=delta,
-                        use_cache=use_cache, probe=probe)
+                        use_cache=use_cache, probe=probe, nproc=nproc,
+                        distribution_b=distribution_b, backend=backend)
         sp.set(algorithm=pl.algorithm, order=pl.order,
                block_size=pl.block_size)
     return pl
@@ -228,7 +242,9 @@ def _make_plan(op, *, assume: str = "auto",
                block_size: int | None = None, panel: int | None = None,
                in_place: bool = True, perturb: bool = True,
                delta: float | None = None, use_cache: bool = True,
-               probe: bool = True) -> SolverPlan:
+               probe: bool = True, nproc: int | None = None,
+               distribution_b: float | None = None,
+               backend: str = "simulated") -> SolverPlan:
     """Produce a :class:`SolverPlan` for ``op``.
 
     Parameters
@@ -255,12 +271,30 @@ def _make_plan(op, *, assume: str = "auto",
     probe : bool
         Disable the definiteness probe (``assume="auto"`` then always
         plans the SPD path with the fallback armed).
+    nproc : int, optional
+        Explicit PE count for a distributed factorization (overrides a
+        machine-tuned value).  ``nproc > 1`` routes the SPD
+        factorization through the distributed backends.
+    distribution_b : float, optional
+        Explicit distribution parameter (``b ≥ 1``: Versions 1/2;
+        ``b < 1``: Version 3 with spread ``1/b``).  Defaults to the
+        machine-tuned value, else ``1`` (Version 1) when distributed.
+    backend : {"simulated", "multiprocess"}
+        Where a distributed factorization runs.  ``"multiprocess"``
+        uses real worker processes over shared memory and degrades to
+        the simulator (with a recorded reason) when unavailable.
     """
     from repro.toeplitz.block_toeplitz import SymmetricBlockToeplitz
 
     if assume not in _ASSUME_VALUES:
         raise InvalidOptionError(
             f"unknown assume={assume!r}; expected one of {_ASSUME_VALUES}")
+    if backend not in _BACKEND_VALUES:
+        raise InvalidOptionError(
+            f"unknown backend={backend!r}; expected one of "
+            f"{_BACKEND_VALUES}")
+    if nproc is not None and nproc < 1:
+        raise ShapeError(f"nproc must be positive, got {nproc}")
 
     target, note = _normalize_operator(op)
     symmetric = isinstance(target, SymmetricBlockToeplitz)
@@ -268,8 +302,9 @@ def _make_plan(op, *, assume: str = "auto",
     m = target.block_size
 
     # --- machine-tuned knobs (the §7 planner backend) -----------------
+    explicit_nproc = nproc
     nproc = 1
-    dist_b: float | None = None
+    dist_b: float | None = distribution_b
     predicted: float | None = None
     tuned_rep: str | None = None
     tuned_ms: int | None = None
@@ -283,8 +318,12 @@ def _make_plan(op, *, assume: str = "auto",
         tuned_rep = result.representation
         tuned_ms = result.block_size
         predicted = result.predicted_seconds
-        if result.distribution is not None:
+        if dist_b is None and result.distribution is not None:
             dist_b = result.distribution.b
+    if explicit_nproc is not None:
+        nproc = explicit_nproc
+    if nproc > 1 and dist_b is None:
+        dist_b = 1.0   # Version 1 unless the planner/user says otherwise
 
     # --- algorithm selection ------------------------------------------
     fallback: str | None = None
@@ -325,5 +364,5 @@ def _make_plan(op, *, assume: str = "auto",
         fingerprint=target.fingerprint(), assume=assume,
         fallback=fallback, panel=panel, in_place=in_place,
         perturb=perturb, delta=delta, use_cache=use_cache,
-        nproc=nproc, distribution_b=dist_b,
+        nproc=nproc, distribution_b=dist_b, backend=backend,
         predicted_seconds=predicted, note=note, operator=target)

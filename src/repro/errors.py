@@ -78,3 +78,14 @@ class DeadlockError(MachineError):
 
 class DistributionError(ReproError, ValueError):
     """Invalid data-distribution parameters (Version 1/2/3 layouts)."""
+
+
+class MultiprocessUnavailableError(ReproError, RuntimeError):
+    """The real multiprocess backend cannot run on this platform.
+
+    Raised by :func:`repro.parallel.mp_backend.mp_factorization` when
+    shared memory or process synchronization primitives are missing (or
+    ``REPRO_MP_DISABLE`` is set).  The engine treats it as a signal to
+    fall back to the simulated backend, recording the reason in the
+    execution result.
+    """

@@ -77,6 +77,15 @@ class MachineReport:
         worst = max(self.ranks, key=lambda r: r.time)
         return dict(worst.by_category)
 
+    def words_by_rank(self) -> dict[int, int]:
+        """Point-to-point words sent per rank (the shift traffic).
+
+        The real multiprocess backend counts the same quantity per PE,
+        so this is the cross-backend comparison surface for
+        communication volume.
+        """
+        return {r.rank: r.words_sent for r in self.ranks}
+
 
 class _RankState:
     __slots__ = ("gen", "report", "blocked_on", "finished")

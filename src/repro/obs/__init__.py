@@ -25,11 +25,15 @@ from repro.obs.schema import (
     COMM_KINDS,
     COMPUTE_KINDS,
     SCHEMA_VERSION,
+    SOURCE_ENGINE,
+    SOURCE_MULTIPROCESS,
+    SOURCE_SIMULATOR,
     is_compute_kind,
 )
 from repro.obs.spans import (
     Profile,
     Span,
+    adopt_span,
     current_span,
     disable,
     enable,
@@ -58,9 +62,13 @@ __all__ = [
     "COMM_KINDS",
     "COMPUTE_KINDS",
     "SCHEMA_VERSION",
+    "SOURCE_ENGINE",
+    "SOURCE_MULTIPROCESS",
+    "SOURCE_SIMULATOR",
     "is_compute_kind",
     "Profile",
     "Span",
+    "adopt_span",
     "current_span",
     "disable",
     "enable",

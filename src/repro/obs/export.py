@@ -14,6 +14,7 @@ import json
 from repro.obs.schema import (
     SCHEMA_VERSION,
     SOURCE_ENGINE,
+    SOURCE_MULTIPROCESS,
     SOURCE_SIMULATOR,
     make_record,
 )
@@ -49,29 +50,41 @@ def span_records(root, *, source: str = SOURCE_ENGINE) -> list[dict]:
     Each span contributes one record; its accumulated phase times
     (``Span.phases``) become synthetic child records of kind
     ``<phase name>`` so phase-level roll-ups need no special casing.
+
+    A ``rank`` span attribute (set by per-PE worker spans of the real
+    multiprocess backend) is lifted into the record's top-level ``rank``
+    field and inherited by descendants, so ranked spans land in the same
+    per-PE shape the simulated machine's trace exporter emits.  Ranked
+    records are stamped ``source="multiprocess"`` even inside an engine
+    profile — the field identifies the producer, and a worker span
+    adopted into the engine's tree was still produced by a worker.
     """
     records: list[dict] = []
 
-    def emit(sp, parent_id: int | None) -> None:
+    def emit(sp, parent_id: int | None, rank: int | None) -> None:
         rec_id = len(records)
         attrs = {k: _json_safe(v) for k, v in sp.attributes.items()}
+        lifted = attrs.pop("rank", None)
+        if isinstance(lifted, int) and not isinstance(lifted, bool):
+            rank = lifted
+        rec_source = SOURCE_MULTIPROCESS if rank is not None else source
         records.append(make_record(
-            source=source, rec_id=rec_id, parent=parent_id,
-            name=sp.name, kind="span", rank=None,
+            source=rec_source, rec_id=rec_id, parent=parent_id,
+            name=sp.name, kind="span", rank=rank,
             start=sp.start, end=sp.end if sp.end is not None else sp.start,
             attrs=attrs))
         cursor = sp.start
         for phase, seconds in sorted(sp.phases.items()):
             records.append(make_record(
-                source=source, rec_id=len(records), parent=rec_id,
-                name=phase, kind=phase, rank=None,
+                source=rec_source, rec_id=len(records), parent=rec_id,
+                name=phase, kind=phase, rank=rank,
                 start=cursor, end=cursor + seconds,
                 attrs={"aggregated": True}))
             cursor += seconds
         for child in sp.children:
-            emit(child, rec_id)
+            emit(child, rec_id, rank)
 
-    emit(root, None)
+    emit(root, None, None)
     return records
 
 

@@ -25,6 +25,7 @@ __all__ = [
     "COMM_KINDS",
     "SOURCE_ENGINE",
     "SOURCE_SIMULATOR",
+    "SOURCE_MULTIPROCESS",
     "is_compute_kind",
     "make_record",
 ]
@@ -39,10 +40,13 @@ SCHEMA_VERSION = 1
 COMPUTE_KINDS = ("compute", "blocking", "application", "panel")
 
 #: Communication / synchronization kinds (everything else is idle).
-COMM_KINDS = ("shift", "broadcast", "barrier", "put", "recv")
+#: "gather" is the collection of the distributed ``R`` factor.
+COMM_KINDS = ("shift", "broadcast", "barrier", "put", "recv", "gather")
 
 SOURCE_ENGINE = "engine"
 SOURCE_SIMULATOR = "simulator"
+#: Records exported by the real multiprocess backend's per-PE workers.
+SOURCE_MULTIPROCESS = "multiprocess"
 
 
 def is_compute_kind(kind: str) -> bool:

@@ -30,6 +30,7 @@ __all__ = [
     "enabled",
     "enable",
     "disable",
+    "adopt_span",
     "current_span",
     "record_phase",
     "profile_from",
@@ -180,6 +181,26 @@ def current_span() -> Span | None:
     """The innermost open span of this thread, or ``None``."""
     stack = _STATE.stack
     return stack[-1] if stack else None
+
+
+def adopt_span(sp: Span) -> bool:
+    """Graft an externally built (closed) span under the current span.
+
+    The multiprocess backend reconstructs per-PE worker spans from
+    records shipped back over a queue; adopting them here makes them
+    ordinary children of the enclosing ``engine.factor`` span, so
+    profiles, ``render_tree`` and the JSONL exporter see per-PE data
+    with no special casing.  Returns ``False`` (and adopts nothing)
+    when tracing is off or no span is open.
+    """
+    if not _ENABLED:
+        return False
+    stack = _STATE.stack
+    if not stack:
+        return False
+    sp.parent = stack[-1]
+    stack[-1].children.append(sp)
+    return True
 
 
 def record_phase(name: str, seconds: float) -> None:

@@ -1,4 +1,4 @@
-"""Distributed block Schur implementations on the simulated machine.
+"""Distributed block Schur implementations — simulated and real.
 
 Section 7 of the paper: the generator (``2m × mp``) is laid out over a
 linear array of PEs in one of three ways (Figure 5):
@@ -7,10 +7,20 @@ linear array of PEs in one of three ways (Figure 5):
 * **Version 2** — groups of ``b`` adjacent block columns per PE;
 * **Version 3** — each block column *split* over ``spread`` adjacent PEs.
 
-:func:`~repro.parallel.driver.simulate_factorization` runs the real
-numerics of the distributed algorithm through
-:class:`~repro.machine.Machine` and returns the factor (bit-checked
-against the serial algorithm in tests) plus the virtual timing report;
+Two execution backends share those layouts and the same per-step
+structure (shift / broadcast / build / apply / barrier):
+
+* :func:`~repro.parallel.driver.simulate_factorization` runs the real
+  numerics through the discrete-event T3D model
+  (:class:`~repro.machine.Machine`) and returns the factor plus the
+  *virtual* timing report;
+* :func:`~repro.parallel.mp_backend.mp_factorization` runs one OS
+  process per PE over :mod:`multiprocessing.shared_memory` and returns
+  the factor plus *real* wall-clock timings and per-PE spans.
+
+:func:`~repro.parallel.backends.factor_distributed` dispatches between
+them from a :class:`~repro.engine.SolverPlan` (with graceful fallback
+to simulation when the multiprocess backend is unavailable);
 :mod:`~repro.parallel.analytic` provides the closed-form per-step cost
 model the paper's trade-off discussion implies.
 """
@@ -22,6 +32,16 @@ from repro.parallel.distributions import (
 )
 from repro.parallel.driver import simulate_factorization, simulate_solve, SimulatedRun
 from repro.parallel.analytic import analytic_factor_time, AnalyticBreakdown
+from repro.parallel.backends import (
+    BACKENDS,
+    DistributedFactorization,
+    factor_distributed,
+)
+from repro.parallel.mp_backend import (
+    MPRun,
+    mp_factorization,
+    multiprocess_available,
+)
 
 __all__ = [
     "BlockCyclicLayout",
@@ -32,4 +52,10 @@ __all__ = [
     "SimulatedRun",
     "analytic_factor_time",
     "AnalyticBreakdown",
+    "BACKENDS",
+    "DistributedFactorization",
+    "factor_distributed",
+    "MPRun",
+    "mp_factorization",
+    "multiprocess_available",
 ]

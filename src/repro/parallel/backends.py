@@ -1,0 +1,147 @@
+"""Backend dispatch for distributed factorization plans.
+
+A :class:`~repro.engine.SolverPlan` with ``nproc > 1`` names *where* the
+distributed block Schur algorithm runs through its ``backend`` field:
+
+* ``"simulated"`` — the discrete-event T3D model
+  (:func:`~repro.parallel.driver.simulate_factorization`), always
+  available, produces virtual timings;
+* ``"multiprocess"`` — real OS processes over shared memory
+  (:func:`~repro.parallel.mp_backend.mp_factorization`), produces real
+  wall-clock timings and per-PE spans.
+
+:func:`factor_distributed` is the single entry the engine calls.  When
+the multiprocess backend is requested but unavailable (platform probe
+fails, worker spawn fails, ``REPRO_MP_DISABLE`` set), it falls back to
+the simulated backend and records the reason on the returned
+factorization (``fallback_reason``) and on the enclosing span — the run
+still succeeds, just on the model instead of the metal.
+
+Either way the result is a :class:`DistributedFactorization`: the
+gathered triangular factor ``R`` with the same ``solve``/``logdet``
+surface as the serial :class:`~repro.core.schur_spd.SPDFactorization`,
+so engine caching and the solve stage are backend-agnostic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+import repro.obs as obs
+from repro.errors import (
+    InvalidOptionError,
+    MultiprocessUnavailableError,
+    ShapeError,
+)
+from repro.parallel.driver import simulate_factorization
+from repro.parallel.mp_backend import (
+    mp_factorization,
+    multiprocess_available,
+)
+from repro.utils.lintools import solve_upper_triangular
+
+__all__ = ["BACKENDS", "DistributedFactorization", "factor_distributed"]
+
+#: Legal values of ``SolverPlan.backend``.
+BACKENDS = ("simulated", "multiprocess")
+
+
+@dataclass
+class DistributedFactorization:
+    """Gathered result of a distributed factorization ``T = RᵀR``.
+
+    Solvable like the serial factorization; additionally records which
+    backend actually ran (``backend``), which one the plan asked for
+    (``requested_backend``) and — when they differ — why (``fallback_reason``).
+    ``run`` is the backend-native result
+    (:class:`~repro.parallel.mp_backend.MPRun` or
+    :class:`~repro.parallel.driver.SimulatedRun`) for timing and
+    communication accounting.
+    """
+
+    r: np.ndarray
+    block_size: int
+    num_blocks: int
+    representation: str
+    nproc: int
+    backend: str
+    requested_backend: str
+    fallback_reason: str = ""
+    run: object | None = None
+
+    @property
+    def order(self) -> int:
+        return self.r.shape[0]
+
+    @property
+    def fell_back(self) -> bool:
+        """Whether the requested backend was substituted."""
+        return self.backend != self.requested_backend
+
+    def solve(self, b: np.ndarray) -> np.ndarray:
+        """Solve ``T x = b`` via ``Rᵀ (R x) = b``."""
+        b = np.asarray(b, dtype=np.float64)
+        if b.shape[0] != self.order:
+            raise ShapeError(
+                f"b has {b.shape[0]} rows, expected {self.order}")
+        y = solve_upper_triangular(self.r, b, trans=True)
+        return solve_upper_triangular(self.r, y)
+
+    def reconstruct(self) -> np.ndarray:
+        """Dense ``Rᵀ R`` (diagnostic)."""
+        return self.r.T @ self.r
+
+    def logdet(self) -> float:
+        """``log det T = 2 Σ log R_ii``."""
+        return 2.0 * float(np.sum(np.log(np.abs(np.diag(self.r)))))
+
+
+def _from_run(run, pl, *, backend: str, reason: str
+              ) -> DistributedFactorization:
+    return DistributedFactorization(
+        r=run.r, block_size=run.block_size, num_blocks=run.num_blocks,
+        representation=run.representation, nproc=pl.nproc,
+        backend=backend, requested_backend=pl.backend,
+        fallback_reason=reason, run=run)
+
+
+def factor_distributed(op, pl) -> DistributedFactorization:
+    """Run the distributed factorization the plan describes.
+
+    ``op`` is the (possibly regrouped) symmetric block Toeplitz
+    operator; ``pl`` carries ``nproc``, ``distribution_b``,
+    ``representation`` and ``backend``.  Multiprocess requests degrade
+    to the simulated backend when the platform cannot run them; the
+    reason is recorded, never raised.
+    """
+    if pl.backend not in BACKENDS:
+        raise InvalidOptionError(
+            f"unknown backend {pl.backend!r}; expected one of {BACKENDS}")
+    with obs.span("factor.distributed", backend=pl.backend,
+                  nproc=pl.nproc) as sp:
+        reason = ""
+        if pl.backend == "multiprocess":
+            ok, why = multiprocess_available()
+            if ok:
+                try:
+                    run = mp_factorization(op, plan=pl)
+                    sp.set(version=run.layout.version,
+                           wall_seconds=run.wall_seconds)
+                    return _from_run(run, pl, backend="multiprocess",
+                                     reason="")
+                except MultiprocessUnavailableError as exc:
+                    reason = str(exc)
+            else:
+                reason = why
+            sp.set(fallback_reason=reason)
+            if obs.enabled():
+                obs.default_registry().counter(
+                    "repro_mp_fallbacks_total",
+                    "Multiprocess-backend requests served by the "
+                    "simulator instead"
+                ).inc(1)
+        run = simulate_factorization(op, plan=pl)
+        sp.set(version=run.layout.version, simulated_seconds=run.time)
+        return _from_run(run, pl, backend="simulated", reason=reason)

@@ -1,0 +1,641 @@
+"""Real multiprocess SPMD backend for the distributed block Schur
+algorithm.
+
+Where :mod:`repro.parallel.driver` runs the paper's Section-7 programs on
+the *simulated* T3D, this module runs them for real: one OS process per
+PE, the ``2m × mp`` generator in a :mod:`multiprocessing.shared_memory`
+segment (the stand-in for the T3D's globally addressable memory), and
+the same three data distributions deciding which PE owns which block
+columns (Versions 1/2) or column chunks (Version 3).
+
+The per-step structure mirrors :mod:`repro.parallel.spmd` exactly:
+
+1. *shift* — every PE copies the upper halves of its live blocks aside,
+   then (after a barrier) writes them into the ``j + 1`` slots, which may
+   be owned by the right neighbour — the shmem put;
+2. *broadcast* — every PE snapshots the pivot panel from shared memory
+   (a get from the owner's region standing in for the broadcast of the
+   block transformation) behind a barrier;
+3. *build* — each PE builds the block hyperbolic transformation from its
+   private pivot copy (replicated compute, exactly the broadcast-the-
+   panel-and-rebuild variant); the owner writes the eliminated pivot
+   back;
+4. *apply* — each PE applies the transformation to its own trailing
+   block columns and collects its slice of ``R``.
+
+Communication volume is *counted* with the same formulas the simulator
+charges (shift words per boundary crossing, §6.3 transform words per
+broadcast), so the counters of a real run and a simulated run of the
+same plan are directly comparable — see
+:meth:`~repro.machine.simulator.MachineReport.words_by_rank`.
+
+Workers time their phases (shift / broadcast / blocking / application /
+barrier / gather) and ship the accounting back over a queue; the parent
+reconstructs per-PE spans that merge into the PR-2 observability
+pipeline (:func:`repro.obs.adopt_span`, the unified JSONL schema with
+the ``rank`` field set).
+
+Everything degrades gracefully: :func:`multiprocess_available` probes
+the platform (``/dev/shm``, semaphores; ``REPRO_MP_DISABLE=1`` forces it
+off) and the engine falls back to the simulated backend — with the
+reason recorded — when the probe fails.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+import traceback
+from dataclasses import dataclass
+
+import numpy as np
+
+import repro.obs as obs
+from repro.core.generator import spd_generator
+from repro.core.schur_spd import eliminate_block
+from repro.errors import (
+    DistributionError,
+    MultiprocessUnavailableError,
+    NotPositiveDefiniteError,
+    ShapeError,
+)
+from repro.obs.export import span_records
+from repro.obs.schema import SOURCE_MULTIPROCESS
+from repro.obs.spans import Span
+from repro.parallel import costs
+from repro.parallel.distributions import (
+    BlockCyclicLayout,
+    SpreadLayout,
+    make_layout,
+)
+from repro.parallel.spmd import build_partial_transform
+from repro.toeplitz.block_toeplitz import SymmetricBlockToeplitz
+
+__all__ = ["MPRun", "mp_factorization", "multiprocess_available"]
+
+#: Seconds a worker waits at a barrier before declaring the run wedged.
+_BARRIER_TIMEOUT = 300.0
+
+
+# ----------------------------------------------------------------------
+# Availability
+# ----------------------------------------------------------------------
+_PROBE: tuple[bool, str] | None = None
+
+
+def _mp_context():
+    import multiprocessing as mp
+
+    method = "fork" if "fork" in mp.get_all_start_methods() else "spawn"
+    return mp.get_context(method)
+
+
+def _probe_platform() -> tuple[bool, str]:
+    try:
+        from multiprocessing import shared_memory
+        seg = shared_memory.SharedMemory(create=True, size=16)
+        seg.close()
+        seg.unlink()
+    except (ImportError, OSError, ValueError) as exc:
+        return False, f"shared memory unavailable: {exc}"
+    try:
+        _mp_context().Barrier(1)
+    except (ImportError, OSError, PermissionError, ValueError) as exc:
+        return False, f"process synchronization unavailable: {exc}"
+    return True, ""
+
+
+def multiprocess_available(*, refresh: bool = False) -> tuple[bool, str]:
+    """Whether the real multiprocess backend can run here.
+
+    Returns ``(ok, reason)``; ``reason`` explains a ``False`` (it is the
+    string the engine records when it falls back to simulation).  The
+    platform probe — can we create shared memory and semaphores? — is
+    cached; ``REPRO_MP_DISABLE`` (any truthy value) short-circuits it,
+    which is also the tested fallback path.
+    """
+    if os.environ.get("REPRO_MP_DISABLE", "").lower() not in \
+            ("", "0", "false"):
+        return False, "disabled by REPRO_MP_DISABLE"
+    global _PROBE
+    if _PROBE is None or refresh:
+        _PROBE = _probe_platform()
+    return _PROBE
+
+
+# ----------------------------------------------------------------------
+# Worker programs (module level: importable under the spawn method)
+# ----------------------------------------------------------------------
+class _Phases:
+    """Tiny phase-time accumulator (perf_counter is monotonic and —
+    on Linux — shares its epoch across processes, so parent-side span
+    rendering lines the workers up correctly)."""
+
+    __slots__ = ("acc", "_t0")
+
+    def __init__(self):
+        self.acc: dict[str, float] = {}
+        self._t0 = 0.0
+
+    def start(self):
+        self._t0 = time.perf_counter()
+
+    def stop(self, name: str):
+        self.acc[name] = self.acc.get(name, 0.0) + \
+            (time.perf_counter() - self._t0)
+
+
+def _attach(name: str):
+    from multiprocessing import shared_memory
+    return shared_memory.SharedMemory(name=name)
+
+
+def _finish(rank, queue, t_start, phases, attrs):
+    attrs["rank"] = rank
+    queue.put((rank, {
+        "ok": True, "rank": rank,
+        "start": t_start, "end": time.perf_counter(),
+        "phases": phases.acc, "attrs": attrs,
+    }))
+
+
+def _fail(rank, queue, barrier, exc):
+    from repro.errors import BreakdownError, NotPositiveDefiniteError
+    kind = "breakdown" if isinstance(
+        exc, (BreakdownError, NotPositiveDefiniteError)) else "error"
+    try:
+        barrier.abort()   # release peers parked on the barrier
+    except Exception:
+        pass
+    queue.put((rank, {"ok": False, "kind": kind,
+                      "error": f"{exc}\n{traceback.format_exc()}"}))
+
+
+def _block_cyclic_worker(rank, nproc, gen_name, r_name, m, p, w, layout,
+                         representation, collect, barrier, queue):
+    """One PE of the Versions-1/2 program on shared memory."""
+    shm_gen = shm_r = None
+    try:
+        shm_gen = _attach(gen_name)
+        n = m * p
+        gen = np.ndarray((2 * m, n), dtype=np.float64, buffer=shm_gen.buf)
+        r = None
+        if collect:
+            shm_r = _attach(r_name)
+            r = np.ndarray((n, n), dtype=np.float64, buffer=shm_r.buf)
+        my_blocks = layout.blocks_of(rank, p)
+        phases = _Phases()
+        shift_words = shift_messages = 0
+        bcast_words = 0
+        t_start = time.perf_counter()
+
+        def upper(j):
+            return gen[:m, j * m:(j + 1) * m]
+
+        def lower(j):
+            return gen[m:, j * m:(j + 1) * m]
+
+        def wait():
+            phases.start()
+            barrier.wait(timeout=_BARRIER_TIMEOUT)
+            phases.stop("barrier")
+
+        if collect:
+            phases.start()
+            for j in my_blocks:
+                r[0:m, j * m:(j + 1) * m] = upper(j)
+            phases.stop("gather")
+        wait()
+
+        for i in range(1, p):
+            # -------- shift: copy aside, barrier, put into j+1 slots --
+            live = [j for j in my_blocks if i - 1 <= j <= p - 2]
+            phases.start()
+            moved = [(j + 1, upper(j).copy()) for j in live]
+            crossings = sum(1 for j in live
+                            if layout.owner(j + 1) != rank)
+            shift_words += crossings * m * m
+            shift_messages += crossings
+            phases.stop("shift")
+            wait()
+            phases.start()
+            for tgt, blk in moved:
+                upper(tgt)[:] = blk       # shmem put (maybe foreign slot)
+            phases.stop("shift")
+            wait()
+
+            # -------- broadcast: snapshot the pivot panel -------------
+            phases.start()
+            up_c = upper(i).copy()
+            low_c = lower(i).copy()
+            bcast_words += costs.transform_words(representation, m) + m
+            phases.stop("broadcast")
+            wait()
+
+            # -------- build (replicated) ------------------------------
+            phases.start()
+            collected: list = []
+            eliminate_block(up_c, low_c, w, representation=representation,
+                            panel=None, pivot_sign_fixup=False,
+                            collect=collected)
+            u_block = collected[0]
+            negrows = np.nonzero(np.diag(up_c) < 0)[0]
+            if negrows.size:
+                up_c[negrows] *= -1.0
+            if layout.owner(i) == rank:
+                upper(i)[:] = up_c
+                lower(i)[:] = 0.0
+            phases.stop("blocking")
+
+            # -------- apply to own trailing blocks --------------------
+            phases.start()
+            for j in my_blocks:
+                if j > i:
+                    u_block.apply_pair(upper(j), lower(j))
+                    if negrows.size:
+                        upper(j)[negrows] *= -1.0
+            phases.stop("application")
+
+            if collect:
+                phases.start()
+                for j in my_blocks:
+                    if j >= i:
+                        r[i * m:(i + 1) * m, j * m:(j + 1) * m] = upper(j)
+                phases.stop("gather")
+            wait()
+
+        _finish(rank, queue, t_start, phases, {
+            "blocks": len(my_blocks), "steps": p - 1,
+            "shift_words": shift_words,
+            "shift_messages": shift_messages,
+            "broadcast_words": bcast_words,
+        })
+    except Exception as exc:                  # noqa: BLE001 — shipped back
+        _fail(rank, queue, barrier, exc)
+    finally:
+        for seg in (shm_gen, shm_r):
+            if seg is not None:
+                seg.close()
+
+
+def _spread_worker(rank, nproc, gen_name, r_name, m, p, w, layout,
+                   representation, collect, barrier, queue):
+    """One PE of the Version-3 (spread) program on shared memory."""
+    shm_gen = shm_r = None
+    try:
+        shm_gen = _attach(gen_name)
+        n = m * p
+        gen = np.ndarray((2 * m, n), dtype=np.float64, buffer=shm_gen.buf)
+        r = None
+        if collect:
+            shm_r = _attach(r_name)
+            r = np.ndarray((n, n), dtype=np.float64, buffer=shm_r.buf)
+        s = layout.spread
+        mc = layout.chunk_width(m)
+        my_chunks = layout.chunks_of(rank, p)
+        phases = _Phases()
+        shift_words = shift_messages = 0
+        bcast_words = 0
+        t_start = time.perf_counter()
+
+        def col0(j, c):
+            return j * m + c * mc
+
+        def upper(j, c):
+            return gen[:m, col0(j, c):col0(j, c) + mc]
+
+        def lower(j, c):
+            return gen[m:, col0(j, c):col0(j, c) + mc]
+
+        def wait():
+            phases.start()
+            barrier.wait(timeout=_BARRIER_TIMEOUT)
+            phases.stop("barrier")
+
+        if collect:
+            phases.start()
+            for (j, c) in my_chunks:
+                r[0:m, col0(j, c):col0(j, c) + mc] = upper(j, c)
+            phases.stop("gather")
+        wait()
+
+        for i in range(1, p):
+            # -------- shift -------------------------------------------
+            live = [(j, c) for (j, c) in my_chunks if i - 1 <= j <= p - 2]
+            phases.start()
+            moved = [((j + 1, c), upper(j, c).copy()) for (j, c) in live]
+            crossings = sum(1 for (j, c) in live
+                            if layout.owner(j + 1, c) != rank)
+            shift_words += crossings * m * mc
+            shift_messages += crossings
+            phases.stop("shift")
+            wait()
+            phases.start()
+            for (tj, tc), blk in moved:
+                upper(tj, tc)[:] = blk
+            phases.stop("shift")
+            wait()
+
+            # ---- s sequential partial builds + panel broadcasts ------
+            for c in range(s):
+                phases.start()
+                up_c = upper(i, c).copy()
+                low_c = lower(i, c).copy()
+                bcast_words += costs.transform_words(
+                    representation, m, k=mc) + mc
+                phases.stop("broadcast")
+                wait()
+
+                phases.start()
+                u_block, negrows = build_partial_transform(
+                    up_c, low_c, w, row_offset=c * mc,
+                    representation=representation)
+                if layout.owner(i, c) == rank:
+                    upper(i, c)[:] = up_c
+                    lower(i, c)[:] = low_c
+                phases.stop("blocking")
+
+                phases.start()
+                for (j, cc) in my_chunks:
+                    if j > i or (j == i and cc > c):
+                        u_block.apply_pair(upper(j, cc), lower(j, cc))
+                        if negrows.size:
+                            upper(j, cc)[negrows] *= -1.0
+                phases.stop("application")
+                wait()
+
+            if collect:
+                phases.start()
+                for (j, c) in my_chunks:
+                    if j >= i:
+                        r[i * m:(i + 1) * m,
+                          col0(j, c):col0(j, c) + mc] = upper(j, c)
+                phases.stop("gather")
+            wait()
+
+        _finish(rank, queue, t_start, phases, {
+            "blocks": len(my_chunks), "steps": p - 1,
+            "shift_words": shift_words,
+            "shift_messages": shift_messages,
+            "broadcast_words": bcast_words,
+        })
+    except Exception as exc:                  # noqa: BLE001 — shipped back
+        _fail(rank, queue, barrier, exc)
+    finally:
+        for seg in (shm_gen, shm_r):
+            if seg is not None:
+                seg.close()
+
+
+# ----------------------------------------------------------------------
+# Result object
+# ----------------------------------------------------------------------
+@dataclass
+class MPRun:
+    """Result of one real multiprocess distributed factorization."""
+
+    r: np.ndarray | None
+    nproc: int
+    layout: object
+    block_size: int
+    num_blocks: int
+    representation: str
+    wall_seconds: float
+    start_method: str
+    #: Per-rank worker payloads (phase times, comm counters), rank order.
+    workers: list[dict]
+
+    @property
+    def time(self) -> float:
+        """Wall-clock seconds to factor (the real-machine makespan)."""
+        return self.wall_seconds
+
+    def words_by_rank(self) -> dict[int, int]:
+        """Shift (put) words per rank — comparable with
+        :meth:`repro.machine.simulator.MachineReport.words_by_rank`."""
+        return {w["rank"]: int(w["attrs"]["shift_words"])
+                for w in self.workers}
+
+    def broadcast_words_by_rank(self) -> dict[int, int]:
+        """§6.3 transform words received per rank over all steps."""
+        return {w["rank"]: int(w["attrs"]["broadcast_words"])
+                for w in self.workers}
+
+    def breakdown(self) -> dict[str, float]:
+        """Phase breakdown of the slowest PE (mirrors
+        :meth:`~repro.parallel.driver.SimulatedRun.breakdown`)."""
+        worst = max(self.workers, key=lambda w: w["end"] - w["start"])
+        return dict(worst["phases"])
+
+    def worker_spans(self) -> list[Span]:
+        """Per-PE spans (fresh objects) carrying phases + counters."""
+        spans = []
+        for w in self.workers:
+            spans.append(Span(
+                name="mp.pe", start=w["start"], end=w["end"],
+                attributes=dict(w["attrs"]), phases=dict(w["phases"])))
+        return spans
+
+    def to_records(self) -> list[dict]:
+        """Flatten per-PE spans into the unified trace schema.
+
+        Same record shape as the engine span exporter and the simulated
+        machine's trace — ``source`` is ``"multiprocess"`` and ``rank``
+        is set on every record.
+        """
+        records: list[dict] = []
+        for sp in self.worker_spans():
+            recs = span_records(sp, source=SOURCE_MULTIPROCESS)
+            offset = len(records)
+            for rec in recs:
+                rec["id"] += offset
+                if rec["parent"] is not None:
+                    rec["parent"] += offset
+            records.extend(recs)
+        return records
+
+
+# ----------------------------------------------------------------------
+# Driver
+# ----------------------------------------------------------------------
+def _drain(queue, procs, nproc, barrier):
+    """Collect one payload per rank, watching for dead workers."""
+    from queue import Empty
+    results: dict[int, dict] = {}
+    deadline = time.monotonic() + _BARRIER_TIMEOUT
+    while len(results) < nproc:
+        try:
+            rank, payload = queue.get(timeout=0.25)
+            results[rank] = payload
+            continue
+        except Empty:
+            pass
+        dead = [pr for pr in procs if pr.exitcode not in (None, 0)]
+        if dead:
+            try:
+                barrier.abort()
+            except Exception:
+                pass
+            raise DistributionError(
+                f"worker process(es) died with exit codes "
+                f"{[pr.exitcode for pr in dead]}")
+        if time.monotonic() > deadline:
+            try:
+                barrier.abort()
+            except Exception:
+                pass
+            raise DistributionError(
+                "multiprocess factorization timed out waiting for workers")
+    return [results[r] for r in range(nproc)]
+
+
+def mp_factorization(t: SymmetricBlockToeplitz,
+                     nproc: int | None = None, *,
+                     b: float = 1,
+                     plan=None,
+                     layout=None,
+                     representation: str | None = None,
+                     collect: bool = True) -> MPRun:
+    """Factor ``t`` with real OS processes, one per PE.
+
+    Parameters mirror
+    :func:`~repro.parallel.driver.simulate_factorization`: ``b`` (or an
+    explicit ``layout``) selects the paper's Version 1/2/3 distribution,
+    a machine-tuned :class:`~repro.engine.SolverPlan` may supply
+    ``nproc`` / ``b`` / ``representation``, and ``collect=False`` skips
+    gathering ``R`` (for timing sweeps).
+
+    Raises
+    ------
+    MultiprocessUnavailableError
+        When the platform cannot run the backend (no shared memory, no
+        semaphores, worker processes cannot start, or
+        ``REPRO_MP_DISABLE`` is set).  The engine catches this and falls
+        back to the simulated backend, recording the reason.
+    NotPositiveDefiniteError
+        When a worker hits a Schur breakdown (the matrix is not SPD) —
+        so the engine's armed indefinite fallback takes over exactly as
+        in the serial path.
+    """
+    if plan is not None:
+        if nproc is None:
+            nproc = plan.nproc
+        if layout is None and plan.distribution_b is not None:
+            b = plan.distribution_b
+        if representation is None:
+            representation = plan.representation
+    if representation is None:
+        representation = "vy2"
+    if nproc is None:
+        raise DistributionError(
+            "nproc is required (directly or through a SolverPlan)")
+    ok, reason = multiprocess_available()
+    if not ok:
+        raise MultiprocessUnavailableError(reason)
+    if layout is None:
+        layout = make_layout(nproc, b=b)
+    if isinstance(layout, BlockCyclicLayout):
+        worker = _block_cyclic_worker
+    elif isinstance(layout, SpreadLayout):
+        worker = _spread_worker
+    else:
+        raise DistributionError(f"unknown layout {layout!r}")
+
+    g = spd_generator(t)              # NotPositiveDefiniteError up front
+    m, p = g.block_size, g.num_blocks
+    n = m * p
+    if p < 2:
+        raise ShapeError("need at least 2 block columns to factor")
+    if isinstance(layout, SpreadLayout):
+        layout.chunk_width(m)         # validates m % spread == 0
+        if not np.all(g.w[:m] == 1):
+            raise DistributionError(
+                "the spread (Version 3) program supports the SPD "
+                "signature only")
+
+    from multiprocessing import shared_memory
+    ctx = _mp_context()
+    shm_gen = shm_r = None
+    procs: list = []
+    try:
+        try:
+            shm_gen = shared_memory.SharedMemory(
+                create=True, size=g.gen.nbytes)
+            if collect:
+                shm_r = shared_memory.SharedMemory(
+                    create=True, size=n * n * 8)
+            barrier = ctx.Barrier(nproc)
+            queue = ctx.Queue()
+        except (OSError, PermissionError, ValueError) as exc:
+            raise MultiprocessUnavailableError(
+                f"could not allocate shared resources: {exc}") from exc
+        np.ndarray(g.gen.shape, dtype=np.float64,
+                   buffer=shm_gen.buf)[:] = g.gen
+        if collect:
+            np.ndarray((n, n), dtype=np.float64, buffer=shm_r.buf)[:] = 0.0
+
+        args = (shm_gen.name, shm_r.name if collect else "", m, p, g.w,
+                layout, representation, collect, barrier, queue)
+        procs = [ctx.Process(target=worker, args=(rank, nproc) + args,
+                             daemon=True)
+                 for rank in range(nproc)]
+        t0 = time.perf_counter()
+        try:
+            for pr in procs:
+                pr.start()
+        except (OSError, PermissionError) as exc:
+            raise MultiprocessUnavailableError(
+                f"could not start worker processes: {exc}") from exc
+        payloads = _drain(queue, procs, nproc, barrier)
+        wall = time.perf_counter() - t0
+        for pr in procs:
+            pr.join(timeout=10.0)
+
+        failures = [w for w in payloads if not w.get("ok")]
+        if failures:
+            if any(w.get("kind") == "breakdown" for w in failures):
+                raise NotPositiveDefiniteError(
+                    "distributed Schur breakdown: "
+                    + failures[0]["error"].splitlines()[0])
+            raise DistributionError(
+                "multiprocess worker failed:\n" + failures[0]["error"])
+
+        r = None
+        if collect:
+            r = np.array(np.ndarray((n, n), dtype=np.float64,
+                                    buffer=shm_r.buf))
+        run = MPRun(r=r, nproc=nproc, layout=layout, block_size=m,
+                    num_blocks=p, representation=representation,
+                    wall_seconds=wall,
+                    start_method=ctx.get_start_method(),
+                    workers=sorted(payloads, key=lambda w: w["rank"]))
+    finally:
+        for pr in procs:
+            if pr.is_alive():
+                pr.terminate()
+        for seg in (shm_gen, shm_r):
+            if seg is not None:
+                seg.close()
+                try:
+                    seg.unlink()
+                except FileNotFoundError:
+                    pass
+
+    if obs.enabled():
+        for sp in run.worker_spans():
+            obs.adopt_span(sp)
+        reg = obs.default_registry()
+        reg.counter(
+            "repro_mp_runs_total",
+            "Real multiprocess distributed factorizations completed"
+        ).inc(1, version=str(layout.version), nproc=str(nproc))
+        reg.counter(
+            "repro_mp_comm_words_total",
+            "Words moved by the multiprocess backend, by kind"
+        ).inc(sum(run.words_by_rank().values()), kind="shift")
+        reg.counter(
+            "repro_mp_comm_words_total",
+            "Words moved by the multiprocess backend, by kind"
+        ).inc(sum(run.broadcast_words_by_rank().values()),
+              kind="broadcast")
+    return run
