@@ -23,7 +23,7 @@ from repro.baselines.dense_chol import (
     dense_cholesky_solve,
     dense_ldl_solve,
 )
-from repro.baselines.pcg import pcg, PCGResult
+from repro.baselines.pcg import pcg, pcg_block, BlockPCGResult, PCGResult
 from repro.baselines.circulant import (
     CirculantPreconditioner,
     strang_preconditioner,
@@ -37,7 +37,9 @@ __all__ = [
     "dense_cholesky_solve",
     "dense_ldl_solve",
     "pcg",
+    "pcg_block",
     "PCGResult",
+    "BlockPCGResult",
     "CirculantPreconditioner",
     "strang_preconditioner",
     "tchan_preconditioner",
@@ -90,9 +92,11 @@ def _pcg_solve(op, b, pl, fact, *, tol: float = 1e-12,
     if b.ndim == 1:
         res = pcg(op, b, preconditioner=fact, tol=tol, max_iter=max_iter)
         return res.x, res
-    cols = [pcg(op, b[:, j], preconditioner=fact, tol=tol,
-                max_iter=max_iter) for j in range(b.shape[1])]
-    return np.stack([c.x for c in cols], axis=1), cols
+    # Panel RHS: one block-CG run over all columns (batched matvecs,
+    # batched preconditioner solves) instead of a per-column loop.
+    res = pcg_block(op, b, preconditioner=fact, tol=tol,
+                    max_iter=max_iter)
+    return res.x, res
 
 
 def _register_engine_algorithms() -> None:

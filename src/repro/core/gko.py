@@ -29,6 +29,7 @@ import numpy as np
 from repro.errors import BreakdownError, ShapeError
 from repro.toeplitz.block_toeplitz import BlockToeplitz, \
     SymmetricBlockToeplitz
+from repro.utils.lintools import as_panel, from_panel
 
 __all__ = [
     "cyclic_displacement_generators",
@@ -141,19 +142,34 @@ class CauchyLikeLU:
         return sla.solve_triangular(self.u, z, lower=False,
                                     check_finite=False)
 
+    def _transform_data(self):
+        """Cached back-transformation data ``(F, D̂)``.
+
+        Built lazily on first solve and reused for every later one, so
+        a batched or repeated :meth:`solve` pays the ``O(p²)`` DFT-matrix
+        construction once per factorization rather than per call.
+        """
+        cached = getattr(self, "_bd_cache", None)
+        if cached is None:
+            m, p = self.block_size, self.num_blocks
+            f = np.exp(2j * np.pi * np.outer(np.arange(p),
+                                             np.arange(p)) / p) / np.sqrt(p)
+            theta = np.exp(1j * np.pi / p)
+            dhat = np.repeat(theta ** np.arange(p), m)
+            cached = (f, dhat)
+            self._bd_cache = cached
+        return cached
+
     def solve(self, b: np.ndarray) -> np.ndarray:
-        """Solve the original block Toeplitz system ``T x = b`` (real)."""
-        b = np.asarray(b, dtype=np.float64)
-        single = b.ndim == 1
-        bc = b[:, None] if single else b
-        if bc.shape[0] != self.order:
-            raise ShapeError(
-                f"b has {bc.shape[0]} rows, expected {self.order}")
+        """Solve the original block Toeplitz system ``T X = B`` (real).
+
+        ``b`` may be a vector or an ``n × k`` panel; the Cauchy-domain
+        triangular sweeps and both block DFTs run across the whole panel
+        in single level-3 calls.
+        """
+        bc, single = as_panel(b, self.order)
         m, p, n = self.block_size, self.num_blocks, self.order
-        f = np.exp(2j * np.pi * np.outer(np.arange(p),
-                                         np.arange(p)) / p) / np.sqrt(p)
-        theta = np.exp(1j * np.pi / p)
-        dhat = np.repeat(theta ** np.arange(p), m)
+        f, dhat = self._transform_data()
 
         def bd(x, conj=False):
             fm = f.conj() if conj else f
@@ -169,8 +185,7 @@ class CauchyLikeLU:
         if imag > 1e-6 * scale:
             raise BreakdownError(
                 f"solution has non-negligible imaginary part {imag:.2e}")
-        xr = np.ascontiguousarray(x.real)
-        return xr[:, 0] if single else xr
+        return from_panel(np.ascontiguousarray(x.real), single)
 
 
 def cauchy_like_lu(ghat: np.ndarray, bhat: np.ndarray,

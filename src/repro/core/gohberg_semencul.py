@@ -21,6 +21,7 @@ import scipy.fft as sfft
 
 from repro.errors import BreakdownError, ShapeError
 from repro.toeplitz.block_toeplitz import SymmetricBlockToeplitz
+from repro.utils.lintools import as_panel, from_panel
 
 __all__ = ["ToeplitzInverse", "toeplitz_inverse"]
 
@@ -34,6 +35,8 @@ class _LowerToeplitzOp:
         self._vf = sfft.rfft(v, n=self._nfft)
 
     def apply(self, b: np.ndarray) -> np.ndarray:
+        """``L(v) B`` for a vector or an ``n × k`` panel (one batched
+        FFT over the columns either way)."""
         bf = sfft.rfft(b, n=self._nfft, axis=0)
         out = sfft.irfft((self._vf if b.ndim == 1 else
                           self._vf[:, None]) * bf,
@@ -41,7 +44,7 @@ class _LowerToeplitzOp:
         return out[:self._n]
 
     def apply_t(self, b: np.ndarray) -> np.ndarray:
-        """``L(v)ᵀ b``: correlate instead of convolve."""
+        """``L(v)ᵀ B``: correlate instead of convolve."""
         rev = b[::-1]
         out = self.apply(rev)
         return out[::-1]
@@ -72,13 +75,12 @@ class ToeplitzInverse:
         return self._n
 
     def matvec(self, b: np.ndarray) -> np.ndarray:
-        """``T⁻¹ b`` in ``O(n log n)`` (vector or column-stacked)."""
-        b = np.asarray(b, dtype=np.float64)
-        if b.shape[0] != self._n:
-            raise ShapeError(f"b has {b.shape[0]} rows, expected {self._n}")
-        term1 = self._lx.apply(self._lx.apply_t(b))
-        term2 = self._lz.apply(self._lz.apply_t(b))
-        return (term1 - term2) / self.x[0]
+        """``T⁻¹ B`` in ``O(k n log n)`` for a vector or ``n × k``
+        panel — each term is one batched convolution over all columns."""
+        panel, single = as_panel(b, self._n)
+        term1 = self._lx.apply(self._lx.apply_t(panel))
+        term2 = self._lz.apply(self._lz.apply_t(panel))
+        return from_panel((term1 - term2) / self.x[0], single)
 
     def __matmul__(self, b):
         return self.matvec(np.asarray(b, dtype=np.float64))

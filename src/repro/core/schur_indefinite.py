@@ -34,9 +34,10 @@ from repro.blas import primitives as blas
 from repro.core.generator import Generator, indefinite_generator
 from repro.core.hyperbolic import reflector_annihilating
 from repro.core.schur_spd import _apply_reflector_pair
-from repro.errors import BreakdownError, ShapeError, SingularMinorError
+from repro.errors import BreakdownError, SingularMinorError
 from repro.toeplitz.block_toeplitz import SymmetricBlockToeplitz
-from repro.utils.lintools import solve_upper_triangular
+from repro.utils.lintools import as_panel, from_panel, \
+    solve_upper_triangular
 
 __all__ = [
     "PerturbationEvent",
@@ -113,15 +114,16 @@ class IndefiniteFactorization:
         return pos, self.order - pos
 
     def solve(self, b: np.ndarray) -> np.ndarray:
-        """Solve ``(T + δT) x = b`` via ``Rᵀ D R x = b``."""
-        b = np.asarray(b, dtype=np.float64)
-        if b.shape[0] != self.order:
-            raise ShapeError(
-                f"b has {b.shape[0]} rows, expected {self.order}")
-        y = solve_upper_triangular(self.r, b, trans=True)
-        y = self.d.astype(np.float64) * y if y.ndim == 1 else \
-            self.d.astype(np.float64)[:, None] * y
-        return solve_upper_triangular(self.r, y)
+        """Solve ``(T + δT) X = B`` via ``Rᵀ D R X = B``.
+
+        ``b`` may be a vector or an ``n × k`` panel; the panel case runs
+        the ``Rᵀ``/``R`` sweeps as level-3 ``dtrsm`` calls with one
+        broadcast signature scaling in between.
+        """
+        panel, single = as_panel(b, self.order)
+        y = solve_upper_triangular(self.r, panel, trans=True)
+        y *= self.d.astype(np.float64)[:, None]
+        return from_panel(solve_upper_triangular(self.r, y), single)
 
     def reconstruct(self) -> np.ndarray:
         """Dense ``Rᵀ D R`` (equals ``T + δT``)."""

@@ -44,7 +44,8 @@ from repro.errors import (
     ShapeError,
 )
 from repro.toeplitz.block_toeplitz import SymmetricBlockToeplitz
-from repro.utils.lintools import solve_upper_triangular
+from repro.utils.lintools import as_panel, from_panel, \
+    solve_upper_triangular
 
 __all__ = [
     "SchurOptions",
@@ -111,13 +112,15 @@ class SPDFactorization:
         return self.r.T
 
     def solve(self, b: np.ndarray) -> np.ndarray:
-        """Solve ``T x = b`` via ``Rᵀ (R x) = b``."""
-        b = np.asarray(b, dtype=np.float64)
-        if b.shape[0] != self.order:
-            raise ShapeError(
-                f"b has {b.shape[0]} rows, expected {self.order}")
-        y = solve_upper_triangular(self.r, b, trans=True)
-        return solve_upper_triangular(self.r, y)
+        """Solve ``T X = B`` via ``Rᵀ (R X) = B``.
+
+        ``b`` may be a vector or an ``n × k`` panel of right-hand
+        sides; the panel case runs the two triangular sweeps as single
+        level-3 ``dtrsm`` calls across all ``k`` columns.
+        """
+        panel, single = as_panel(b, self.order)
+        y = solve_upper_triangular(self.r, panel, trans=True)
+        return from_panel(solve_upper_triangular(self.r, y), single)
 
     def reconstruct(self) -> np.ndarray:
         """Dense ``Rᵀ R`` (diagnostic)."""

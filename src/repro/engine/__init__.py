@@ -29,6 +29,7 @@ from repro.engine.cache import (
 )
 from repro.engine.engine import (
     Algorithm,
+    ExecutionRecord,
     ExecutionResult,
     FactorResult,
     algorithms,
@@ -50,6 +51,7 @@ __all__ = [
     "default_cache",
     "set_default_cache",
     "Algorithm",
+    "ExecutionRecord",
     "ExecutionResult",
     "FactorResult",
     "algorithms",

@@ -17,6 +17,7 @@ iteration surface.
 from __future__ import annotations
 
 import dataclasses
+import time
 from dataclasses import dataclass
 from typing import Any, Callable
 
@@ -30,6 +31,7 @@ from repro.errors import InvalidOptionError, NotPositiveDefiniteError
 
 __all__ = [
     "Algorithm",
+    "ExecutionRecord",
     "ExecutionResult",
     "FactorResult",
     "algorithms",
@@ -116,16 +118,70 @@ class FactorResult:
 
 
 @dataclass(frozen=True)
+class ExecutionRecord:
+    """Per-execution timing/flop summary, always collected.
+
+    Unlike the span-tree :class:`~repro.obs.Profile` (which exists only
+    while observability is enabled), every :func:`execute` carries one
+    of these: the production metrics surface for per-solve throughput.
+    ``model_flops`` is the closed-form cost of the work the execution
+    actually did (factorization eqs. 25–32 when freshly computed, plus
+    ``2 n² ·`` column-solves for the triangular sweeps);
+    ``counted_flops`` is the measured tally from the counted BLAS layer
+    and is ``None`` unless observability was enabled for the run.
+    """
+
+    algorithm: str
+    order: int
+    nrhs: int
+    wall_seconds: float
+    cache_hit: bool
+    fallback_used: bool
+    model_flops: float | None = None
+    counted_flops: int | None = None
+    #: ``perf_counter`` timestamp of the execution start (span clock).
+    start: float = 0.0
+
+    @property
+    def rhs_per_second(self) -> float:
+        """Panel solve throughput (right-hand sides per wall second)."""
+        if self.wall_seconds <= 0.0:
+            return float("inf")
+        return self.nrhs / self.wall_seconds
+
+    def to_record(self, *, rec_id: int = 0,
+                  parent: int | None = None) -> dict:
+        """Export as one unified trace-schema record
+        (:func:`repro.obs.make_record`, kind ``"execution"``)."""
+        return obs.make_record(
+            source=obs.SOURCE_ENGINE, rec_id=rec_id, parent=parent,
+            name="engine.execute", kind=obs.KIND_EXECUTION, rank=None,
+            start=self.start, end=self.start + self.wall_seconds,
+            attrs={
+                "algorithm": self.algorithm,
+                "order": self.order,
+                "nrhs": self.nrhs,
+                "cache_hit": self.cache_hit,
+                "fallback_used": self.fallback_used,
+                "model_flops": self.model_flops,
+                "counted_flops": self.counted_flops,
+                "rhs_per_second": self.rhs_per_second,
+            })
+
+
+@dataclass(frozen=True)
 class ExecutionResult:
     """Outcome of :func:`execute`.
 
     ``algorithm`` is what actually ran (it differs from
     ``plan.algorithm`` when the SPD path broke down and the armed
     fallback took over — the per-plan record that stability diagnostics
-    attach to).  With observability enabled (``repro.obs``), ``profile``
-    holds the execution's span tree — per-phase wall time and flop-model
-    attributes — plus a metrics snapshot; it is ``None`` when tracing is
-    off or when this execution was nested inside an enclosing span.
+    attach to).  ``record`` is the always-on per-execution
+    timing/flop summary (:class:`ExecutionRecord`).  With observability
+    enabled (``repro.obs``), ``profile`` holds the execution's span
+    tree — per-phase wall time and flop-model attributes — plus a
+    metrics snapshot; it is ``None`` when tracing is off or when this
+    execution was nested inside an enclosing span.
     """
 
     x: np.ndarray
@@ -136,6 +192,8 @@ class ExecutionResult:
     detail: Any = None
     #: Span tree + metrics snapshot (None unless observability is on).
     profile: "obs.Profile | None" = None
+    #: Always-collected timing/flop summary for this execution.
+    record: ExecutionRecord | None = None
 
 
 # ----------------------------------------------------------------------
@@ -230,11 +288,35 @@ def factor(pl: SolverPlan, *,
     return dataclasses.replace(fres, profile=obs.profile_from(sp))
 
 
+def _solve_model_flops(algorithm: str, order: int, nrhs: int,
+                       detail) -> float | None:
+    """Closed-form solve-phase cost: ``2 n²`` per column-solve.
+
+    Direct triangular algorithms do one forward + one backward sweep per
+    RHS column; the iterative algorithms report how many column-solve
+    equivalents they actually issued (``solve_columns`` for blocked
+    refinement, ``precond_columns``/``precond_solves`` for PCG).
+    """
+    if algorithm in ("spd-schur", "gko", "dense-chol"):
+        return 2.0 * order * order * nrhs
+    cols = getattr(detail, "solve_columns", None)
+    if cols is None:
+        cols = getattr(detail, "precond_columns", None)
+    if cols is None and getattr(detail, "precond_solves", None) is not None:
+        cols = detail.precond_solves   # scalar PCG: one column per solve
+    if cols:
+        return 2.0 * order * order * float(cols)
+    return None
+
+
 def execute(pl: SolverPlan, b, *,
             cache: FactorizationCache | None = None,
             **solve_kwargs) -> ExecutionResult:
     """Run the plan: factor (cached), solve, record what happened.
 
+    ``b`` may be a vector or an ``n × k`` panel of right-hand sides;
+    panels dispatch to the batched solve paths (level-3 triangular
+    sweeps, blocked refinement, block PCG) of the registered algorithm.
     ``solve_kwargs`` reach the algorithm's solve stage (e.g. ``tol``,
     ``max_iter``, ``keep_history`` for ``indefinite+refine``).
     """
@@ -242,11 +324,17 @@ def execute(pl: SolverPlan, b, *,
     b = np.asarray(b, dtype=np.float64)
     algo = get_algorithm(pl.algorithm)
     nrhs = 1 if b.ndim == 1 else b.shape[1]
+    t0 = time.perf_counter()
+    counter = None
     with obs.span("engine.execute", algorithm=pl.algorithm,
                   order=pl.order, nrhs=nrhs) as sp:
+        if obs.enabled():
+            from repro.blas import primitives as blas
+            counting_ctx = blas.counting()
+            counter = counting_ctx.__enter__()
         try:
             fact, hit = _obtain_factorization(algo, pl, cache)
-            with obs.span("solve", algorithm=pl.algorithm):
+            with obs.span("solve", algorithm=pl.algorithm, nrhs=nrhs):
                 x, detail = algo.solve(op, b, pl, fact, **solve_kwargs)
             res = ExecutionResult(x=x, plan=pl, algorithm=pl.algorithm,
                                   cache_hit=hit, fallback_used=False,
@@ -269,7 +357,25 @@ def execute(pl: SolverPlan, b, *,
             inner = execute(pl.with_(algorithm=pl.fallback, fallback=None),
                             b, cache=cache, **solve_kwargs)
             res = dataclasses.replace(inner, plan=pl, fallback_used=True)
-    return dataclasses.replace(res, profile=obs.profile_from(sp))
+        finally:
+            if counter is not None:
+                counting_ctx.__exit__(None, None, None)
+    wall = time.perf_counter() - t0
+    model = _solve_model_flops(res.algorithm, pl.order, nrhs, res.detail)
+    if not res.cache_hit:
+        factor_model = _model_flops(pl.with_(algorithm=res.algorithm))
+        if factor_model is not None:
+            model = factor_model + (model or 0.0)
+    rec = ExecutionRecord(
+        algorithm=res.algorithm, order=pl.order, nrhs=nrhs,
+        wall_seconds=wall, cache_hit=res.cache_hit,
+        fallback_used=res.fallback_used, model_flops=model,
+        counted_flops=counter.total if counter is not None else None,
+        start=t0)
+    if obs.enabled():
+        sp.set(wall_seconds=wall, rhs_per_second=rec.rhs_per_second)
+    return dataclasses.replace(res, profile=obs.profile_from(sp),
+                               record=rec)
 
 
 def solve(op, b, *, cache: FactorizationCache | None = None,

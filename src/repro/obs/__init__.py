@@ -24,11 +24,13 @@ results then carry a :class:`Profile` (span tree + metrics snapshot).
 from repro.obs.schema import (
     COMM_KINDS,
     COMPUTE_KINDS,
+    KIND_EXECUTION,
     SCHEMA_VERSION,
     SOURCE_ENGINE,
     SOURCE_MULTIPROCESS,
     SOURCE_SIMULATOR,
     is_compute_kind,
+    make_record,
 )
 from repro.obs.spans import (
     Profile,
@@ -61,7 +63,9 @@ from repro.obs.export import (
 __all__ = [
     "COMM_KINDS",
     "COMPUTE_KINDS",
+    "KIND_EXECUTION",
     "SCHEMA_VERSION",
+    "make_record",
     "SOURCE_ENGINE",
     "SOURCE_MULTIPROCESS",
     "SOURCE_SIMULATOR",

@@ -23,6 +23,7 @@ __all__ = [
     "SCHEMA_VERSION",
     "COMPUTE_KINDS",
     "COMM_KINDS",
+    "KIND_EXECUTION",
     "SOURCE_ENGINE",
     "SOURCE_SIMULATOR",
     "SOURCE_MULTIPROCESS",
@@ -42,6 +43,13 @@ COMPUTE_KINDS = ("compute", "blocking", "application", "panel")
 #: Communication / synchronization kinds (everything else is idle).
 #: "gather" is the collection of the distributed ``R`` factor.
 COMM_KINDS = ("shift", "broadcast", "barrier", "put", "recv", "gather")
+
+#: Whole-execution summary records (one per ``engine.execute``): wall
+#: time, RHS panel width, model vs counted flops, cache hit.  Not a
+#: compute kind — the execution's compute is broken out in its child
+#: span records; this one exists so a metrics endpoint can consume
+#: per-solve throughput without re-aggregating the span tree.
+KIND_EXECUTION = "execution"
 
 SOURCE_ENGINE = "engine"
 SOURCE_SIMULATOR = "simulator"

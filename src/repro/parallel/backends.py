@@ -33,14 +33,14 @@ import repro.obs as obs
 from repro.errors import (
     InvalidOptionError,
     MultiprocessUnavailableError,
-    ShapeError,
 )
 from repro.parallel.driver import simulate_factorization
 from repro.parallel.mp_backend import (
     mp_factorization,
     multiprocess_available,
 )
-from repro.utils.lintools import solve_upper_triangular
+from repro.utils.lintools import as_panel, from_panel, \
+    solve_upper_triangular
 
 __all__ = ["BACKENDS", "DistributedFactorization", "factor_distributed"]
 
@@ -81,13 +81,11 @@ class DistributedFactorization:
         return self.backend != self.requested_backend
 
     def solve(self, b: np.ndarray) -> np.ndarray:
-        """Solve ``T x = b`` via ``Rᵀ (R x) = b``."""
-        b = np.asarray(b, dtype=np.float64)
-        if b.shape[0] != self.order:
-            raise ShapeError(
-                f"b has {b.shape[0]} rows, expected {self.order}")
-        y = solve_upper_triangular(self.r, b, trans=True)
-        return solve_upper_triangular(self.r, y)
+        """Solve ``T X = B`` (vector or ``n × k`` panel) via
+        ``Rᵀ (R X) = B`` — level-3 sweeps over the whole panel."""
+        panel, single = as_panel(b, self.order)
+        y = solve_upper_triangular(self.r, panel, trans=True)
+        return from_panel(solve_upper_triangular(self.r, y), single)
 
     def reconstruct(self) -> np.ndarray:
         """Dense ``Rᵀ R`` (diagnostic)."""

@@ -16,7 +16,7 @@ from __future__ import annotations
 import numpy as np
 import scipy.fft as sfft
 
-from repro.errors import ShapeError
+from repro.utils.lintools import as_panel, from_panel
 
 __all__ = ["BlockCirculantEmbedding", "block_toeplitz_matvec"]
 
@@ -71,22 +71,22 @@ class BlockCirculantEmbedding:
         return self._n
 
     def matvec(self, x: np.ndarray) -> np.ndarray:
-        """Apply the embedded matrix to a vector or a stack of columns."""
-        x = np.asarray(x, dtype=np.float64)
-        single = x.ndim == 1
-        if single:
-            x = x[:, None]
-        if x.shape[0] != self._n:
-            raise ShapeError(
-                f"operand has {x.shape[0]} rows, expected {self._n}")
+        """Apply the embedded matrix to a vector or an ``n × k`` panel.
+
+        All ``k`` columns share the two FFTs and the per-frequency
+        ``m × m`` multiply (batched in the ``einsum``), so a panel costs
+        barely more than ``k`` times the transform's pointwise stage —
+        never ``k`` separate embeddings.  Fortran-ordered and
+        non-contiguous panels are normalized once on entry.
+        """
+        x, single = as_panel(x, self._n, name="operand")
         nrhs = x.shape[1]
         xp = np.zeros((self._N, self._m, nrhs))
         xp[:self._p] = x.reshape(self._p, self._m, nrhs)
         xf = sfft.rfft(xp, axis=0)
         yf = np.einsum("fab,fbr->far", self._kf, xf)
         y = sfft.irfft(yf, n=self._N, axis=0)[:self._p]
-        y = y.reshape(self._n, nrhs)
-        return y[:, 0] if single else y
+        return from_panel(y.reshape(self._n, nrhs), single)
 
     __call__ = matvec
 

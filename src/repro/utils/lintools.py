@@ -3,6 +3,15 @@
 ``scipy.linalg.solve_triangular`` is used for the heavy lifting; these
 wrappers pin down the conventions (lower/upper, transpose) used throughout
 the Schur algorithm so call sites stay readable.
+
+The solve helpers are *panel* helpers: a 2-D ``B`` of ``k`` right-hand
+sides goes through LAPACK's ``dtrsm`` as one level-3 call instead of
+``k`` back-substitutions — the paper's Section 6.5 trade (constant-factor
+flops for level-3 shape) applied to the solve phase.
+:func:`as_panel` / :func:`from_panel` are the shared RHS normalization
+used by every factorization's ``solve``: they give the kernels one
+contiguous float64 ``n × k`` view regardless of how the caller sliced,
+ordered or typed ``B``, and restore the original rank on the way out.
 """
 
 from __future__ import annotations
@@ -10,7 +19,11 @@ from __future__ import annotations
 import numpy as np
 import scipy.linalg as sla
 
+from repro.errors import ShapeError
+
 __all__ = [
+    "as_panel",
+    "from_panel",
     "solve_lower_triangular",
     "solve_upper_triangular",
     "is_upper_triangular",
@@ -18,16 +31,60 @@ __all__ = [
 ]
 
 
+def as_panel(b: np.ndarray, order: int | None = None,
+             *, name: str = "b") -> tuple[np.ndarray, bool]:
+    """Normalize a right-hand side to a C-contiguous ``n × k`` panel.
+
+    Accepts a vector (``k = 1``) or a matrix of column right-hand sides
+    in any dtype, memory order or striding (Fortran-ordered arrays and
+    non-contiguous slices are copied once here rather than per kernel).
+    Returns ``(panel, single)`` where ``single`` records whether the
+    input was 1-D so :func:`from_panel` can restore the shape.
+    """
+    b = np.asarray(b, dtype=np.float64)
+    if b.ndim not in (1, 2):
+        raise ShapeError(
+            f"{name} must be a vector or an n×k panel, got ndim={b.ndim}")
+    single = b.ndim == 1
+    panel = b[:, None] if single else b
+    if order is not None and panel.shape[0] != order:
+        raise ShapeError(
+            f"{name} has {panel.shape[0]} rows, expected {order}")
+    return np.ascontiguousarray(panel), single
+
+
+def from_panel(x: np.ndarray, single: bool) -> np.ndarray:
+    """Undo :func:`as_panel`: collapse a width-1 panel back to a vector."""
+    return x[:, 0] if single else x
+
+
+def _charge_trsm(a: np.ndarray, b: np.ndarray) -> None:
+    """Charge the canonical ``dtrsm`` flop count (n² per RHS column)."""
+    from repro.blas import primitives as blas
+    nrhs = 1 if b.ndim == 1 else b.shape[1]
+    blas.charge(a.shape[0] * a.shape[0] * nrhs, "trsm")
+
+
 def solve_lower_triangular(L: np.ndarray, B: np.ndarray,
                            *, trans: bool = False) -> np.ndarray:
-    """Solve ``L X = B`` (or ``L^T X = B`` when ``trans``) for lower ``L``."""
+    """Solve ``L X = B`` (or ``Lᵀ X = B`` when ``trans``) for lower ``L``.
+
+    ``B`` may be a vector or an ``n × k`` panel — the panel runs as one
+    level-3 ``dtrsm`` across all columns.
+    """
+    _charge_trsm(L, B)
     return sla.solve_triangular(L, B, lower=True, trans=1 if trans else 0,
                                 check_finite=False)
 
 
 def solve_upper_triangular(R: np.ndarray, B: np.ndarray,
                            *, trans: bool = False) -> np.ndarray:
-    """Solve ``R X = B`` (or ``R^T X = B`` when ``trans``) for upper ``R``."""
+    """Solve ``R X = B`` (or ``Rᵀ X = B`` when ``trans``) for upper ``R``.
+
+    ``B`` may be a vector or an ``n × k`` panel — the panel runs as one
+    level-3 ``dtrsm`` across all columns.
+    """
+    _charge_trsm(R, B)
     return sla.solve_triangular(R, B, lower=False, trans=1 if trans else 0,
                                 check_finite=False)
 

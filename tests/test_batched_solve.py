@@ -1,0 +1,317 @@
+"""Multi-RHS (panel) execution: parity, batching economics, records, CLI.
+
+The batched paths must agree with column-by-column solves to ≤1e-10
+across every algorithm family, regardless of how the caller ordered or
+sliced ``B`` — and must do the work in fewer factored solves / matvecs
+than the sequential loop.
+"""
+
+import numpy as np
+import pytest
+
+import repro.engine as engine
+import repro.obs as obs
+from repro.baselines import BlockPCGResult, pcg, pcg_block
+from repro.cli import main
+from repro.core import (
+    refine,
+    schur_indefinite_factor,
+    schur_spd_factor,
+    solve_toeplitz_gko,
+)
+from repro.core.gohberg_semencul import toeplitz_inverse
+from repro.engine import ExecutionRecord, FactorizationCache, set_default_cache
+from repro.errors import InvalidOptionError
+from repro.toeplitz import (
+    BlockToeplitz,
+    ar_block_toeplitz,
+    indefinite_toeplitz,
+    kms_toeplitz,
+    singular_minor_toeplitz,
+)
+from repro.toeplitz.matvec import BlockCirculantEmbedding
+
+PARITY = 1e-10
+
+
+@pytest.fixture(autouse=True)
+def fresh_default_cache():
+    """Give every test its own default cache (and restore afterwards)."""
+    previous = set_default_cache(FactorizationCache())
+    yield
+    set_default_cache(previous)
+
+
+def _columnwise(solve, b):
+    """Reference result: apply a single-RHS ``solve`` per column."""
+    return np.stack([solve(b[:, j]) for j in range(b.shape[1])], axis=1)
+
+
+def _rel_diff(x, y):
+    return np.max(np.abs(x - y)) / max(np.max(np.abs(y)), 1e-300)
+
+
+def _nonsymmetric(p=6, m=2, seed=11):
+    r = np.random.default_rng(seed)
+    col = [r.standard_normal((m, m)) + 3 * np.eye(m) for _ in range(p)]
+    row = [col[0]] + [r.standard_normal((m, m)) for _ in range(p - 1)]
+    return BlockToeplitz(col, row)
+
+
+# ----------------------------------------------------------------------
+# Factorization-level parity
+# ----------------------------------------------------------------------
+class TestPanelParity:
+    def test_spd_panel_matches_columnwise(self):
+        t = ar_block_toeplitz(16, 4, seed=0)
+        fact = schur_spd_factor(t)
+        b = np.random.default_rng(1).standard_normal((t.order, 8))
+        batched = fact.solve(b)
+        assert batched.shape == b.shape
+        assert _rel_diff(batched, _columnwise(fact.solve, b)) <= PARITY
+
+    def test_spd_vector_stays_one_dimensional(self):
+        t = kms_toeplitz(24, 0.5)
+        fact = schur_spd_factor(t)
+        x = fact.solve(np.ones(24))
+        assert x.ndim == 1 and x.shape == (24,)
+
+    def test_fortran_ordered_panel(self):
+        t = ar_block_toeplitz(12, 4, seed=2)
+        fact = schur_spd_factor(t)
+        b = np.random.default_rng(3).standard_normal((t.order, 5))
+        bf = np.asfortranarray(b)
+        assert not bf.flags["C_CONTIGUOUS"]
+        np.testing.assert_array_equal(fact.solve(bf), fact.solve(b))
+
+    def test_noncontiguous_slice_panel(self):
+        t = ar_block_toeplitz(12, 4, seed=4)
+        fact = schur_spd_factor(t)
+        wide = np.random.default_rng(5).standard_normal((t.order, 15))
+        view = wide[:, ::3]
+        assert not view.flags["C_CONTIGUOUS"]
+        assert _rel_diff(fact.solve(view),
+                         _columnwise(fact.solve, view)) <= PARITY
+
+    def test_indefinite_panel_matches_columnwise(self):
+        t = indefinite_toeplitz(48, seed=1)
+        fact = schur_indefinite_factor(t)
+        b = np.random.default_rng(6).standard_normal((48, 7))
+        assert _rel_diff(fact.solve(b), _columnwise(fact.solve, b)) <= PARITY
+
+    def test_gko_panel_matches_columnwise(self):
+        t = _nonsymmetric()
+        b = np.random.default_rng(7).standard_normal((t.order, 6))
+        batched = solve_toeplitz_gko(t, b)
+        reference = _columnwise(lambda col: solve_toeplitz_gko(t, col), b)
+        assert _rel_diff(batched, reference) <= PARITY
+
+    def test_gohberg_semencul_panel_apply(self):
+        t = kms_toeplitz(32, 0.5)
+        inv = toeplitz_inverse(t)
+        b = np.random.default_rng(8).standard_normal((32, 4))
+        assert _rel_diff(inv.matvec(b), _columnwise(inv.matvec, b)) <= PARITY
+
+    def test_fft_matvec_panel(self):
+        t = ar_block_toeplitz(16, 3, seed=9)
+        emb = BlockCirculantEmbedding(t)
+        x = np.random.default_rng(10).standard_normal((t.order, 5))
+        batched = emb.matvec(x)
+        assert _rel_diff(batched, _columnwise(emb.matvec, x)) <= PARITY
+        assert _rel_diff(batched, t.dense() @ x) <= 1e-9
+
+
+# ----------------------------------------------------------------------
+# Blocked iterative refinement
+# ----------------------------------------------------------------------
+class TestBlockedRefinement:
+    def _problem(self, k=6):
+        t = indefinite_toeplitz(48, seed=3)
+        fact = schur_indefinite_factor(t)
+        b = np.random.default_rng(11).standard_normal((48, k))
+        return t, fact, b
+
+    def test_panel_matches_columnwise(self):
+        t, fact, b = self._problem()
+        res = refine(fact, t, b)
+        reference = _columnwise(lambda col: refine(fact, t, col).x, b)
+        assert _rel_diff(res.x, reference) <= PARITY
+
+    def test_fewer_factored_solves_than_sequential(self):
+        t, fact, b = self._problem()
+        res = refine(fact, t, b)
+        sequential = [refine(fact, t, b[:, j]) for j in range(b.shape[1])]
+        total_sequential = sum(r.solve_calls for r in sequential)
+        assert res.solve_calls < total_sequential
+        # Same accuracy: worst batched residual no worse than 2× the
+        # worst sequential one.
+        dense = t.dense()
+        worst = max(np.linalg.norm(dense @ res.x[:, j] - b[:, j])
+                    for j in range(b.shape[1]))
+        worst_seq = max(np.linalg.norm(dense @ r.x - b[:, j])
+                        for j, r in enumerate(sequential))
+        assert worst <= 2 * worst_seq + 1e-12
+
+    def test_result_metadata(self):
+        t, fact, b = self._problem(k=4)
+        res = refine(fact, t, b)
+        assert res.nrhs == 4
+        assert res.per_column_iterations is not None
+        assert res.per_column_iterations.shape == (4,)
+        assert res.solve_columns >= 4
+        assert bool(res.converged)
+
+    def test_scalar_counters_unchanged(self):
+        t, fact, b = self._problem()
+        res = refine(fact, t, b[:, 0])
+        assert res.nrhs == 1
+        assert res.solve_calls == res.iterations + 1
+        assert res.per_column_iterations is None
+
+
+# ----------------------------------------------------------------------
+# Block PCG
+# ----------------------------------------------------------------------
+class TestBlockPCG:
+    def test_pcg_rejects_panel_with_pointer(self):
+        t = kms_toeplitz(24, 0.5)
+        b = np.ones((24, 3))
+        with pytest.raises(InvalidOptionError, match="pcg_block"):
+            pcg(t, b)
+
+    def test_block_matches_single_rhs(self):
+        t = kms_toeplitz(48, 0.5)
+        b = np.random.default_rng(12).standard_normal((48, 5))
+        res = pcg_block(t, b, tol=1e-13)
+        assert isinstance(res, BlockPCGResult)
+        reference = _columnwise(lambda col: pcg(t, col, tol=1e-13).x, b)
+        assert _rel_diff(res.x, reference) <= PARITY
+        assert res.converged
+
+    def test_shares_matvecs_across_columns(self):
+        t = kms_toeplitz(48, 0.5)
+        b = np.random.default_rng(13).standard_normal((48, 6))
+        res = pcg_block(t, b, tol=1e-12)
+        sequential_iters = sum(pcg(t, b[:, j], tol=1e-12).iterations
+                               for j in range(6))
+        # One block iteration is one (batched) matvec for all active
+        # columns; the sequential loop pays one per column per step.
+        assert res.matvecs < sequential_iters
+        assert res.matvec_columns <= sequential_iters + 6
+        assert res.per_column_iterations.shape == (6,)
+
+    def test_identical_columns_deflate(self):
+        t = kms_toeplitz(32, 0.4)
+        col = np.random.default_rng(14).standard_normal(32)
+        b = np.stack([col, col, 2 * col], axis=1)
+        res = pcg_block(t, b, tol=1e-12)
+        assert res.converged
+        assert res.deflations >= 1
+        assert _rel_diff(res.x[:, 0], res.x[:, 1]) <= PARITY
+
+    def test_engine_routes_panel_through_block_pcg(self):
+        t = kms_toeplitz(40, 0.5)
+        b = np.random.default_rng(15).standard_normal((40, 4))
+        pl = engine.plan(t, algorithm="pcg")
+        res = engine.execute(pl, b)
+        assert _rel_diff(res.x, np.linalg.solve(t.dense(), b)) <= 1e-8
+        assert res.record is not None and res.record.nrhs == 4
+        assert isinstance(res.detail, BlockPCGResult)
+
+
+# ----------------------------------------------------------------------
+# Execution records
+# ----------------------------------------------------------------------
+class TestExecutionRecord:
+    def test_record_attached_and_sane(self):
+        t = ar_block_toeplitz(16, 4, seed=0)
+        pl = engine.plan(t)
+        b = np.random.default_rng(16).standard_normal((t.order, 8))
+        cold = engine.execute(pl, b)
+        warm = engine.execute(pl, b)
+        for res, hit in ((cold, False), (warm, True)):
+            rec = res.record
+            assert isinstance(rec, ExecutionRecord)
+            assert rec.algorithm == res.algorithm
+            assert rec.order == t.order and rec.nrhs == 8
+            assert rec.cache_hit is hit
+            assert rec.wall_seconds > 0.0
+            assert rec.rhs_per_second > 0.0
+        # Warm model cost is the pure triangular-sweep cost.
+        assert warm.record.model_flops == pytest.approx(
+            2 * t.order ** 2 * 8)
+        assert cold.record.model_flops > warm.record.model_flops
+
+    def test_record_exports_unified_schema(self):
+        t = kms_toeplitz(24, 0.5)
+        res = engine.execute(engine.plan(t), np.ones((24, 2)))
+        rec = res.record.to_record(rec_id=7)
+        assert rec["v"] == obs.SCHEMA_VERSION
+        assert rec["source"] == obs.SOURCE_ENGINE
+        assert rec["kind"] == obs.KIND_EXECUTION
+        assert rec["name"] == "engine.execute"
+        assert rec["attrs"]["nrhs"] == 2
+        assert rec["attrs"]["cache_hit"] is False
+        assert rec["end"] >= rec["start"]
+        assert not obs.is_compute_kind(rec["kind"])
+
+    def test_counted_flops_with_observability(self):
+        t = ar_block_toeplitz(8, 4, seed=5)
+        pl = engine.plan(t)
+        engine.execute(pl, np.ones(t.order))  # prime the cache
+        obs.enable()
+        try:
+            res = engine.execute(pl, np.ones((t.order, 4)))
+        finally:
+            obs.disable()
+        rec = res.record
+        assert rec.counted_flops is not None
+        # The warm-cache solve is exactly two n×n panel dtrsm sweeps.
+        assert rec.counted_flops == 2 * t.order ** 2 * 4
+
+    def test_fallback_marks_record(self):
+        t = singular_minor_toeplitz(24, seed=7)
+        res = engine.execute(engine.plan(t, probe=False),
+                             np.ones((24, 3)))
+        assert res.fallback_used
+        assert res.record.fallback_used
+        assert res.record.algorithm == res.algorithm
+
+
+# ----------------------------------------------------------------------
+# CLI
+# ----------------------------------------------------------------------
+class TestSolveCLI:
+    @pytest.fixture
+    def matrix_file(self, tmp_path):
+        path = tmp_path / "row.npy"
+        np.save(path, kms_toeplitz(16, 0.6).first_scalar_row())
+        return str(path)
+
+    def test_synthetic_panel(self, matrix_file, capsys):
+        assert main(["solve", matrix_file, "--nrhs", "4"]) == 0
+        out = capsys.readouterr().out
+        assert "panel of 4 right-hand sides" in out
+
+    def test_panel_rhs_file(self, matrix_file, tmp_path, capsys):
+        rhs = tmp_path / "b.npy"
+        np.save(rhs, np.random.default_rng(17).standard_normal((16, 3)))
+        assert main(["solve", matrix_file, str(rhs)]) == 0
+        assert "panel of 3 right-hand sides" in capsys.readouterr().out
+
+    def test_profile_reports_throughput(self, matrix_file, capsys):
+        assert main(["solve", matrix_file, "--nrhs", "8",
+                     "--profile"]) == 0
+        out = capsys.readouterr().out
+        assert "panel solve throughput" in out
+        assert "RHS/s" in out
+
+    def test_rhs_and_nrhs_conflict(self, matrix_file, tmp_path, capsys):
+        rhs = tmp_path / "b.npy"
+        np.save(rhs, np.ones(16))
+        assert main(["solve", matrix_file, str(rhs), "--nrhs", "2"]) == 1
+        assert "not both" in capsys.readouterr().err
+
+    def test_missing_rhs(self, matrix_file, capsys):
+        assert main(["solve", matrix_file]) == 1
+        assert "--nrhs" in capsys.readouterr().err
