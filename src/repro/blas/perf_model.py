@@ -19,7 +19,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.core.flops import PrimitiveCall
+from repro.core.flops import PrimitiveCall, precision_weight
 from repro.errors import ShapeError
 
 __all__ = ["HockneyRate", "BlasPerformanceModel", "PrimitiveCall"]
@@ -72,31 +72,41 @@ class BlasPerformanceModel:
     call_latency: float = 0.0
     step_overhead: float = 0.0
 
-    def time(self, call: PrimitiveCall) -> float:
-        """Seconds to execute one primitive call of the given shape."""
+    def time(self, call: PrimitiveCall, *,
+             precision: str = "fp64") -> float:
+        """Seconds to execute one primitive call of the given shape.
+
+        ``precision`` scales the streaming (flop-time) term by
+        :data:`repro.core.flops.PRECISION_FLOP_WEIGHT` — fp32 moves
+        half the bytes per element, so it streams at twice the rate.
+        The per-call latency does not shrink: call setup is
+        precision-independent, which is why small-block fp32 runs see
+        far less than the 2× headline.
+        """
+        wgt = precision_weight(precision)
         s = call.shape
         fl = call.flops
         if call.name in ("dot", "axpy", "scal"):
-            return self.call_latency + self.level1.time(fl, s[0])
+            return self.call_latency + wgt * self.level1.time(fl, s[0])
         if call.name in ("gemv", "ger"):
             # constraining dimension: the shorter operand axis
             length = max(1, min(s[0], s[1]))
-            return self.call_latency + self.level2.time(fl, length)
+            return self.call_latency + wgt * self.level2.time(fl, length)
         if call.name == "gemm":
             length = max(1, min(s))
-            return self.call_latency + self.level3.time(fl, length)
+            return self.call_latency + wgt * self.level3.time(fl, length)
         if call.name == "trsm":
             length = max(1, min(s[0], s[1]))
-            return self.call_latency + self.level3.time(fl, length)
+            return self.call_latency + wgt * self.level3.time(fl, length)
         raise ShapeError(f"unknown primitive {call.name!r}")
 
-    def time_many(self, calls) -> float:
+    def time_many(self, calls, *, precision: str = "fp64") -> float:
         """Total seconds over an iterable of primitive calls."""
-        return sum(self.time(c) for c in calls)
+        return sum(self.time(c, precision=precision) for c in calls)
 
-    def achieved_mflops(self, calls) -> float:
+    def achieved_mflops(self, calls, *, precision: str = "fp64") -> float:
         """Aggregate rate (MFLOPS) over a primitive mix."""
         calls = list(calls)
         fl = sum(c.flops for c in calls)
-        t = self.time_many(calls)
+        t = self.time_many(calls, precision=precision)
         return fl / t / 1e6 if t > 0 else float("inf")

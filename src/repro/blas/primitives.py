@@ -57,26 +57,35 @@ _STACK: list["FlopCounter"] = []
 
 @dataclass
 class FlopCounter:
-    """Accumulates floating-point operation counts by category."""
+    """Accumulates floating-point operation counts by category.
+
+    ``by_dtype`` splits the same total by the operand dtype the work was
+    executed in (``"float32"`` vs ``"float64"``, complex analogues for
+    the GKO kernel), so a mixed-precision run reports honestly how many
+    of its operations ran at reduced precision.
+    """
 
     total: int = 0
     by_category: dict[str, int] = field(default_factory=dict)
     by_primitive: dict[str, int] = field(default_factory=dict)
+    by_dtype: dict[str, int] = field(default_factory=dict)
 
     def add(self, flops: int, category: str = "misc",
-            primitive: str = "misc") -> None:
-        """Record ``flops`` under ``category`` and ``primitive``."""
+            primitive: str = "misc", dtype: str = "float64") -> None:
+        """Record ``flops`` under ``category``, ``primitive``, ``dtype``."""
         flops = int(flops)
         self.total += flops
         self.by_category[category] = self.by_category.get(category, 0) + flops
         self.by_primitive[primitive] = (
             self.by_primitive.get(primitive, 0) + flops)
+        self.by_dtype[dtype] = self.by_dtype.get(dtype, 0) + flops
 
     def reset(self) -> None:
         """Zero all tallies."""
         self.total = 0
         self.by_category.clear()
         self.by_primitive.clear()
+        self.by_dtype.clear()
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         cats = ", ".join(f"{k}={v}" for k, v in sorted(
@@ -131,12 +140,18 @@ def category(name: str):
             _CATEGORY.pop()
 
 
-def charge(flops: int, primitive: str = "misc") -> None:
-    """Charge ``flops`` to every active counter (no-op when none)."""
+def charge(flops: int, primitive: str = "misc",
+           dtype: str = "float64") -> None:
+    """Charge ``flops`` to every active counter (no-op when none).
+
+    ``dtype`` names the precision the work executes in; call sites in
+    reduced-precision kernels pass their operand's ``dtype.name`` so the
+    per-dtype tallies stay honest.
+    """
     if _STACK:
         cat = _CATEGORY[-1]
         for c in _STACK:
-            c.add(flops, cat, primitive)
+            c.add(flops, cat, primitive, dtype)
 
 
 # ----------------------------------------------------------------------
@@ -146,14 +161,14 @@ def charge(flops: int, primitive: str = "misc") -> None:
 def dot(x: np.ndarray, y: np.ndarray) -> float:
     """``xᵀ y`` — charges ``2n − 1`` flops."""
     if _STACK:
-        charge(2 * x.shape[0] - 1, "dot")
+        charge(2 * x.shape[0] - 1, "dot", x.dtype.name)
     return float(np.dot(x, y))
 
 
 def axpy(alpha: float, x: np.ndarray, y: np.ndarray) -> np.ndarray:
     """``y ← α x + y`` in place — charges ``2n`` flops."""
     if _STACK:
-        charge(2 * x.shape[0], "axpy")
+        charge(2 * x.shape[0], "axpy", y.dtype.name)
     y += alpha * x
     return y
 
@@ -161,7 +176,7 @@ def axpy(alpha: float, x: np.ndarray, y: np.ndarray) -> np.ndarray:
 def scal(alpha: float, x: np.ndarray) -> np.ndarray:
     """``x ← α x`` in place — charges ``n`` flops."""
     if _STACK:
-        charge(x.size, "scal")
+        charge(x.size, "scal", x.dtype.name)
     x *= alpha
     return x
 
@@ -173,16 +188,34 @@ def scal(alpha: float, x: np.ndarray) -> np.ndarray:
 def gemv(a: np.ndarray, x: np.ndarray, *, trans: bool = False) -> np.ndarray:
     """``A x`` (or ``Aᵀ x``) — charges ``2mn`` flops."""
     if _STACK:
-        charge(2 * a.shape[0] * a.shape[1], "gemv")
+        charge(2 * a.shape[0] * a.shape[1], "gemv", a.dtype.name)
     return a.T @ x if trans else a @ x
+
+
+_GER_BLAS = {np.dtype(np.float64): sla.blas.dger,
+             np.dtype(np.float32): sla.blas.sger}
 
 
 def ger(alpha: float, x: np.ndarray, y: np.ndarray,
         a: np.ndarray) -> np.ndarray:
-    """Rank-1 update ``A ← A + α x yᵀ`` in place — charges ``2mn`` flops."""
+    """Rank-1 update ``A ← A + α x yᵀ`` in place — charges ``2mn`` flops.
+
+    Contiguous real panels go straight to BLAS ``?ger`` (a C-contiguous
+    ``A`` is updated through its transpose, which is exactly the
+    Fortran-order view the kernel wants) — one fused pass, no ``m × n``
+    temporary.  Strided views fall back to an outer-product update.
+    """
     if _STACK:
-        charge(2 * a.shape[0] * a.shape[1], "ger")
-    a += alpha * np.outer(x, y)
+        charge(2 * a.shape[0] * a.shape[1], "ger", a.dtype.name)
+    f = _GER_BLAS.get(a.dtype)
+    if f is not None:
+        if a.flags.c_contiguous:
+            f(alpha, y, x, a=a.T, overwrite_a=1)
+            return a
+        if a.flags.f_contiguous:
+            f(alpha, x, y, a=a, overwrite_a=1)
+            return a
+    np.add(a, np.outer(np.asarray(x) * alpha, y), out=a)
     return a
 
 
@@ -196,7 +229,7 @@ def gemm(a: np.ndarray, b: np.ndarray, *, out: np.ndarray | None = None,
     if _STACK:
         m, k = a.shape
         n = b.shape[1] if b.ndim == 2 else 1
-        charge(2 * m * n * k, "gemm")
+        charge(2 * m * n * k, "gemm", a.dtype.name)
     if out is None:
         return a @ b
     if accumulate:
@@ -212,7 +245,7 @@ def trsm_lower(l: np.ndarray, b: np.ndarray, *,
     if _STACK:
         m = l.shape[0]
         nrhs = b.shape[1] if b.ndim == 2 else 1
-        charge(m * m * nrhs, "trsm")
+        charge(m * m * nrhs, "trsm", l.dtype.name)
     return sla.solve_triangular(l, b, lower=True,
                                 trans=1 if trans else 0, check_finite=False)
 
@@ -221,5 +254,5 @@ def syrk(a: np.ndarray) -> np.ndarray:
     """``A Aᵀ`` — charges ``m(m+1)k`` flops (symmetric rank-k update)."""
     if _STACK:
         m, k = a.shape
-        charge(m * (m + 1) * k, "syrk")
+        charge(m * (m + 1) * k, "syrk", a.dtype.name)
     return a @ a.T

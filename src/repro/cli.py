@@ -18,7 +18,9 @@ Commands
     ``--nproc``/``--backend``/``--dist-b`` distribution flags.  The RHS
     may be a 2-D ``n × k`` panel (batched level-3 solve path), or be
     synthesized with ``--nrhs k``; ``--profile`` then reports the
-    per-panel solve throughput.
+    per-panel solve throughput.  ``--precision fp32|mixed`` (also on
+    ``factor``) runs the factorization reduced and recovers fp64
+    accuracy through refinement.
 ``simulate <matrix> --nproc NP [--b B]``
     Run the distributed factorization on the simulated T3D and print the
     time/phase breakdown.
@@ -136,12 +138,21 @@ def _cmd_factor(args) -> int:
     t = _load_matrix(args.matrix, args.block_size)
     pl = engine.plan(t, representation=args.representation,
                      use_cache=not args.no_cache, nproc=args.nproc,
-                     distribution_b=args.dist_b, backend=args.backend)
+                     distribution_b=args.dist_b, backend=args.backend,
+                     precision=args.precision)
     if args.explain:
         print(pl.describe())
     fres = engine.factor(pl)
     fact = fres.factorization
     _report_backend(fact, pl)
+    if args.precision != "fp64":
+        ran = getattr(fact, "precision", "fp64")
+        fd = np.dtype(getattr(fact, "dtype", np.float64)).name
+        line = (f"precision: requested {args.precision}, ran {ran} "
+                f"(factor dtype {fd})")
+        if ran != args.precision:
+            line += " — condest admission fell back to fp64"
+        print(line)
     if fres.algorithm == "spd-schur":
         d = np.ones(t.order, dtype=np.int8)
         print(f"SPD Cholesky factorization T = RᵀR "
@@ -206,7 +217,8 @@ def _cmd_solve(args) -> int:
     pl = engine.plan(
         t, algorithm=None if args.method == "auto" else args.method,
         use_cache=not args.no_cache, nproc=args.nproc,
-        distribution_b=args.dist_b, backend=args.backend)
+        distribution_b=args.dist_b, backend=args.backend,
+        precision=args.precision)
     if args.explain:
         print(pl.describe())
     res = engine.execute(pl, b)
@@ -235,6 +247,12 @@ def _cmd_solve(args) -> int:
               f"{rec.wall_seconds * 1e3:.3f} ms → "
               f"{rec.rhs_per_second:.1f} RHS/s"
               + (" (cached factorization)" if rec.cache_hit else ""))
+        if rec.precision != "fp64" or rec.refine_sweeps is not None:
+            sweeps = ("direct triangular solve"
+                      if rec.refine_sweeps is None else
+                      f"{rec.refine_sweeps} refinement sweep(s)")
+            print(f"precision: {rec.precision} "
+                  f"(factor {rec.factor_dtype}), {sweeps}")
     if args.output:
         np.save(args.output, x)
         print(f"solution written to {args.output}")
@@ -368,6 +386,11 @@ def build_parser() -> argparse.ArgumentParser:
                        dest="dist_b", metavar="B",
                        help="distribution parameter b (b≥1: Versions "
                             "1/2; b<1 ⇒ Version 3)")
+        p.add_argument("--precision", default="fp64",
+                       choices=["fp64", "fp32", "mixed"],
+                       help="factorization working precision; fp32/"
+                            "mixed factor reduced and recover fp64 via "
+                            "refinement (serial plans only)")
 
     p = sub.add_parser("factor", help="factor the matrix")
     add_matrix_args(p)

@@ -17,6 +17,8 @@ Layout mirrors the paper:
   (Section 6.5).
 * :mod:`repro.core.flops` — the paper's closed-form flop models
   (eqs. 25–32).
+* :mod:`repro.core.precision` — the precision axis: working/elimination
+  dtypes and the condest-based refinement admission rule.
 * :mod:`repro.core.solve` — the high-level user API.
 """
 
@@ -74,6 +76,14 @@ from repro.core.streaming import (
     gaussian_loglikelihood,
 )
 from repro.core.condest import condest, one_norm, invnorm_estimate
+from repro.core.precision import (
+    PRECISIONS,
+    working_dtype,
+    elimination_dtype,
+    precision_eps,
+    refinement_admissible,
+    validate_precision,
+)
 from repro.core.gko import (
     cauchy_like_lu,
     CauchyLikeLU,
@@ -127,6 +137,12 @@ __all__ = [
     "condest",
     "one_norm",
     "invnorm_estimate",
+    "PRECISIONS",
+    "working_dtype",
+    "elimination_dtype",
+    "precision_eps",
+    "refinement_admissible",
+    "validate_precision",
     "cauchy_like_lu",
     "CauchyLikeLU",
     "solve_toeplitz_gko",

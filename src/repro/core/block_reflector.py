@@ -51,7 +51,7 @@ def _apply_wpow(w: np.ndarray, k: int, a: np.ndarray) -> np.ndarray:
     """Return ``Wᵏ a`` (``W`` diagonal ±1 ⇒ identity for even ``k``)."""
     if k % 2 == 0:
         return a
-    wf = w.astype(np.float64)
+    wf = w.astype(a.dtype if a.dtype.kind == "f" else np.float64)
     return wf * a if a.ndim == 1 else wf[:, None] * a
 
 
@@ -105,8 +105,11 @@ class BlockReflector:
     # ------------------------------------------------------------------
     def apply_left(self, a: np.ndarray, out: np.ndarray | None = None
                    ) -> np.ndarray:
-        """Compute ``U a``; ``out`` may alias ``a`` for in-place update."""
-        a = np.asarray(a, dtype=np.float64)
+        """Compute ``U a``; ``out`` may alias ``a`` for in-place update.
+        Runs in the operand's floating dtype (float32 stays float32)."""
+        a = np.asarray(a)
+        if a.dtype not in (np.float32, np.float64):
+            a = a.astype(np.float64)
         if a.shape[0] != self.n:
             raise ShapeError(
                 f"operand has {a.shape[0]} rows, expected {self.n}")
@@ -168,29 +171,30 @@ class BlockReflector:
             lower[:] = res[m:]
             return
         wu, wl = w[:m], w[m:]
+        dt = upper.dtype
         if kind in ("vy1", "vy2"):
             # Yᵀ[A_up; A_low] = Y_upᵀ A_up + Y_lowᵀ A_low
             ya = blas.gemm(self.y[:m].T, upper)
             ya += blas.gemm(self.y[m:].T, lower)
             if k % 2:
-                upper *= wu.astype(np.float64)[:, None]
-                lower *= wl.astype(np.float64)[:, None]
+                upper *= wu.astype(dt)[:, None]
+                lower *= wl.astype(dt)[:, None]
             upper += blas.gemm(self.v[:m], ya)
             lower += blas.gemm(self.v[m:], ya)
             return
         # yty
         if (k - 1) % 2:
             ya = blas.gemm(self.y[:m].T,
-                           wu.astype(np.float64)[:, None] * upper)
+                           wu.astype(dt)[:, None] * upper)
             ya += blas.gemm(self.y[m:].T,
-                            wl.astype(np.float64)[:, None] * lower)
+                            wl.astype(dt)[:, None] * lower)
         else:
             ya = blas.gemm(self.y[:m].T, upper)
             ya += blas.gemm(self.y[m:].T, lower)
         tya = blas.gemm(self.t, ya)
         if k % 2:
-            upper *= wu.astype(np.float64)[:, None]
-            lower *= wl.astype(np.float64)[:, None]
+            upper *= wu.astype(dt)[:, None]
+            lower *= wl.astype(dt)[:, None]
         upper += blas.gemm(self.y[:m], tya)
         lower += blas.gemm(self.y[m:], tya)
 
@@ -200,12 +204,18 @@ class BlockReflector:
 # ----------------------------------------------------------------------
 
 class _AccumulatorBase:
-    """Common bookkeeping for the representation accumulators."""
+    """Common bookkeeping for the representation accumulators.
+
+    ``dtype`` is the working dtype of the accumulated ``V``/``Y``/``T``
+    buffers — float32 accumulators keep the whole Phase-2 application
+    (the level-3-rich part of the factorization) in single precision.
+    """
 
     kind = "base"
 
-    def __init__(self, w):
+    def __init__(self, w, dtype=np.float64):
         self.w = signature_vector(w)
+        self.dtype = np.dtype(dtype)
         self.k = 0
 
     @property
@@ -235,17 +245,19 @@ class VYFirstAccumulator(_AccumulatorBase):
 
     kind = "vy1"
 
-    def __init__(self, w):
-        super().__init__(w)
-        self._buf_v = np.empty((self.n, 4))
-        self._buf_y = np.empty((self.n, 4))
+    def __init__(self, w, dtype=np.float64):
+        super().__init__(w, dtype)
+        # Fortran order: the live ``[:, :k]`` slice stays F-contiguous,
+        # so per-append rank-1 updates run as in-place BLAS ger calls.
+        self._buf_v = np.empty((self.n, 4), dtype=self.dtype, order="F")
+        self._buf_y = np.empty((self.n, 4), dtype=self.dtype, order="F")
 
     def _grow(self):
         if self.k == self._buf_v.shape[1]:
-            nv = np.empty((self.n, 2 * self.k))
+            nv = np.empty((self.n, 2 * self.k), dtype=self.dtype, order="F")
             nv[:, :self.k] = self._buf_v
             self._buf_v = nv
-            ny = np.empty((self.n, 2 * self.k))
+            ny = np.empty((self.n, 2 * self.k), dtype=self.dtype, order="F")
             ny[:, :self.k] = self._buf_y
             self._buf_y = ny
 
@@ -274,7 +286,7 @@ class VYFirstAccumulator(_AccumulatorBase):
         z += _apply_wpow(w, self.k, x)
         blas.charge(z.shape[0], "scal")
         z *= beta
-        wf = w.astype(np.float64)
+        wf = w.astype(v.dtype)
         v *= wf[:, None]                  # W V_k sign pass, in place
         blas.charge(self.n * self.k, "scal")
         k = self.k
@@ -297,17 +309,19 @@ class VYSecondAccumulator(_AccumulatorBase):
 
     kind = "vy2"
 
-    def __init__(self, w):
-        super().__init__(w)
-        self._buf_v = np.empty((self.n, 4))
-        self._buf_y = np.empty((self.n, 4))
+    def __init__(self, w, dtype=np.float64):
+        super().__init__(w, dtype)
+        # Fortran order: the live ``[:, :k]`` slice stays F-contiguous,
+        # so per-append rank-1 updates run as in-place BLAS ger calls.
+        self._buf_v = np.empty((self.n, 4), dtype=self.dtype, order="F")
+        self._buf_y = np.empty((self.n, 4), dtype=self.dtype, order="F")
 
     def _grow(self):
         if self.k == self._buf_v.shape[1]:
-            nv = np.empty((self.n, 2 * self.k))
+            nv = np.empty((self.n, 2 * self.k), dtype=self.dtype, order="F")
             nv[:, :self.k] = self._buf_v
             self._buf_v = nv
-            ny = np.empty((self.n, 2 * self.k))
+            ny = np.empty((self.n, 2 * self.k), dtype=self.dtype, order="F")
             ny[:, :self.k] = self._buf_y
             self._buf_y = ny
 
@@ -335,7 +349,7 @@ class VYSecondAccumulator(_AccumulatorBase):
         # U_{k+1} V = W V + β x (xᵀ V): sign pass + gemv + rank-1 update.
         v = self._v
         xv = blas.gemv(v, x, trans=True)
-        wf = w.astype(np.float64)
+        wf = w.astype(v.dtype)
         v *= wf[:, None]
         blas.charge(self.n * self.k, "scal")
         blas.ger(beta, x, xv, v)
@@ -360,17 +374,17 @@ class YTYAccumulator(_AccumulatorBase):
 
     kind = "yty"
 
-    def __init__(self, w):
-        super().__init__(w)
-        self._buf_y = np.empty((self.n, 4))
-        self._buf_t = np.zeros((4, 4))
+    def __init__(self, w, dtype=np.float64):
+        super().__init__(w, dtype)
+        self._buf_y = np.empty((self.n, 4), dtype=self.dtype)
+        self._buf_t = np.zeros((4, 4), dtype=self.dtype)
 
     def _grow(self):
         if self.k == self._buf_y.shape[1]:
-            ny = np.empty((self.n, 2 * self.k))
+            ny = np.empty((self.n, 2 * self.k), dtype=self.dtype)
             ny[:, :self.k] = self._buf_y
             self._buf_y = ny
-            nt = np.zeros((2 * self.k, 2 * self.k))
+            nt = np.zeros((2 * self.k, 2 * self.k), dtype=self.dtype)
             nt[:self.k, :self.k] = self._buf_t[:self.k, :self.k]
             self._buf_t = nt
 
@@ -398,7 +412,7 @@ class YTYAccumulator(_AccumulatorBase):
         a = blas.gemv(t, xy, trans=True)          # (xᵀY)T row
         blas.charge(k, "scal")
         a *= beta
-        wf = w.astype(np.float64)
+        wf = w.astype(y.dtype)
         y *= wf[:, None]
         blas.charge(self.n * k, "scal")
         self._buf_y[:, k] = x
@@ -417,8 +431,8 @@ class UnblockedAccumulator(_AccumulatorBase):
 
     kind = "unblocked"
 
-    def __init__(self, w):
-        super().__init__(w)
+    def __init__(self, w, dtype=np.float64):
+        super().__init__(w, dtype)
         self._reflectors: list[HyperbolicHouseholder] = []
 
     def append(self, refl: HyperbolicHouseholder) -> None:
@@ -442,9 +456,9 @@ class DenseAccumulator(_AccumulatorBase):
 
     kind = "dense"
 
-    def __init__(self, w):
-        super().__init__(w)
-        self._u = np.eye(self.n)
+    def __init__(self, w, dtype=np.float64):
+        super().__init__(w, dtype)
+        self._u = np.eye(self.n, dtype=self.dtype)
 
     def append(self, refl: HyperbolicHouseholder) -> None:
         """Fold one more reflector into the representation."""
@@ -470,12 +484,17 @@ _ACCUMULATORS = {
 }
 
 
-def make_accumulator(representation: str, w) -> _AccumulatorBase:
-    """Factory for a reflector-product accumulator by representation name."""
+def make_accumulator(representation: str, w,
+                     dtype=np.float64) -> _AccumulatorBase:
+    """Factory for a reflector-product accumulator by representation name.
+
+    ``dtype`` sets the working dtype of the accumulated buffers (see
+    :class:`_AccumulatorBase`).
+    """
     try:
         cls = _ACCUMULATORS[representation]
     except KeyError:
         raise ShapeError(
             f"unknown representation {representation!r}; expected one of "
             f"{REPRESENTATIONS}") from None
-    return cls(w)
+    return cls(w, dtype)

@@ -18,17 +18,23 @@ from repro.toeplitz.block_toeplitz import SymmetricBlockToeplitz
 __all__ = ["one_norm", "invnorm_estimate", "condest"]
 
 
-def one_norm(t: SymmetricBlockToeplitz) -> float:
+def one_norm(t) -> float:
     """Exact ``‖T‖₁`` (max column sum) from the defining blocks.
 
-    Column ``j`` of a symmetric block Toeplitz matrix touches blocks
-    ``T̂_{1±d}``; the column sums are assembled in ``O(m n)`` from the
-    first block row without densifying.
+    Column ``j`` of a block Toeplitz matrix touches blocks ``B_{j−i}``;
+    the column sums are assembled in ``O(m n)`` from the defining block
+    row/column without densifying.  Works for symmetric
+    (``top_blocks``) and general (``first_block_row``/``…_col``)
+    operators alike.
     """
     m, p = t.block_size, t.num_blocks
-    # abs-column-sums of each defining block and of its transpose
-    upper = [np.abs(b).sum(axis=0) for b in t.top_blocks]   # T̂_{d+1}
-    lower = [np.abs(b.T).sum(axis=0) for b in t.top_blocks]  # T̂ᵀ
+    if hasattr(t, "top_blocks"):
+        # abs-column-sums of each defining block and of its transpose
+        upper = [np.abs(b).sum(axis=0) for b in t.top_blocks]   # T̂_{d+1}
+        lower = [np.abs(b.T).sum(axis=0) for b in t.top_blocks]  # T̂ᵀ
+    else:
+        upper = [np.abs(b).sum(axis=0) for b in t.first_block_row]
+        lower = [np.abs(b).sum(axis=0) for b in t.first_block_col]
     best = 0.0
     for j in range(p):
         s = np.zeros(m)
@@ -79,7 +85,10 @@ def condest(t: SymmetricBlockToeplitz, factorization=None, *,
     """Estimate ``cond₁(T)`` using a (possibly precomputed) factorization.
 
     When no factorization is supplied, the SPD path is tried first and
-    the indefinite extension used as the fallback.
+    the indefinite extension used as the fallback.  A reduced-precision
+    factorization works fine here — the estimate only needs an order of
+    magnitude (this is what the engine's mixed-precision admission check
+    leans on).
     """
     if factorization is None:
         from repro.core.schur_spd import schur_spd_factor

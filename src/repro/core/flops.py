@@ -30,10 +30,29 @@ __all__ = [
     "step_flops",
     "factorization_flops",
     "nominal_total_flops",
+    "PRECISION_FLOP_WEIGHT",
+    "precision_weight",
     "PrimitiveCall",
     "primitive_calls_for_step",
     "primitive_calls_for_factorization",
 ]
+
+#: Relative time-per-flop of each precision mode versus fp64.  A flop is
+#: a flop regardless of width — what changes is the memory traffic per
+#: operand, so fp32 streams twice the elements per byte and the Hockney
+#: flop-time term halves.  ``"mixed"`` keeps fp64 storage (only the
+#: pivot columns are rounded), so it is charged at full weight.
+PRECISION_FLOP_WEIGHT = {"fp64": 1.0, "fp32": 0.5, "mixed": 1.0}
+
+
+def precision_weight(precision: str) -> float:
+    """Time weight of ``precision`` relative to fp64 (see above)."""
+    try:
+        return PRECISION_FLOP_WEIGHT[precision]
+    except KeyError:
+        raise ShapeError(
+            f"unknown precision {precision!r}; expected one of "
+            f"{tuple(PRECISION_FLOP_WEIGHT)}") from None
 
 
 def _check_mk(m: int, k: int | None) -> int:

@@ -71,6 +71,23 @@ class Generator:
         return Generator(np.array(self.gen), self.w.copy(),
                          self.sigma.copy(), self.block_size, self.num_blocks)
 
+    @property
+    def dtype(self) -> np.dtype:
+        """Dtype of the generator entries (signatures stay int8)."""
+        return self.gen.dtype
+
+    def astype(self, dtype) -> "Generator":
+        """Copy with ``gen`` cast to ``dtype``.
+
+        The generator is always *built* in float64 (Cholesky of the
+        diagonal block, triangular solves); a reduced-precision
+        factorization rounds it once here before elimination starts, so
+        the rounding happens to well-scaled data rather than inside the
+        hyperbolic recurrences.
+        """
+        return Generator(np.array(self.gen, dtype=dtype), self.w.copy(),
+                         self.sigma.copy(), self.block_size, self.num_blocks)
+
 
 def signed_cholesky(a: np.ndarray, *,
                     singular_tol: float = 1e-13
@@ -107,8 +124,14 @@ def signed_cholesky(a: np.ndarray, *,
     return l_signed, sigma
 
 
-def spd_generator(t: SymmetricBlockToeplitz) -> Generator:
+def spd_generator(t: SymmetricBlockToeplitz, *,
+                  dtype=np.float64) -> Generator:
     """Generator of an SPD block Toeplitz matrix (eq. 21).
+
+    The ``m × m`` Cholesky of the diagonal block always runs in double;
+    ``dtype`` selects the precision of the ``O(m²·mp)`` scaling solve
+    that dominates the build — a float32 plan runs it as ``strsm`` (its
+    rounding is the same ``ε₃₂`` the elimination adds anyway).
 
     Raises :class:`~repro.errors.NotPositiveDefiniteError` when the
     diagonal block ``T̂_1`` is not positive definite (a necessary condition
@@ -122,10 +145,14 @@ def spd_generator(t: SymmetricBlockToeplitz) -> Generator:
         raise NotPositiveDefiniteError(
             "diagonal block T̂_1 is not positive definite") from exc
     blas.charge(m ** 3 // 3, "potrf")
+    wd = np.dtype(dtype)
     strip = t.row_strip(m)  # [T̂_1 T̂_2 … T̂_p], shape m × mp
+    if wd != np.float64:
+        l1 = l1.astype(wd)
+        strip = strip.astype(wd)
     tj = solve_lower_triangular(l1, strip)
-    blas.charge(m * m * (m * p), "trsm")
-    gen = np.zeros((2 * m, m * p))
+    blas.charge(m * m * (m * p), "trsm", tj.dtype.name)
+    gen = np.zeros((2 * m, m * p), dtype=wd)
     gen[:m] = tj
     gen[m:, m:] = tj[:, m:]
     return Generator(gen, block_schur_signature(m), np.ones(m, dtype=np.int8),
@@ -133,21 +160,27 @@ def spd_generator(t: SymmetricBlockToeplitz) -> Generator:
 
 
 def indefinite_generator(t: SymmetricBlockToeplitz, *,
-                         singular_tol: float = 1e-13) -> Generator:
+                         singular_tol: float = 1e-13,
+                         dtype=np.float64) -> Generator:
     """Generator for the symmetric indefinite case (eq. 11).
 
     Uses the signed Cholesky ``T̂_1 = L_1 Σ L_1ᵀ`` and
     ``T_j = (L_1 Σ)⁻¹ T̂_j = Σ L_1⁻¹ T̂_j``; the window signature becomes
-    ``diag(Σ, −Σ)``.
+    ``diag(Σ, −Σ)``.  As in :func:`spd_generator`, ``dtype`` selects the
+    precision of the scaling solve (the signed Cholesky stays double).
     """
     m, p = t.block_size, t.num_blocks
     l1, sigma = signed_cholesky(np.array(t.top_blocks[0]),
                                 singular_tol=singular_tol)
+    wd = np.dtype(dtype)
     strip = t.row_strip(m)
+    if wd != np.float64:
+        l1 = l1.astype(wd)
+        strip = strip.astype(wd)
     tj = solve_lower_triangular(l1, strip)
-    blas.charge(m * m * (m * p), "trsm")
-    tj = sigma.astype(np.float64)[:, None] * tj
-    gen = np.zeros((2 * m, m * p))
+    blas.charge(m * m * (m * p), "trsm", tj.dtype.name)
+    tj = sigma.astype(wd)[:, None] * tj
+    gen = np.zeros((2 * m, m * p), dtype=wd)
     gen[:m] = tj
     gen[m:, m:] = tj[:, m:]
     return Generator(gen, block_schur_signature(m, sigma), sigma, m, p)

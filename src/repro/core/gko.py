@@ -26,6 +26,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.core.precision import complex_working_dtype, validate_precision
 from repro.errors import BreakdownError, ShapeError
 from repro.toeplitz.block_toeplitz import BlockToeplitz, \
     SymmetricBlockToeplitz
@@ -128,10 +129,20 @@ class CauchyLikeLU:
     perm: np.ndarray
     block_size: int
     num_blocks: int
+    #: Precision the factorization ran at (``"fp64"``/``"fp32"``/``"mixed"``;
+    #: both reduced modes factor in complex64 — there is no hyperbolic
+    #: elimination here to split from the accumulation).
+    precision: str = "fp64"
 
     @property
     def order(self) -> int:
         return self.l.shape[0]
+
+    @property
+    def dtype(self) -> np.dtype:
+        """Real dtype of the solves this factor drives (complex64 → f32)."""
+        return np.dtype(np.float32 if self.l.dtype == np.complex64
+                        else np.float64)
 
     def solve_cauchy(self, rhs: np.ndarray) -> np.ndarray:
         """Solve ``C y = rhs`` (complex)."""
@@ -156,7 +167,9 @@ class CauchyLikeLU:
                                              np.arange(p)) / p) / np.sqrt(p)
             theta = np.exp(1j * np.pi / p)
             dhat = np.repeat(theta ** np.arange(p), m)
-            cached = (f, dhat)
+            # Transform data in the factor's dtype so a complex64 LU
+            # keeps the whole solve pipeline in single precision.
+            cached = (f.astype(self.l.dtype), dhat.astype(self.l.dtype))
             self._bd_cache = cached
         return cached
 
@@ -167,7 +180,7 @@ class CauchyLikeLU:
         triangular sweeps and both block DFTs run across the whole panel
         in single level-3 calls.
         """
-        bc, single = as_panel(b, self.order)
+        bc, single = as_panel(b, self.order, dtype=self.dtype)
         m, p, n = self.block_size, self.num_blocks, self.order
         f, dhat = self._transform_data()
 
@@ -176,13 +189,16 @@ class CauchyLikeLU:
             xs = x.reshape(p, m, -1)
             return np.einsum("pq,qmr->pmr", fm, xs).reshape(n, -1)
 
-        rhs = bd(bc.astype(complex))           # (F⊗I) b
+        rhs = bd(bc.astype(self.l.dtype))      # (F⊗I) b
         z = self.solve_cauchy(rhs)
         x = bd(z, conj=True)                   # (F*⊗I) z
         x = x / dhat[:, None]                  # (D̂⁻¹⊗I)
         imag = float(np.max(np.abs(x.imag)))
         scale = max(1.0, float(np.max(np.abs(x.real))))
-        if imag > 1e-6 * scale:
+        # The imaginary residue sits at rounding level of the factor's
+        # precision (accumulated over the O(n²) sweeps).
+        imag_tol = 1e-2 if self.l.dtype == np.complex64 else 1e-6
+        if imag > imag_tol * scale:
             raise BreakdownError(
                 f"solution has non-negligible imaginary part {imag:.2e}")
         return from_panel(np.ascontiguousarray(x.real), single)
@@ -191,7 +207,8 @@ class CauchyLikeLU:
 def cauchy_like_lu(ghat: np.ndarray, bhat: np.ndarray,
                    d1: np.ndarray, d2: np.ndarray, *,
                    block_size: int = 1,
-                   singular_tol: float = 1e-13) -> CauchyLikeLU:
+                   singular_tol: float | None = None,
+                   dtype=complex) -> CauchyLikeLU:
     """LU with partial pivoting of the Cauchy-like matrix, ``O(α n²)``.
 
     The column of the active Schur complement is reconstructed from the
@@ -199,16 +216,25 @@ def cauchy_like_lu(ghat: np.ndarray, bhat: np.ndarray,
     largest entry chosen as pivot, and the generators updated by the
     rank-one GKO recurrences — Cauchy-like structure is closed under
     both operations, which is what makes *pivoted* fast LU possible.
+
+    ``dtype`` is the complex working dtype of the generators and the
+    ``L``/``U`` factors (the interleaved root-of-unity nodes stay in
+    complex128 — they cost nothing and anchor the pivot geometry);
+    ``singular_tol`` defaults to ``1e-13`` in complex128 and ``1e-6`` in
+    complex64.
     """
-    g = np.array(ghat, dtype=complex)
-    b = np.array(bhat, dtype=complex)
+    dtype = np.dtype(dtype)
+    if singular_tol is None:
+        singular_tol = 1e-6 if dtype == np.complex64 else 1e-13
+    g = np.array(ghat, dtype=dtype)
+    b = np.array(bhat, dtype=dtype)
     d1 = np.array(d1, dtype=complex)
     d2 = np.asarray(d2, dtype=complex)
     n = g.shape[0]
     if b.shape[1] != n or d1.shape[0] != n or d2.shape[0] != n:
         raise ShapeError("generator/node dimensions disagree")
-    l = np.eye(n, dtype=complex)
-    u = np.zeros((n, n), dtype=complex)
+    l = np.eye(n, dtype=dtype)
+    u = np.zeros((n, n), dtype=dtype)
     perm = np.arange(n)
     scale = float(np.max(np.abs(g)) * np.max(np.abs(b))) or 1.0
     for k in range(n):
@@ -237,15 +263,22 @@ def cauchy_like_lu(ghat: np.ndarray, bhat: np.ndarray,
                         num_blocks=n // block_size)
 
 
-def gko_factor(t) -> CauchyLikeLU:
+def gko_factor(t, *, precision: str = "fp64") -> CauchyLikeLU:
     """Factor once, solve many: the pivoted Cauchy-like LU of ``T``.
 
     Returns a :class:`CauchyLikeLU` whose :meth:`~CauchyLikeLU.solve`
     handles any number of right-hand sides at ``O(n²)`` each.
+    ``precision="fp32"`` (and ``"mixed"``, which has no separate meaning
+    here — there is no hyperbolic elimination to split) runs the LU in
+    complex64; route the solve through refinement for fp64 accuracy.
     """
+    validate_precision(precision)
     tg = _as_general(t)
     ghat, bhat, d1, d2 = toeplitz_to_cauchy(tg)
-    return cauchy_like_lu(ghat, bhat, d1, d2, block_size=tg.block_size)
+    fact = cauchy_like_lu(ghat, bhat, d1, d2, block_size=tg.block_size,
+                          dtype=complex_working_dtype(precision))
+    fact.precision = precision
+    return fact
 
 
 def solve_toeplitz_gko(t, b: np.ndarray) -> np.ndarray:

@@ -57,8 +57,8 @@ class ToeplitzInverse:
     ``@``.  Each application costs four FFT convolutions.
     """
 
-    def __init__(self, x: np.ndarray):
-        x = np.asarray(x, dtype=np.float64)
+    def __init__(self, x: np.ndarray, dtype=None):
+        x = np.asarray(x, dtype=np.float64 if dtype is None else dtype)
         if x.ndim != 1:
             raise ShapeError("x must be the 1-D first column of T⁻¹")
         if x[0] == 0.0:
@@ -66,7 +66,7 @@ class ToeplitzInverse:
                 "Gohberg–Semencul form needs (T⁻¹)₀₀ ≠ 0")
         self.x = x
         self._n = x.shape[0]
-        z = np.concatenate([[0.0], x[:0:-1]])
+        z = np.concatenate([x[:1] * 0.0, x[:0:-1]])
         self._lx = _LowerToeplitzOp(x)
         self._lz = _LowerToeplitzOp(z)
 
@@ -74,35 +74,49 @@ class ToeplitzInverse:
     def order(self) -> int:
         return self._n
 
+    @property
+    def dtype(self) -> np.dtype:
+        """Storage dtype of the representation (sets application dtype)."""
+        return self.x.dtype
+
     def matvec(self, b: np.ndarray) -> np.ndarray:
         """``T⁻¹ B`` in ``O(k n log n)`` for a vector or ``n × k``
-        panel — each term is one batched convolution over all columns."""
-        panel, single = as_panel(b, self._n)
+        panel — each term is one batched convolution over all columns.
+        Runs in the representation's storage dtype."""
+        panel, single = as_panel(b, self._n, dtype=self.x.dtype)
         term1 = self._lx.apply(self._lx.apply_t(panel))
         term2 = self._lz.apply(self._lz.apply_t(panel))
         return from_panel((term1 - term2) / self.x[0], single)
 
     def __matmul__(self, b):
-        return self.matvec(np.asarray(b, dtype=np.float64))
+        return self.matvec(np.asarray(b))
 
     def dense(self) -> np.ndarray:
         """Dense ``T⁻¹`` (diagnostics; ``O(n²)``)."""
         return self.matvec(np.eye(self._n))
 
 
-def toeplitz_inverse(t: SymmetricBlockToeplitz) -> ToeplitzInverse:
+def toeplitz_inverse(t: SymmetricBlockToeplitz, *,
+                     precision: str = "fp64") -> ToeplitzInverse:
     """Build the fast ``T⁻¹`` operator for a scalar symmetric Toeplitz.
 
     One structured solve (``O(n²)``, SPD Schur with indefinite +
     refinement fallback) computes ``x = T⁻¹ e₀``; every subsequent
     application is ``O(n log n)``.
+
+    ``precision`` controls both the solve for ``x`` (reduced-precision
+    factor + fp64 refinement recovery, so ``x`` itself is accurate) and
+    the *storage* dtype of the representation — ``"fp32"`` halves the
+    memory and FFT cost of every later application.
     """
     if not isinstance(t, SymmetricBlockToeplitz) or t.block_size != 1:
         raise ShapeError(
             "Gohberg–Semencul inversion implemented for scalar (m = 1) "
             "symmetric Toeplitz matrices")
+    from repro.core.precision import validate_precision, working_dtype
     from repro.core.solve import solve
+    validate_precision(precision)
     e0 = np.zeros(t.order)
     e0[0] = 1.0
-    x = solve(t, e0)
-    return ToeplitzInverse(x)
+    x = solve(t, e0, precision=precision)
+    return ToeplitzInverse(x, dtype=working_dtype(precision))

@@ -49,13 +49,20 @@ class HyperbolicHouseholder:
     """
 
     def __init__(self, x: np.ndarray, w: np.ndarray,
-                 support: np.ndarray | None = None):
-        x = np.asarray(x, dtype=np.float64)
+                 support: np.ndarray | None = None,
+                 xwx: float | None = None):
+        x = np.asarray(x)
+        if x.dtype not in (np.float32, np.float64):
+            x = x.astype(np.float64)
         w = signature_vector(w)
         if x.ndim != 1 or x.shape[0] != w.shape[0]:
             raise ShapeError(
                 f"x has shape {x.shape}, signature has length {w.shape[0]}")
-        xwx = hyperbolic_norm_squared(x, w)
+        # ``xwx`` lets a caller that already knows the hyperbolic norm
+        # (e.g. the elimination loop, via the eq.-18 identity) skip a
+        # full-length recomputation on this hot path.
+        if xwx is None:
+            xwx = hyperbolic_norm_squared(x, w)
         if xwx == 0.0:
             raise BreakdownError("reflector vector has zero hyperbolic norm")
         self.x = x
@@ -80,8 +87,11 @@ class HyperbolicHouseholder:
         """Compute ``U a`` for a vector or matrix ``a``.
 
         When ``out`` is ``a`` itself the update is done in place.
+        Runs in the operand's floating dtype (float32 stays float32).
         """
-        a = np.asarray(a, dtype=np.float64)
+        a = np.asarray(a)
+        if a.dtype not in (np.float32, np.float64):
+            a = a.astype(np.float64)
         if a.shape[0] != self.n:
             raise ShapeError(
                 f"operand has {a.shape[0]} rows, expected {self.n}")
@@ -89,7 +99,7 @@ class HyperbolicHouseholder:
             out = np.array(a)
         elif out is not a:
             np.copyto(out, a)
-        wf = self.w.astype(np.float64)
+        wf = self.w.astype(a.dtype)
         if self.support is None:
             if a.ndim == 1:
                 coef = self.beta * blas.dot(self.x, a)
@@ -133,15 +143,30 @@ def reflector_annihilating(u: np.ndarray, w: np.ndarray, j: int, *,
     Requires ``W_jj · uᵀWu > 0`` (same hyperbolic norm sign as the target
     axis).  ``breakdown_tol`` is an absolute threshold on
     ``|uᵀWu| / ‖u‖²`` below which the pivot is declared numerically
-    singular (:class:`~repro.errors.BreakdownError`).
+    singular (:class:`~repro.errors.BreakdownError`).  The reflector is
+    built in ``u``'s floating dtype — a float32 pivot column yields a
+    float32 reflector (the hyperbolic norm itself is accumulated in
+    double either way).
     """
-    u = np.asarray(u, dtype=np.float64)
+    u = np.asarray(u)
+    if u.dtype not in (np.float32, np.float64):
+        u = u.astype(np.float64)
     w = signature_vector(w)
     n = u.shape[0]
     if not (0 <= j < n):
         raise ShapeError(f"target index {j} out of range for n={n}")
-    h = hyperbolic_norm_squared(u, w)
-    unorm2 = float(np.dot(u, u))
+    if support is not None:
+        support = np.asarray(support, dtype=np.intp)
+        if j not in support:
+            support = np.sort(np.append(support, j))
+        # All of u's mass lives on the support (the caller's contract),
+        # so the norms need only the m+1 supported entries.
+        us = u[support]
+        h = hyperbolic_norm_squared(us, w[support])
+        unorm2 = float(np.dot(us, us))
+    else:
+        h = hyperbolic_norm_squared(u, w)
+        unorm2 = float(np.dot(u, u))
     if unorm2 == 0.0:
         raise BreakdownError("cannot annihilate the zero vector")
     if abs(h) <= breakdown_tol * unorm2:
@@ -158,11 +183,10 @@ def reflector_annihilating(u: np.ndarray, w: np.ndarray, j: int, *,
     # xᵀWx = 2(uᵀWu + σ u_j) has no cancellation.
     if u[j] != 0.0:
         sigma = math.copysign(sigma, h * u[j])
-    x = w.astype(np.float64) * u
-    x[j] += sigma
+    x = w.astype(u.dtype) * u
+    x[j] += x.dtype.type(sigma)
     blas.charge(3 * n + 8, "reflector-setup")  # paper's per-step x cost
-    if support is not None:
-        support = np.asarray(support, dtype=np.intp)
-        if j not in support:
-            support = np.sort(np.append(support, j))
-    return HyperbolicHouseholder(x, w, support=support), sigma
+    # xᵀWx = 2(uᵀWu + σ u_j): the stable sign choice above makes this
+    # addition cancellation-free, so the identity is safe to reuse.
+    return HyperbolicHouseholder(x, w, support=support,
+                                 xwx=2.0 * (h + sigma * float(u[j]))), sigma

@@ -74,6 +74,11 @@ class RefinementResult:
         columns counts ``a``) — the flop-proportional metric.
     per_column_iterations : ndarray or None
         Correction sweeps computed for each column (panel input only).
+    factor_dtype : str
+        Storage dtype of the factorization driving the solves
+        (``"float32"`` when a reduced-precision factor was refined).
+    tol : float
+        The relative correction tolerance the loop actually used.
     """
 
     x: np.ndarray
@@ -86,6 +91,28 @@ class RefinementResult:
     solve_calls: int = 0
     solve_columns: int = 0
     per_column_iterations: np.ndarray | None = None
+    factor_dtype: str = "float64"
+    tol: float = 0.0
+
+    @property
+    def converged_precision(self) -> str | None:
+        """Precision level the final iterate actually reached.
+
+        ``"fp64"`` when the last relative correction sits at double
+        rounding level, ``"fp32"`` at single level, ``None`` above that
+        (refinement failed to recover even single accuracy).  This is
+        how a caller distinguishes "fp32 factor, recovered to fp64" from
+        "fp32 factor, stuck at fp32".
+        """
+        if not self.correction_norms:
+            return "fp64" if self.converged else None
+        xn = float(np.linalg.norm(self.x))
+        rel = self.correction_norms[-1] / (xn if xn > 0.0 else 1.0)
+        if rel <= 64.0 * float(np.finfo(np.float64).eps):
+            return "fp64"
+        if rel <= 64.0 * float(np.finfo(np.float32).eps):
+            return "fp32"
+        return None
 
 
 def refine(factorization, t: SymmetricBlockToeplitz, b: np.ndarray, *,
@@ -105,21 +132,38 @@ def refine(factorization, t: SymmetricBlockToeplitz, b: np.ndarray, *,
         runs the blocked sweep (one factored panel solve + one batched
         FFT matvec per iteration, per-column convergence mask).
     tol : float
-        Relative correction tolerance; defaults to ``4·ε``.
+        Relative correction tolerance; defaults to ``4·ε`` of the
+        *target* dtype — the wider of ``b``'s floating dtype and the
+        factorization's storage dtype.  A float64 ``b`` against a
+        float32 factor therefore still refines to double accuracy (the
+        recovery guarantee); a float32 ``b`` against a float32 factor
+        stops at single rounding level instead of looping forever
+        toward an unreachable ``4·ε₆₄``.
     max_iter : int
         Refinement step cap; the loop also stops when corrections stop
         shrinking (rounding floor reached).
+
+    Notes
+    -----
+    The loop itself always runs in float64 (fp64 residuals via the FFT
+    matvec are what make reduced-precision recovery work); only the
+    factored solves run at the factorization's dtype.
     """
-    b = np.asarray(b, dtype=np.float64)
+    b_in = np.asarray(b)
+    factor_dtype = np.dtype(getattr(factorization, "dtype", np.float64))
+    if tol is None:
+        b_target = b_in.dtype if b_in.dtype.kind == "f" else np.float64
+        target = np.result_type(b_target, factor_dtype)
+        tol = 4.0 * float(np.finfo(target).eps)
+    b = b_in.astype(np.float64, copy=False)
     n = t.order
     if b.shape[0] != n:
         raise ShapeError(f"b has {b.shape[0]} rows, expected {n}")
-    if tol is None:
-        tol = 4.0 * float(np.finfo(np.float64).eps)
     emb = BlockCirculantEmbedding(t)
     if b.ndim == 2:
         return _refine_block(factorization, emb, b, tol=tol,
-                             max_iter=max_iter, keep_history=keep_history)
+                             max_iter=max_iter, keep_history=keep_history,
+                             factor_dtype=factor_dtype.name)
     traced = obs.enabled()
     residual_gauge = obs.default_registry().gauge(
         "repro_refinement_residual",
@@ -127,7 +171,7 @@ def refine(factorization, t: SymmetricBlockToeplitz, b: np.ndarray, *,
     ) if traced else None
     with obs.span("refine", max_iter=max_iter, tol=tol) as sp:
         with obs.span("refine.initial_solve"):
-            x = factorization.solve(b)
+            x = np.asarray(factorization.solve(b), dtype=np.float64)
         solve_calls = 1
         r = b - emb(x)
         res_norms = [float(np.linalg.norm(r))]
@@ -171,12 +215,15 @@ def refine(factorization, t: SymmetricBlockToeplitz, b: np.ndarray, *,
         nrhs=1,
         solve_calls=solve_calls,
         solve_columns=solve_calls,
+        factor_dtype=factor_dtype.name,
+        tol=tol,
     )
 
 
 def _refine_block(factorization, emb: BlockCirculantEmbedding,
                   b: np.ndarray, *, tol: float, max_iter: int,
-                  keep_history: bool) -> RefinementResult:
+                  keep_history: bool,
+                  factor_dtype: str = "float64") -> RefinementResult:
     """Blocked sweep over an ``n × k`` panel with a per-column mask.
 
     Column semantics match the scalar loop exactly: a column whose
@@ -195,7 +242,7 @@ def _refine_block(factorization, emb: BlockCirculantEmbedding,
     ) if traced else None
     with obs.span("refine", max_iter=max_iter, tol=tol, nrhs=k) as sp:
         with obs.span("refine.initial_solve", nrhs=k):
-            x = factorization.solve(b)
+            x = np.asarray(factorization.solve(b), dtype=np.float64)
         solve_calls, solve_columns = 1, k
         r = b - emb(x)
         col_res = np.linalg.norm(r, axis=0)
@@ -260,4 +307,6 @@ def _refine_block(factorization, emb: BlockCirculantEmbedding,
         solve_calls=solve_calls,
         solve_columns=solve_columns,
         per_column_iterations=computed,
+        factor_dtype=factor_dtype,
+        tol=tol,
     )

@@ -33,6 +33,12 @@ import repro.obs as obs
 from repro.blas import primitives as blas
 from repro.core.generator import Generator, indefinite_generator
 from repro.core.hyperbolic import reflector_annihilating
+from repro.core.precision import (
+    elimination_dtype,
+    flush_tiny,
+    validate_precision,
+    working_dtype,
+)
 from repro.core.schur_spd import _apply_reflector_pair
 from repro.errors import BreakdownError, SingularMinorError
 from repro.toeplitz.block_toeplitz import SymmetricBlockToeplitz
@@ -48,9 +54,13 @@ __all__ = [
 ]
 
 
-def default_delta() -> float:
-    """The paper's perturbation size ``δ = ∛ε`` (eq. 46)."""
-    return float(np.finfo(np.float64).eps ** (1.0 / 3.0))
+def default_delta(dtype=np.float64) -> float:
+    """The paper's perturbation size ``δ = ∛ε`` (eq. 46).
+
+    ``ε`` is the unit roundoff of the factorization's working dtype —
+    a float32 factorization perturbs at ``∛ε₃₂ ≈ 5e-3``.
+    """
+    return float(np.finfo(dtype).eps ** (1.0 / 3.0))
 
 
 @dataclass(frozen=True)
@@ -92,10 +102,17 @@ class IndefiniteFactorization:
     #: at each block step — the growth quantity of the §8.2 analysis
     #: (≈ 2/√δ right after a perturbation).
     transform_norms: list[float] = field(default_factory=list)
+    #: Precision the factorization ran at (``"fp64"``/``"fp32"``/``"mixed"``).
+    precision: str = "fp64"
 
     @property
     def order(self) -> int:
         return self.r.shape[0]
+
+    @property
+    def dtype(self) -> np.dtype:
+        """Storage dtype of the triangular factor."""
+        return self.r.dtype
 
     @property
     def perturbed(self) -> bool:
@@ -120,9 +137,9 @@ class IndefiniteFactorization:
         the ``Rᵀ``/``R`` sweeps as level-3 ``dtrsm`` calls with one
         broadcast signature scaling in between.
         """
-        panel, single = as_panel(b, self.order)
+        panel, single = as_panel(b, self.order, dtype=self.r.dtype)
         y = solve_upper_triangular(self.r, panel, trans=True)
-        y *= self.d.astype(np.float64)[:, None]
+        y *= self.d.astype(y.dtype)[:, None]
         return from_panel(solve_upper_triangular(self.r, y), single)
 
     def reconstruct(self) -> np.ndarray:
@@ -141,7 +158,8 @@ def _eliminate_block_indefinite(upper: np.ndarray, lower: np.ndarray,
                                 perturb: bool, perturb_threshold: float,
                                 scale0: float,
                                 events_p: list[PerturbationEvent],
-                                events_i: list[InterchangeEvent]) -> float:
+                                events_i: list[InterchangeEvent],
+                                elim_dtype: np.dtype | None = None) -> float:
     """One block step of the extended algorithm (interchanges + δ).
 
     ``scale0`` is the hyperbolic-norm scale of the *original* matrix
@@ -149,15 +167,22 @@ def _eliminate_block_indefinite(upper: np.ndarray, lower: np.ndarray,
     current column norm — after a δ-perturbation the generator grows to
     ``O(1/δ)`` while legitimate pivot norms stay at the ``‖T‖`` scale,
     so a column-relative test would misclassify every later pivot.
+
+    The pivot decision logic (hyperbolic norms, perturbation and
+    interchange tests) always runs in float64 regardless of the working
+    dtype; ``elim_dtype`` rounds the accepted pivot column before the
+    reflector is built (``"mixed"`` mode).
     """
     m, q = upper.shape
     n2 = 2 * m
     wf = w.astype(np.float64)
+    round_pivot = (elim_dtype is not None
+                   and np.dtype(elim_dtype) != upper.dtype)
     max_norm = 1.0
     support = np.concatenate([np.zeros(1, dtype=np.intp),
                               np.arange(m, n2, dtype=np.intp)])
     for k in range(m):
-        u = np.zeros(n2)
+        u = np.zeros(n2, dtype=upper.dtype)
         u[k] = upper[k, k]
         u[m:] = lower[:, k]
         h = float(np.dot(wf * u, u))
@@ -211,6 +236,8 @@ def _eliminate_block_indefinite(upper: np.ndarray, lower: np.ndarray,
             events_i.append(InterchangeEvent(step=step, column=k,
                                              lower_row=l))
         support[0] = k
+        if round_pivot:
+            u = u.astype(elim_dtype).astype(upper.dtype)
         refl, _sigma = reflector_annihilating(u, w, k,
                                               support=support.copy())
         # ‖U_x‖₂ ≤ 1 + 2‖x‖²/|xᵀWx| — equality-order proxy for the
@@ -233,7 +260,8 @@ def schur_indefinite_factor(t: SymmetricBlockToeplitz | Generator, *,
                             perturb: bool = True,
                             delta: float | None = None,
                             perturb_threshold: float | None = None,
-                            singular_tol: float = 1e-13
+                            singular_tol: float = 1e-13,
+                            precision: str = "fp64"
                             ) -> IndefiniteFactorization:
     """Factor a symmetric (indefinite) block Toeplitz matrix as
     ``T + δT = Rᵀ D R``.
@@ -255,6 +283,10 @@ def schur_indefinite_factor(t: SymmetricBlockToeplitz | Generator, *,
         for, so perturbing is the stabler choice.
     singular_tol : float
         Tolerance for the signed Cholesky of the diagonal block.
+    precision : str
+        Working precision (``"fp64"``/``"fp32"``/``"mixed"``, see
+        :mod:`repro.core.precision`).  ``δ`` defaults to the cube root
+        of the working dtype's unit roundoff.
 
     Notes
     -----
@@ -262,22 +294,28 @@ def schur_indefinite_factor(t: SymmetricBlockToeplitz | Generator, *,
     matrix; solve through :func:`repro.core.refinement.refine` (or
     :func:`repro.core.solve.solve_refined`) to recover full accuracy.
     """
+    validate_precision(precision)
+    wd = working_dtype(precision)
+    elim = elimination_dtype(precision) if precision == "mixed" else None
     if delta is None:
-        delta = default_delta()
+        delta = default_delta(elimination_dtype(precision))
     if perturb_threshold is None:
         perturb_threshold = delta
     with obs.span("schur.generator"):
         if isinstance(t, Generator):
             g = t.copy()
         else:
-            g = indefinite_generator(t, singular_tol=singular_tol)
+            g = indefinite_generator(t, singular_tol=singular_tol, dtype=wd)
+        if g.gen.dtype != wd:
+            g = g.astype(wd)
     m, p = g.block_size, g.num_blocks
     n = m * p
-    r = np.zeros((n, n))
+    r = np.zeros((n, n), dtype=wd)
     d = np.zeros(n, dtype=np.int8)
     w = g.w.copy()
     top = g.gen[:m]
     bot = g.gen[m:]
+    flush_tiny(g.gen)
     events_p: list[PerturbationEvent] = []
     events_i: list[InterchangeEvent] = []
     transform_norms: list[float] = []
@@ -299,8 +337,12 @@ def schur_indefinite_factor(t: SymmetricBlockToeplitz | Generator, *,
             step_norm = _eliminate_block_indefinite(
                 upper, lower, w, step=i, delta=delta, perturb=perturb,
                 perturb_threshold=perturb_threshold, scale0=scale0,
-                events_p=events_p, events_i=events_i)
+                events_p=events_p, events_i=events_i, elim_dtype=elim)
             transform_norms.append(step_norm)
+            # fp32: keep the decaying generator out of the subnormal
+            # range (subnormal sgemm runs ~30× slower).
+            flush_tiny(upper)
+            flush_tiny(lower)
             r[i * m:(i + 1) * m, i * m:] = upper
             d[i * m:(i + 1) * m] = w[:m]
         sp.set(perturbations=len(events_p), interchanges=len(events_i),
@@ -309,4 +351,5 @@ def schur_indefinite_factor(t: SymmetricBlockToeplitz | Generator, *,
     return IndefiniteFactorization(r, d, m, p,
                                    perturbations=events_p,
                                    interchanges=events_i,
-                                   transform_norms=transform_norms)
+                                   transform_norms=transform_norms,
+                                   precision=precision)

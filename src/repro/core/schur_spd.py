@@ -37,6 +37,12 @@ from repro.core.block_reflector import (
 )
 from repro.core.generator import Generator, spd_generator
 from repro.core.hyperbolic import reflector_annihilating
+from repro.core.precision import (
+    elimination_dtype,
+    flush_tiny,
+    validate_precision,
+    working_dtype,
+)
 from repro.errors import (
     BreakdownError,
     InvalidOptionError,
@@ -76,6 +82,13 @@ class SchurOptions:
     breakdown_tol : float
         Relative threshold below which a pivot's hyperbolic norm is
         treated as zero.
+    precision : str
+        Working precision of the factorization: ``"fp64"`` (default),
+        ``"fp32"`` (single-precision generator, elimination and factor)
+        or ``"mixed"`` (float64 generator accumulation with each pivot
+        column rounded through float32 before the hyperbolic reflector
+        is built — the elimination decisions see fp32 data while the
+        level-3 updates keep fp64 accumulation).
     """
 
     representation: str = "vy2"
@@ -83,12 +96,14 @@ class SchurOptions:
     in_place: bool = True
     normalize_diagonal: bool = True
     breakdown_tol: float = 1e-14
+    precision: str = "fp64"
 
     def __post_init__(self):
         if self.representation not in REPRESENTATIONS:
             raise InvalidOptionError(
                 f"unknown representation {self.representation!r}; "
                 f"expected one of {REPRESENTATIONS}")
+        validate_precision(self.precision)
 
 
 @dataclass
@@ -101,10 +116,17 @@ class SPDFactorization:
     options: SchurOptions
     #: Block reflectors produced at each step (kept only on request).
     reflectors: list[BlockReflector] = field(default_factory=list)
+    #: Precision the factorization ran at (``"fp64"``/``"fp32"``/``"mixed"``).
+    precision: str = "fp64"
 
     @property
     def order(self) -> int:
         return self.r.shape[0]
+
+    @property
+    def dtype(self) -> np.dtype:
+        """Storage dtype of the triangular factor."""
+        return self.r.dtype
 
     @property
     def l(self) -> np.ndarray:
@@ -116,9 +138,12 @@ class SPDFactorization:
 
         ``b`` may be a vector or an ``n × k`` panel of right-hand
         sides; the panel case runs the two triangular sweeps as single
-        level-3 ``dtrsm`` calls across all ``k`` columns.
+        level-3 ``dtrsm`` calls across all ``k`` columns.  The sweeps run
+        in the factor's storage dtype — a float32 factorization solves in
+        float32 (callers wanting fp64 accuracy route the result through
+        :func:`repro.core.refinement.refine`).
         """
-        panel, single = as_panel(b, self.order)
+        panel, single = as_panel(b, self.order, dtype=self.r.dtype)
         y = solve_upper_triangular(self.r, panel, trans=True)
         return from_panel(solve_upper_triangular(self.r, y), single)
 
@@ -155,14 +180,14 @@ def _apply_reflector_pair(refl, upper: np.ndarray, lower: np.ndarray,
     if wu_identity is None:
         wu_identity = bool(np.all(w[:m] == 1))
     if not wu_identity:
-        upper *= w[:m].astype(np.float64)[:, None]
+        upper *= w[:m].astype(upper.dtype)[:, None]
         blas.charge(upper.size, "scal")
     if wl_negidentity is None:
         wl_negidentity = bool(np.all(w[m:] == -1))
     if wl_negidentity:
         np.negative(lower, out=lower)
     else:
-        lower *= w[m:].astype(np.float64)[:, None]
+        lower *= w[m:].astype(lower.dtype)[:, None]
     blas.charge(lower.size, "scal")
     row = upper[pivot_row]
     blas.charge(2 * row.shape[0], "axpy")
@@ -175,13 +200,17 @@ def eliminate_block(upper: np.ndarray, lower: np.ndarray, w: np.ndarray, *,
                     panel: int | None = None,
                     breakdown_tol: float = 1e-14,
                     pivot_sign_fixup: bool = True,
+                    elim_dtype: np.dtype | None = None,
                     collect: list[BlockReflector] | None = None) -> None:
     """Annihilate ``lower[:, :m]`` against the pivot ``upper[:, :m]``.
 
     ``upper``/``lower`` are ``m × q`` views updated in place; ``w`` is the
     ``2m`` window signature.  The pivot block must be upper triangular with
     nonzero diagonal (guaranteed by the generator construction and
-    preserved by this routine).  Raises
+    preserved by this routine).  The elimination runs in the views'
+    dtype; ``elim_dtype`` (when narrower) additionally rounds each pivot
+    column through that dtype before the reflector is built — the
+    ``"mixed"`` precision mode.  Raises
     :class:`~repro.errors.BreakdownError` when a pivot column has
     non-positive hyperbolic norm — for an SPD input this never happens.
     """
@@ -193,6 +222,8 @@ def eliminate_block(upper: np.ndarray, lower: np.ndarray, w: np.ndarray, *,
         raise ShapeError(f"working width {q} smaller than block size {m}")
     if panel is None or panel <= 0 or panel > m:
         panel = m
+    round_pivot = (elim_dtype is not None
+                   and np.dtype(elim_dtype) != upper.dtype)
     support = np.concatenate([np.zeros(1, dtype=np.intp),
                               np.arange(m, 2 * m, dtype=np.intp)])
     n2 = 2 * m
@@ -201,11 +232,19 @@ def eliminate_block(upper: np.ndarray, lower: np.ndarray, w: np.ndarray, *,
     for pstart in range(0, m, panel):
         pend = min(pstart + panel, m)
         with blas.category("blocking"):
-            acc = make_accumulator(representation, w)
+            acc = make_accumulator(representation, w, dtype=upper.dtype)
+        # Panel working set in Fortran order: every shrinking ``[:, j:]``
+        # slice stays F-contiguous, so the per-reflector rank-1 updates
+        # run as in-place BLAS ger instead of strided temporaries.
+        pup = np.asfortranarray(upper[:, pstart:pend])
+        plo = np.asfortranarray(lower[:, pstart:pend])
         for k in range(pstart, pend):
-            u = np.zeros(n2)
-            u[k] = upper[k, k]
-            u[m:] = lower[:, k]
+            j = k - pstart
+            u = np.zeros(n2, dtype=upper.dtype)
+            u[k] = pup[k, j]
+            u[m:] = plo[:, j]
+            if round_pivot:
+                u = u.astype(elim_dtype).astype(upper.dtype)
             support[0] = k
             with blas.category("blocking"):
                 refl, _sigma = reflector_annihilating(
@@ -213,13 +252,14 @@ def eliminate_block(upper: np.ndarray, lower: np.ndarray, w: np.ndarray, *,
                     breakdown_tol=breakdown_tol)
             # Update the rest of the current panel sequentially (level 2).
             with blas.category("panel"):
-                _apply_reflector_pair(refl, upper[:, k:pend],
-                                      lower[:, k:pend], k,
+                _apply_reflector_pair(refl, pup[:, j:], plo[:, j:], k,
                                       wu_identity=wu_identity,
                                       wl_negidentity=wl_negidentity)
-            lower[:, k] = 0.0  # exact annihilation of the pivot column
+            plo[:, j] = 0.0  # exact annihilation of the pivot column
             with blas.category("blocking"):
                 acc.append(refl)
+        upper[:, pstart:pend] = pup
+        lower[:, pstart:pend] = plo
         u_block = acc.finish()
         if collect is not None:
             collect.append(u_block)
@@ -237,7 +277,7 @@ def eliminate_block(upper: np.ndarray, lower: np.ndarray, w: np.ndarray, *,
     if not np.all(wu == 1):
         cols = np.nonzero((m - 1 - np.arange(m)) % 2 == 1)[0]
         if cols.size:
-            upper[:, cols] *= wu.astype(np.float64)[:, None]
+            upper[:, cols] *= wu.astype(upper.dtype)[:, None]
     if pivot_sign_fixup:
         # Keep the pivot diagonal positive: flipping a whole generator row
         # leaves Gᵀ W G (and hence T) invariant.
@@ -268,20 +308,25 @@ def schur_spd_factor(t: SymmetricBlockToeplitz | Generator, *,
         leading principal minor of ``T`` is not positive.
     """
     opts = options or SchurOptions()
+    wd = working_dtype(opts.precision)
     with obs.span("schur.generator"):
         if isinstance(t, Generator):
             g = t.copy()
         else:
-            g = spd_generator(t)
+            g = spd_generator(t, dtype=wd)
+        # A precomputed generator (or a "mixed" plan) may still be in the
+        # wrong storage dtype; round it once here, before elimination.
+        if g.gen.dtype != wd:
+            g = g.astype(wd)
     m, p = g.block_size, g.num_blocks
     n = m * p
-    r = np.zeros((n, n))
+    r = np.zeros((n, n), dtype=wd)
     collected: list[BlockReflector] | None = [] if keep_reflectors else None
     with ExitStack() as stack:
         sp = stack.enter_context(obs.span(
             "schur.eliminate", representation=opts.representation,
             panel=opts.panel or m, in_place=opts.in_place,
-            order=n, block_size=m))
+            order=n, block_size=m, precision=opts.precision))
         # Measured per-category flops ride on the span (obs runs only).
         counter = (stack.enter_context(blas.counting())
                    if obs.enabled() else None)
@@ -297,7 +342,8 @@ def schur_spd_factor(t: SymmetricBlockToeplitz | Generator, *,
             sp.set(counted_flops=counter.total,
                    counted_flops_by_phase=dict(counter.by_category))
     return SPDFactorization(r, m, p, opts,
-                            reflectors=collected or [])
+                            reflectors=collected or [],
+                            precision=opts.precision)
 
 
 def _factor_in_place(g: Generator, r: np.ndarray, opts: SchurOptions,
@@ -305,8 +351,11 @@ def _factor_in_place(g: Generator, r: np.ndarray, opts: SchurOptions,
     """Shift-free variant: apply ``U`` to offset views (Section 6.4)."""
     m, p = g.block_size, g.num_blocks
     n = m * p
+    elim = (elimination_dtype(opts.precision)
+            if opts.precision == "mixed" else None)
     top = g.gen[:m]
     bot = g.gen[m:]
+    flush_tiny(g.gen)
     r[:m, :] = top
     for i in range(1, p):
         q = n - i * m
@@ -317,7 +366,12 @@ def _factor_in_place(g: Generator, r: np.ndarray, opts: SchurOptions,
                         panel=opts.panel,
                         breakdown_tol=opts.breakdown_tol,
                         pivot_sign_fixup=opts.normalize_diagonal,
+                        elim_dtype=elim,
                         collect=collected)
+        # fp32: keep the decaying generator out of the subnormal range
+        # (an sgemm over subnormals runs ~30× slower than a normal one).
+        flush_tiny(upper)
+        flush_tiny(lower)
         r[i * m:(i + 1) * m, i * m:] = upper
 
 
@@ -326,8 +380,12 @@ def _factor_with_shift(g: Generator, r: np.ndarray, opts: SchurOptions,
     """Explicit Phase-3 shift variant (the distributed-memory shape)."""
     m, p = g.block_size, g.num_blocks
     n = m * p
+    elim = (elimination_dtype(opts.precision)
+            if opts.precision == "mixed" else None)
     top = np.array(g.gen[:m])
     bot = np.array(g.gen[m:])
+    flush_tiny(top)
+    flush_tiny(bot)
     r[:m, :] = top
     for i in range(1, p):
         q = n - i * m
@@ -344,5 +402,8 @@ def _factor_with_shift(g: Generator, r: np.ndarray, opts: SchurOptions,
                         panel=opts.panel,
                         breakdown_tol=opts.breakdown_tol,
                         pivot_sign_fixup=opts.normalize_diagonal,
+                        elim_dtype=elim,
                         collect=collected)
+        flush_tiny(upper)
+        flush_tiny(lower)
         r[i * m:(i + 1) * m, i * m:] = upper

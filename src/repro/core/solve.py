@@ -51,28 +51,33 @@ def _as_block_toeplitz(t, block_size: int | None) -> SymmetricBlockToeplitz:
 def cholesky(t, *, block_size: int | None = None,
              representation: str = "vy2",
              panel: int | None = None,
-             in_place: bool = True) -> SPDFactorization:
+             in_place: bool = True,
+             precision: str = "fp64") -> SPDFactorization:
     """Cholesky factorization ``T = Rᵀ R`` of an SPD block Toeplitz matrix.
 
     ``t`` may be a :class:`~repro.toeplitz.SymmetricBlockToeplitz`, a 1-D
     first row (scalar Toeplitz), or a dense symmetric block Toeplitz
-    matrix together with ``block_size``.
+    matrix together with ``block_size``.  ``precision`` ∈ {"fp64",
+    "fp32", "mixed"} selects the factorization working precision; a
+    reduced-precision factor is only kept when the condition estimate
+    admits fp64 refinement recovery (see :mod:`repro.core.precision`).
     """
     bt = _as_block_toeplitz(t, block_size)
     pl = _engine.plan(bt, assume="spd", representation=representation,
-                      panel=panel, in_place=in_place)
+                      panel=panel, in_place=in_place, precision=precision)
     return _engine.factor(pl).factorization
 
 
 def ldlt(t, *, block_size: int | None = None,
          perturb: bool = True,
-         delta: float | None = None) -> IndefiniteFactorization:
+         delta: float | None = None,
+         precision: str = "fp64") -> IndefiniteFactorization:
     """``Rᵀ D R`` factorization of a symmetric (indefinite) block Toeplitz
     matrix, perturbing across singular principal minors when ``perturb``.
     """
     bt = _as_block_toeplitz(t, block_size)
     pl = _engine.plan(bt, assume="indefinite", perturb=perturb,
-                      delta=delta)
+                      delta=delta, precision=precision)
     return _engine.factor(pl).factorization
 
 
@@ -81,7 +86,8 @@ def solve(t, b, *, block_size: int | None = None,
           representation: str = "vy2",
           panel: int | None = None,
           in_place: bool = True,
-          use_cache: bool = True) -> np.ndarray:
+          use_cache: bool = True,
+          precision: str = "fp64") -> np.ndarray:
     """Solve ``T x = b`` for symmetric block Toeplitz ``T``.
 
     ``assume`` ∈ {"auto", "spd", "indefinite"}: "auto" tries the SPD path
@@ -89,7 +95,10 @@ def solve(t, b, *, block_size: int | None = None,
     perturbed) on breakdown.  The full set of factorization options
     (``panel``, ``in_place``) is forwarded to the plan; ``use_cache``
     lets repeated solves against the same matrix reuse the
-    factorization.
+    factorization.  ``precision`` selects the factorization working
+    precision ("fp32"/"mixed" factor + fp64 refinement recovery); the
+    returned ``x`` is always float64 at fp64 accuracy whenever the
+    conditioning allows it.
     """
     if assume not in ("auto", "spd", "indefinite"):
         raise InvalidOptionError(
@@ -99,7 +108,7 @@ def solve(t, b, *, block_size: int | None = None,
     b = np.asarray(b, dtype=np.float64)
     pl = _engine.plan(bt, assume=assume, representation=representation,
                       panel=panel, in_place=in_place,
-                      use_cache=use_cache)
+                      use_cache=use_cache, precision=precision)
     return _engine.execute(pl, b).x
 
 
@@ -107,14 +116,19 @@ def solve_refined(t, b, *, block_size: int | None = None,
                   delta: float | None = None,
                   tol: float | None = None,
                   max_iter: int = 25,
-                  keep_history: bool = False) -> RefinementResult:
+                  keep_history: bool = False,
+                  precision: str = "fp64") -> RefinementResult:
     """Section 8 pipeline: perturbed ``Rᵀ D R`` + iterative refinement.
 
     Always safe for symmetric Toeplitz systems (including singular
-    principal minors); returns the full refinement trace.
+    principal minors); returns the full refinement trace.  With
+    ``precision="fp32"``/``"mixed"`` the factorization runs reduced and
+    the same refinement loop recovers fp64 (check
+    ``result.converged_precision``).
     """
     bt = _as_block_toeplitz(t, block_size)
-    pl = _engine.plan(bt, assume="indefinite", delta=delta)
+    pl = _engine.plan(bt, assume="indefinite", delta=delta,
+                      precision=precision)
     res = _engine.execute(pl, b, tol=tol, max_iter=max_iter,
                           keep_history=keep_history)
     return res.detail

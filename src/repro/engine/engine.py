@@ -141,6 +141,15 @@ class ExecutionRecord:
     counted_flops: int | None = None
     #: ``perf_counter`` timestamp of the execution start (span clock).
     start: float = 0.0
+    #: Precision the plan requested (``"fp64"``/``"fp32"``/``"mixed"``).
+    precision: str = "fp64"
+    #: Storage dtype of the factor that actually drove the solves —
+    #: ``"float64"`` even under a reduced-precision plan when the
+    #: condest admission check forced the fp64 fallback.
+    factor_dtype: str = "float64"
+    #: Refinement sweeps the solve needed (``None`` when the solve was a
+    #: plain pair of triangular sweeps with no refinement loop).
+    refine_sweeps: int | None = None
 
     @property
     def rhs_per_second(self) -> float:
@@ -166,6 +175,9 @@ class ExecutionRecord:
                 "model_flops": self.model_flops,
                 "counted_flops": self.counted_flops,
                 "rhs_per_second": self.rhs_per_second,
+                "precision": self.precision,
+                "factor_dtype": self.factor_dtype,
+                "refine_sweeps": self.refine_sweeps,
             })
 
 
@@ -292,13 +304,13 @@ def _solve_model_flops(algorithm: str, order: int, nrhs: int,
                        detail) -> float | None:
     """Closed-form solve-phase cost: ``2 n²`` per column-solve.
 
-    Direct triangular algorithms do one forward + one backward sweep per
-    RHS column; the iterative algorithms report how many column-solve
-    equivalents they actually issued (``solve_columns`` for blocked
-    refinement, ``precond_columns``/``precond_solves`` for PCG).
+    Iterative details take priority over the algorithm name: a
+    reduced-precision ``spd-schur``/``gko`` solve routes through blocked
+    refinement and its ``detail`` reports the column-solve equivalents
+    actually issued (``solve_columns``; ``precond_columns`` /
+    ``precond_solves`` for PCG).  Only a plain direct solve falls back
+    to one forward + one backward sweep per RHS column.
     """
-    if algorithm in ("spd-schur", "gko", "dense-chol"):
-        return 2.0 * order * order * nrhs
     cols = getattr(detail, "solve_columns", None)
     if cols is None:
         cols = getattr(detail, "precond_columns", None)
@@ -306,6 +318,8 @@ def _solve_model_flops(algorithm: str, order: int, nrhs: int,
         cols = detail.precond_solves   # scalar PCG: one column per solve
     if cols:
         return 2.0 * order * order * float(cols)
+    if algorithm in ("spd-schur", "gko", "dense-chol"):
+        return 2.0 * order * order * nrhs
     return None
 
 
@@ -366,12 +380,20 @@ def execute(pl: SolverPlan, b, *,
         factor_model = _model_flops(pl.with_(algorithm=res.algorithm))
         if factor_model is not None:
             model = factor_model + (model or 0.0)
+    factor_dtype, sweeps = "float64", None
+    d = res.detail
+    if hasattr(d, "correction_norms"):        # refinement trace
+        factor_dtype = getattr(d, "factor_dtype", "float64")
+        sweeps = d.iterations
+    elif hasattr(d, "solve") and hasattr(d, "dtype"):  # factorization
+        factor_dtype = np.dtype(d.dtype).name
     rec = ExecutionRecord(
         algorithm=res.algorithm, order=pl.order, nrhs=nrhs,
         wall_seconds=wall, cache_hit=res.cache_hit,
         fallback_used=res.fallback_used, model_flops=model,
         counted_flops=counter.total if counter is not None else None,
-        start=t0)
+        start=t0, precision=pl.precision, factor_dtype=factor_dtype,
+        refine_sweeps=sweeps)
     if obs.enabled():
         sp.set(wall_seconds=wall, rhs_per_second=rec.rhs_per_second)
     return dataclasses.replace(res, profile=obs.profile_from(sp),
@@ -395,17 +417,69 @@ def _regrouped(op, pl: SolverPlan):
     return op
 
 
+def _admit_reduced(opr, pl: SolverPlan, fact, refactor):
+    """Condest-gated admission of a reduced-precision factorization.
+
+    Keep ``fact`` only when fp64 refinement over it is expected to
+    converge (``cond · eps_elim ≤ 0.05``,
+    :func:`repro.core.precision.refinement_admissible`); otherwise the
+    operator is refactored at fp64 on the spot, so the solve stage sees
+    an ordinary double factorization and skips the refinement loop.
+    """
+    from repro.core.condest import condest
+    from repro.core.precision import refinement_admissible
+    try:
+        cond = condest(opr, fact)
+    except Exception:
+        cond = float("inf")
+    if refinement_admissible(cond, pl.precision):
+        return fact
+    with obs.span("factor.precision_fallback", precision=pl.precision,
+                  cond_estimate=float(cond)):
+        if obs.enabled():
+            obs.default_registry().counter(
+                "repro_engine_precision_fallbacks_total",
+                "Reduced-precision factorizations rejected by the "
+                "condest admission check and redone at fp64"
+            ).inc(1, algorithm=pl.algorithm, precision=pl.precision)
+        return refactor()
+
+
+def _reduced_precision_solve(op, b, pl, fact, refactor):
+    """Recover fp64 accuracy over a reduced-precision factor.
+
+    Every admitted fp32/mixed factorization solves through blocked
+    iterative refinement with fp64 residuals; if the loop stalls anyway
+    (admission is an estimate, not a proof), refactor at fp64 outside
+    the cache and solve plainly.
+    """
+    from repro.core.refinement import refine
+    res = refine(fact, op, b)
+    if res.converged:
+        return res.x, res
+    with obs.span("solve.precision_fallback", precision=pl.precision):
+        f64 = refactor()
+        return f64.solve(b), f64
+
+
 def _spd_factor(op, pl: SolverPlan):
     if pl.nproc > 1:
         # Distributed plan: route through the backend dispatcher
         # (simulated T3D model, or real worker processes with graceful
-        # degradation to the simulator).
+        # degradation to the simulator).  Plans reject nproc > 1 with
+        # reduced precision, so this path is always fp64.
         from repro.parallel.backends import factor_distributed
         return factor_distributed(_regrouped(op, pl), pl)
     from repro.core.schur_spd import SchurOptions, schur_spd_factor
+    opr = _regrouped(op, pl)
     opts = SchurOptions(representation=pl.representation, panel=pl.panel,
-                        in_place=pl.in_place)
-    return schur_spd_factor(_regrouped(op, pl), options=opts)
+                        in_place=pl.in_place, precision=pl.precision)
+    fact = schur_spd_factor(opr, options=opts)
+    if pl.precision == "fp64":
+        return fact
+    return _admit_reduced(
+        opr, pl, fact,
+        lambda: _spd_factor(op, pl.with_(precision="fp64")))
 
 
 def _triangular_solve_flops(order: int, b) -> int:
@@ -415,6 +489,10 @@ def _triangular_solve_flops(order: int, b) -> int:
 
 
 def _spd_solve(op, b, pl, fact, **_kwargs):
+    if getattr(fact, "precision", "fp64") != "fp64":
+        return _reduced_precision_solve(
+            op, b, pl, fact,
+            lambda: _spd_factor(op, pl.with_(precision="fp64")))
     if not obs.enabled():
         return fact.solve(b), fact
     with obs.span("triangular_solve",
@@ -424,8 +502,14 @@ def _spd_solve(op, b, pl, fact, **_kwargs):
 
 def _indefinite_factor(op, pl: SolverPlan):
     from repro.core.schur_indefinite import schur_indefinite_factor
-    return schur_indefinite_factor(_regrouped(op, pl), perturb=pl.perturb,
-                                   delta=pl.delta)
+    opr = _regrouped(op, pl)
+    fact = schur_indefinite_factor(opr, perturb=pl.perturb,
+                                   delta=pl.delta, precision=pl.precision)
+    if pl.precision == "fp64":
+        return fact
+    return _admit_reduced(
+        opr, pl, fact,
+        lambda: _indefinite_factor(op, pl.with_(precision="fp64")))
 
 
 def _indefinite_solve(op, b, pl, fact, *, tol=None, max_iter=25,
@@ -433,15 +517,31 @@ def _indefinite_solve(op, b, pl, fact, *, tol=None, max_iter=25,
     from repro.core.refinement import refine
     res = refine(fact, op, b, tol=tol, max_iter=max_iter,
                  keep_history=keep_history)
+    if not res.converged and getattr(fact, "precision", "fp64") != "fp64":
+        # Reduced factor stalled below fp64: redo the factorization in
+        # double (outside the cache) and refine against that instead.
+        with obs.span("solve.precision_fallback", precision=pl.precision):
+            f64 = _indefinite_factor(op, pl.with_(precision="fp64"))
+            res = refine(f64, op, b, tol=tol, max_iter=max_iter,
+                         keep_history=keep_history)
     return res.x, res
 
 
 def _gko_factor(op, pl: SolverPlan):
     from repro.core.gko import gko_factor
-    return gko_factor(op)
+    fact = gko_factor(op, precision=pl.precision)
+    if pl.precision == "fp64":
+        return fact
+    return _admit_reduced(
+        op, pl, fact,
+        lambda: _gko_factor(op, pl.with_(precision="fp64")))
 
 
 def _gko_solve(op, b, pl, fact, **_kwargs):
+    if getattr(fact, "precision", "fp64") != "fp64":
+        return _reduced_precision_solve(
+            op, b, pl, fact,
+            lambda: _gko_factor(op, pl.with_(precision="fp64")))
     if not obs.enabled():
         return fact.solve(b), fact
     with obs.span("triangular_solve",

@@ -32,14 +32,20 @@ __all__ = ["MachineSpec", "SolverPlan", "plan"]
 
 _ASSUME_VALUES = ("auto", "spd", "indefinite")
 _BACKEND_VALUES = ("simulated", "multiprocess")
+# Kept as a local literal (rather than importing repro.core.precision)
+# to avoid a plan-time import of the core package; must match
+# repro.core.precision.PRECISIONS.
+_PRECISION_VALUES = ("fp64", "fp32", "mixed")
 
 #: Fields that change the factorization (and hence the cache key).
 #: ``nproc``/``distribution_b``/``backend`` are included so a serial
 #: factorization, a simulated run and a real multiprocess run never
 #: alias in the cache (their result objects differ even though R agrees).
+#: ``precision`` is included so an fp32 and an fp64 factorization of the
+#: same operator never share a cache entry.
 _PLAN_KEY_FIELDS = ("algorithm", "representation", "block_size", "panel",
                     "in_place", "perturb", "delta", "nproc",
-                    "distribution_b", "backend")
+                    "distribution_b", "backend", "precision")
 
 
 @dataclass(frozen=True)
@@ -85,6 +91,11 @@ class SolverPlan:
     #: (real OS processes over shared memory, with graceful fallback to
     #: the simulator when unavailable).
     backend: str = "simulated"
+    #: Working precision of the factorization: ``"fp64"``, ``"fp32"``
+    #: (single-precision factor + fp64 refinement recovery at solve
+    #: time) or ``"mixed"`` (fp32 hyperbolic elimination, fp64
+    #: generator accumulation).
+    precision: str = "fp64"
     predicted_seconds: float | None = None
     note: str = ""
     #: The operator the plan was made for (not part of equality or the
@@ -131,6 +142,9 @@ class SolverPlan:
             lines.append("  phase 3         explicit shift")
         if self.delta is not None:
             lines.append(f"  delta           {self.delta:g}")
+        if self.precision != "fp64":
+            lines.append(f"  precision       {self.precision} "
+                         "(fp64 recovery via refinement)")
         cache = "on" if self.use_cache else "off"
         lines.append(f"  cache           {cache} "
                      f"(fingerprint {self.fingerprint[:12]}…)")
@@ -217,7 +231,8 @@ def plan(op, *, assume: str = "auto", machine: MachineSpec | None = None,
          delta: float | None = None, use_cache: bool = True,
          probe: bool = True, nproc: int | None = None,
          distribution_b: float | None = None,
-         backend: str = "simulated") -> SolverPlan:
+         backend: str = "simulated",
+         precision: str = "fp64") -> SolverPlan:
     """Produce a :class:`SolverPlan` for ``op``.
 
     See :func:`_make_plan` for the parameter reference; this wrapper
@@ -229,7 +244,8 @@ def plan(op, *, assume: str = "auto", machine: MachineSpec | None = None,
                         block_size=block_size, panel=panel,
                         in_place=in_place, perturb=perturb, delta=delta,
                         use_cache=use_cache, probe=probe, nproc=nproc,
-                        distribution_b=distribution_b, backend=backend)
+                        distribution_b=distribution_b, backend=backend,
+                        precision=precision)
         sp.set(algorithm=pl.algorithm, order=pl.order,
                block_size=pl.block_size)
     return pl
@@ -244,7 +260,8 @@ def _make_plan(op, *, assume: str = "auto",
                delta: float | None = None, use_cache: bool = True,
                probe: bool = True, nproc: int | None = None,
                distribution_b: float | None = None,
-               backend: str = "simulated") -> SolverPlan:
+               backend: str = "simulated",
+               precision: str = "fp64") -> SolverPlan:
     """Produce a :class:`SolverPlan` for ``op``.
 
     Parameters
@@ -283,6 +300,13 @@ def _make_plan(op, *, assume: str = "auto",
         Where a distributed factorization runs.  ``"multiprocess"``
         uses real worker processes over shared memory and degrades to
         the simulator (with a recorded reason) when unavailable.
+    precision : {"fp64", "fp32", "mixed"}
+        Working precision of the factorization.  Reduced-precision
+        plans factor faster and route every solve through blocked
+        iterative refinement with fp64 residuals to recover double
+        accuracy; the engine falls back to an fp64 factorization when
+        the estimated condition number makes refinement inadmissible.
+        Serial only (``nproc > 1`` is fp64-only).
     """
     from repro.toeplitz.block_toeplitz import SymmetricBlockToeplitz
 
@@ -293,6 +317,10 @@ def _make_plan(op, *, assume: str = "auto",
         raise InvalidOptionError(
             f"unknown backend={backend!r}; expected one of "
             f"{_BACKEND_VALUES}")
+    if precision not in _PRECISION_VALUES:
+        raise InvalidOptionError(
+            f"unknown precision={precision!r}; expected one of "
+            f"{_PRECISION_VALUES}")
     if nproc is not None and nproc < 1:
         raise ShapeError(f"nproc must be positive, got {nproc}")
 
@@ -324,6 +352,10 @@ def _make_plan(op, *, assume: str = "auto",
         nproc = explicit_nproc
     if nproc > 1 and dist_b is None:
         dist_b = 1.0   # Version 1 unless the planner/user says otherwise
+    if nproc > 1 and precision != "fp64":
+        raise InvalidOptionError(
+            "reduced-precision factorization is serial-only: the "
+            "distributed backends run fp64; drop precision or nproc")
 
     # --- algorithm selection ------------------------------------------
     fallback: str | None = None
@@ -365,4 +397,5 @@ def _make_plan(op, *, assume: str = "auto",
         fallback=fallback, panel=panel, in_place=in_place,
         perturb=perturb, delta=delta, use_cache=use_cache,
         nproc=nproc, distribution_b=dist_b, backend=backend,
-        predicted_seconds=predicted, note=note, operator=target)
+        precision=precision, predicted_seconds=predicted, note=note,
+        operator=target)

@@ -31,8 +31,10 @@ def content_fingerprint(tag: str, *arrays, meta: tuple = ()) -> str:
     tag : str
         Structure discriminator (e.g. ``"sym-block-toeplitz"``).
     *arrays
-        The defining data, hashed as float64 C-contiguous bytes together
-        with their shapes (so ``(2, 3)`` and ``(3, 2)`` data differ).
+        The defining data, hashed as C-contiguous bytes in the *source*
+        dtype together with the shape and dtype tags (so ``(2, 3)`` and
+        ``(3, 2)`` data differ, and float32/float64 operators with equal
+        values never alias the same factorization-cache entry).
     meta : tuple
         Extra hashable scalars folded into the digest (block sizes,
         lengths, …).
@@ -43,8 +45,14 @@ def content_fingerprint(tag: str, *arrays, meta: tuple = ()) -> str:
         h.update(b"|")
         h.update(repr(v).encode("utf-8"))
     for a in arrays:
-        arr = np.ascontiguousarray(np.asarray(a, dtype=np.float64))
+        src = np.asarray(a)
+        if not isinstance(a, np.ndarray):
+            # Python scalars/lists: normalize to float64 so equal values
+            # hash identically regardless of literal spelling.
+            src = src.astype(np.float64)
+        arr = np.ascontiguousarray(src)
         h.update(b"#")
         h.update(str(arr.shape).encode("utf-8"))
+        h.update(arr.dtype.str.encode("utf-8"))
         h.update(arr.tobytes())
     return h.hexdigest()

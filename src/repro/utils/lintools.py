@@ -32,16 +32,20 @@ __all__ = [
 
 
 def as_panel(b: np.ndarray, order: int | None = None,
-             *, name: str = "b") -> tuple[np.ndarray, bool]:
+             *, name: str = "b",
+             dtype: np.dtype | None = None) -> tuple[np.ndarray, bool]:
     """Normalize a right-hand side to a C-contiguous ``n × k`` panel.
 
     Accepts a vector (``k = 1``) or a matrix of column right-hand sides
     in any dtype, memory order or striding (Fortran-ordered arrays and
     non-contiguous slices are copied once here rather than per kernel).
+    ``dtype`` pins the panel's working dtype (float64 by default, so
+    callers that never pass it keep the historical contract; a
+    reduced-precision factorization passes its own factor dtype).
     Returns ``(panel, single)`` where ``single`` records whether the
     input was 1-D so :func:`from_panel` can restore the shape.
     """
-    b = np.asarray(b, dtype=np.float64)
+    b = np.asarray(b, dtype=np.float64 if dtype is None else dtype)
     if b.ndim not in (1, 2):
         raise ShapeError(
             f"{name} must be a vector or an n×k panel, got ndim={b.ndim}")
@@ -62,7 +66,8 @@ def _charge_trsm(a: np.ndarray, b: np.ndarray) -> None:
     """Charge the canonical ``dtrsm`` flop count (n² per RHS column)."""
     from repro.blas import primitives as blas
     nrhs = 1 if b.ndim == 1 else b.shape[1]
-    blas.charge(a.shape[0] * a.shape[0] * nrhs, "trsm")
+    blas.charge(a.shape[0] * a.shape[0] * nrhs, "trsm",
+                dtype=a.dtype.name)
 
 
 def solve_lower_triangular(L: np.ndarray, B: np.ndarray,
