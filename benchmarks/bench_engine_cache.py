@@ -79,6 +79,13 @@ def measure_obs(pl, rhs, nrhs):
             pass
     per_span = (time.perf_counter() - t0) / calls
 
+    # Disabled health hooks: each returns after one enabled() check.
+    from repro.obs import health
+    t0 = time.perf_counter()
+    for _ in range(calls):
+        health.record_rotation_margin(1.0, 1e-14)
+    per_guard = (time.perf_counter() - t0) / calls
+
     obs.enable()
     try:
         cache.clear()
@@ -87,18 +94,30 @@ def measure_obs(pl, rhs, nrhs):
                                    _solve_many(pl, rhs, cache)))
         profiled = engine.execute(pl, rhs[0], cache=cache)
         spans_per_execute = sum(1 for _ in profiled.profile.root.walk())
+        snap = obs.default_registry().snapshot()
+        health_samples = sum(1 for k in snap
+                             if k.startswith("repro_health_"))
     finally:
         if not was_enabled:
             obs.disable()
 
-    disabled_overhead = (spans_per_execute * per_span * nrhs) / t_disabled
+    # The workload factors once (every later solve hits the cache), and
+    # that factorization runs one margin guard per eliminated column
+    # (~n) plus a handful of coarser hooks.  Fold their disabled cost
+    # into the same budget the span sites answer to.
+    guards_per_factor = pl.order + 4
+    disabled_overhead = (spans_per_execute * per_span * nrhs
+                         + guards_per_factor * per_guard) / t_disabled
     return {
         "seconds_obs_disabled": t_disabled,
         "seconds_obs_enabled": t_enabled,
         "enabled_overhead_pct": 100.0 * (t_enabled - t_disabled)
         / t_disabled,
         "disabled_span_cost_seconds": per_span,
+        "disabled_health_guard_seconds": per_guard,
         "spans_per_execute": spans_per_execute,
+        "health_guards_per_factor": guards_per_factor,
+        "health_samples_enabled": health_samples,
         "disabled_overhead_pct": 100.0 * disabled_overhead,
     }, profiled.profile
 
@@ -130,7 +149,10 @@ def test_engine_cache_throughput(benchmark):
         os.environ.get("REPRO_RESULTS_DIR",
                        os.path.join(os.path.dirname(__file__), "results")),
         "engine_cache_trace.jsonl")
-    obs.write_jsonl(profile.to_records(), trace_path)
+    records = profile.to_records()
+    obs.write_jsonl(records, trace_path)
+    chrome_path = trace_path.replace(".jsonl", "_chrome.json")
+    obs.write_chrome_trace(records, chrome_path)
 
     write_json_result("engine_cache", {
         "workload": {"n": n, "m_s": ms, "nrhs": nrhs,
@@ -145,6 +167,7 @@ def test_engine_cache_throughput(benchmark):
         "model_flops_factorization":
             profile.root.children[0].attributes.get("model_flops"),
         "trace_jsonl": trace_path,
+        "trace_chrome": chrome_path,
     })
 
     # the last timed pass factored once and hit on every later solve
@@ -152,5 +175,8 @@ def test_engine_cache_throughput(benchmark):
     assert stats.hits == nrhs - 1
     # factor-once must dominate: ≥5× end-to-end on 10 RHS
     assert speedup >= 5.0, (t_off, t_on)
-    # the disabled instrumentation path must stay below 2% of a solve
+    # the disabled instrumentation path (spans + health-hook guards)
+    # must stay below 2% of a solve
     assert overhead["disabled_overhead_pct"] < 2.0, overhead
+    # and the hooks must actually report once enabled
+    assert overhead["health_samples_enabled"] > 0, overhead

@@ -8,6 +8,16 @@ from repro.bench.tables import (
 )
 from repro.bench.runner import bench_scale, full_scale
 from repro.bench.plots import ascii_plot
+from repro.bench.history import (
+    append_history,
+    diff_results,
+    flatten_metrics,
+    load_baseline,
+    load_results,
+    render_diff,
+)
 
 __all__ = ["format_table", "format_series", "write_result",
-           "write_json_result", "bench_scale", "full_scale", "ascii_plot"]
+           "write_json_result", "bench_scale", "full_scale", "ascii_plot",
+           "append_history", "diff_results", "flatten_metrics",
+           "load_baseline", "load_results", "render_diff"]

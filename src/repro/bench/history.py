@@ -1,0 +1,240 @@
+"""Benchmark history: ingest ``BENCH_*.json`` runs, diff vs baseline.
+
+The benchmark harness has been writing machine-readable
+``benchmarks/results/BENCH_<name>.json`` artifacts since PR 2, but the
+perf trajectory was write-only — nothing compared one run against the
+last.  This module closes the loop:
+
+* :func:`flatten_metrics` — turn a nested benchmark payload into flat
+  dot-path numeric metrics (``timings.speedup``,
+  ``cells.3.speedup_vs_serial``);
+* :func:`append_history` — append one versioned line per metric to
+  ``BENCH_history.jsonl`` (the committed baseline file);
+* :func:`diff_results` — compare the current ``BENCH_*.json`` set
+  against the latest baseline run with per-metric direction +
+  threshold rules, flagging regressions.
+
+Direction rules are keyed on the metric leaf name: throughput-style
+metrics (``speedup``, ``rhs_per_second``, ``hits``) regress when they
+*drop* more than the threshold; deterministic cost counters
+(``misses``, ``evictions``, ``*_words_total``) regress when they
+*rise*.  Raw wall-clock metrics (``*_seconds``, ``*_overhead_pct``)
+are reported but never gated — CI machines are too noisy for absolute
+time comparisons, while speedup *ratios* and exact counts are stable.
+
+The CLI surface is ``repro bench ingest`` / ``repro bench diff``
+(nonzero exit on regression), wired into CI against the committed
+baseline.
+"""
+
+from __future__ import annotations
+
+import glob
+import json
+import os
+from dataclasses import dataclass
+
+from repro.bench.tables import _results_dir
+
+__all__ = [
+    "HISTORY_VERSION",
+    "DEFAULT_THRESHOLD",
+    "DiffEntry",
+    "flatten_metrics",
+    "load_results",
+    "append_history",
+    "load_baseline",
+    "diff_results",
+    "render_diff",
+    "history_path",
+]
+
+HISTORY_VERSION = 1
+
+#: Default relative-change threshold for gated metrics (15%): an
+#: injected 20% regression flags, benchmark jitter below does not.
+DEFAULT_THRESHOLD = 0.15
+
+#: Metric leaf names where *lower* is a regression (throughput-style).
+_HIGHER_BETTER = ("speedup", "rhs_per_second", "mflops", "hits")
+
+#: Metric leaf names where *higher* is a regression — deterministic
+#: algorithmic cost counters, so the gate can be tight.
+_LOWER_BETTER = ("misses", "evictions", "words", "messages",
+                 "solve_calls", "solve_columns", "refine_sweeps")
+
+#: Leaf-name fragments that are machine-noise dominated: recorded in
+#: the history, shown in the diff, never gated.
+_INFORMATIONAL = ("seconds", "overhead", "bytes", "flops", "err",
+                  "residual")
+
+
+def history_path(directory: str | None = None) -> str:
+    """Default location of the baseline: ``benchmarks/results/``."""
+    return os.path.join(_results_dir(directory), "BENCH_history.jsonl")
+
+
+def _direction(metric: str) -> str:
+    """``"higher"`` / ``"lower"`` (gated) or ``"info"`` (not gated)."""
+    leaf = metric.rsplit(".", 1)[-1]
+    for frag in _INFORMATIONAL:
+        if frag in leaf:
+            return "info"
+    for frag in _HIGHER_BETTER:
+        if frag in leaf:
+            return "higher"
+    for frag in _LOWER_BETTER:
+        if frag in leaf:
+            return "lower"
+    return "info"
+
+
+def flatten_metrics(payload, prefix: str = "") -> dict[str, float]:
+    """Flat ``{dot.path: value}`` of every numeric leaf in ``payload``.
+
+    Lists index positionally (benchmark cell order is deterministic);
+    booleans and strings are skipped — only quantities diff.
+    """
+    out: dict[str, float] = {}
+    if isinstance(payload, bool):
+        return out
+    if isinstance(payload, (int, float)):
+        out[prefix] = float(payload)
+        return out
+    if isinstance(payload, dict):
+        for key in sorted(payload):
+            path = f"{prefix}.{key}" if prefix else str(key)
+            out.update(flatten_metrics(payload[key], path))
+    elif isinstance(payload, (list, tuple)):
+        for i, item in enumerate(payload):
+            path = f"{prefix}.{i}" if prefix else str(i)
+            out.update(flatten_metrics(item, path))
+    return out
+
+
+def load_results(directory: str | None = None) -> dict[str, dict]:
+    """Read every ``BENCH_<name>.json`` under the results directory."""
+    directory = _results_dir(directory)
+    results: dict[str, dict] = {}
+    for path in sorted(glob.glob(os.path.join(directory, "BENCH_*.json"))):
+        name = os.path.basename(path)[len("BENCH_"):-len(".json")]
+        with open(path, "r", encoding="utf-8") as fh:
+            results[name] = json.load(fh)
+    return results
+
+
+def append_history(results: dict[str, dict], label: str,
+                   path: str | None = None) -> int:
+    """Append one line per metric for run ``label``; returns the count.
+
+    Every line is self-describing:
+    ``{"v": 1, "run": label, "bench": name, "metric": path,
+    "value": v}`` — so the baseline file stays greppable and a future
+    schema bump can coexist with old lines.
+    """
+    path = path or history_path()
+    count = 0
+    with open(path, "a", encoding="utf-8") as fh:
+        for bench in sorted(results):
+            for metric, value in flatten_metrics(results[bench]).items():
+                fh.write(json.dumps({
+                    "v": HISTORY_VERSION, "run": label, "bench": bench,
+                    "metric": metric, "value": value,
+                }, sort_keys=True) + "\n")
+                count += 1
+    return count
+
+
+def load_baseline(path: str | None = None
+                  ) -> dict[tuple[str, str], float]:
+    """Latest value per (bench, metric) from the history file.
+
+    Later runs overwrite earlier ones, so the baseline is always the
+    most recent ingested state.
+    """
+    path = path or history_path()
+    baseline: dict[tuple[str, str], float] = {}
+    with open(path, "r", encoding="utf-8") as fh:
+        for line in fh:
+            line = line.strip()
+            if not line:
+                continue
+            rec = json.loads(line)
+            if rec.get("v") != HISTORY_VERSION:
+                raise ValueError(
+                    f"unsupported history version {rec.get('v')!r} "
+                    f"in {path}")
+            baseline[(rec["bench"], rec["metric"])] = float(rec["value"])
+    return baseline
+
+
+@dataclass(frozen=True)
+class DiffEntry:
+    """One metric compared against its baseline."""
+
+    bench: str
+    metric: str
+    baseline: float
+    current: float
+    direction: str          #: "higher" / "lower" / "info"
+    change: float | None    #: relative change (None when baseline = 0)
+    regression: bool
+
+    @property
+    def label(self) -> str:
+        return f"{self.bench}:{self.metric}"
+
+
+def diff_results(results: dict[str, dict],
+                 baseline: dict[tuple[str, str], float], *,
+                 threshold: float = DEFAULT_THRESHOLD
+                 ) -> list[DiffEntry]:
+    """Compare current results against the baseline.
+
+    Only metrics present on both sides diff (new benchmarks are not
+    regressions, removed ones are caught by the ingest step's count).
+    A gated metric regresses when it moves against its direction by
+    more than ``threshold`` (relative); a lower-is-better metric with
+    a zero baseline regresses on any nonzero value.
+    """
+    entries: list[DiffEntry] = []
+    for bench in sorted(results):
+        for metric, value in flatten_metrics(results[bench]).items():
+            base = baseline.get((bench, metric))
+            if base is None:
+                continue
+            direction = _direction(metric)
+            change = (value - base) / abs(base) if base != 0.0 else None
+            regression = False
+            if direction == "higher" and base != 0.0:
+                regression = value < base * (1.0 - threshold)
+            elif direction == "lower":
+                if base == 0.0:
+                    regression = value > 0.0
+                else:
+                    regression = value > base * (1.0 + threshold)
+            entries.append(DiffEntry(
+                bench=bench, metric=metric, baseline=base,
+                current=value, direction=direction, change=change,
+                regression=regression))
+    return entries
+
+
+def render_diff(entries: list[DiffEntry], *,
+                show_all: bool = False) -> str:
+    """Human-readable diff: regressions always, the rest on request."""
+    regressions = [e for e in entries if e.regression]
+    gated = [e for e in entries if e.direction != "info"]
+    lines = [f"bench diff: {len(entries)} metrics compared, "
+             f"{len(gated)} gated, {len(regressions)} regression(s)"]
+    shown = entries if show_all else regressions
+    for e in shown:
+        delta = (f"{e.change:+.1%}" if e.change is not None
+                 else f"{e.current:+.3g} from 0")
+        mark = "REGRESSION" if e.regression else (
+            e.direction if e.direction != "info" else "info")
+        lines.append(f"  [{mark}] {e.label}: {e.baseline:.6g} -> "
+                     f"{e.current:.6g} ({delta})")
+    if not shown and not show_all:
+        lines.append("  all gated metrics within threshold")
+    return "\n".join(lines)

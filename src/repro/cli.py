@@ -27,6 +27,17 @@ Commands
 ``tune <matrix> [--nproc NP]``
     Recommend a configuration (block size, representation, data
     distribution) for this problem on the modeled machine.
+``trace report <trace.jsonl> […]``
+    Analyze a recorded JSONL trace (from ``--trace-out``): critical
+    path, per-rank utilization/imbalance, achieved-vs-modeled flop
+    efficiency.  Several per-rank files merge time-ordered.
+``trace timeline <trace.jsonl> […] -o chrome.json``
+    Export to Chrome trace-event JSON for ``chrome://tracing`` /
+    Perfetto.
+``bench ingest / bench diff``
+    Maintain ``BENCH_history.jsonl`` from the ``BENCH_*.json``
+    benchmark artifacts and diff the current results against the
+    committed baseline (nonzero exit on regression).
 ``bench-info``
     List the paper figures/tables and the benchmark that regenerates
     each.
@@ -102,16 +113,28 @@ def _want_profile(args) -> bool:
     return False
 
 
-def _emit_profile(args, profile) -> None:
-    """Print the span tree / metrics and write the JSONL trace."""
+def _emit_profile(args, profile, result=None) -> None:
+    """Print the span tree / metrics / health and write the JSONL trace.
+
+    ``result`` (an engine ``ExecutionResult``) lets the trace carry the
+    always-on per-execution summary record alongside the span tree, so
+    ``repro trace report`` can pair phase timings with flop totals.
+    """
     if profile is None:
         return
     if args.profile:
         print()
         print(profile.render())
+        from repro.obs import health_summary, render_health
+        summary = health_summary(profile.metrics)
+        if summary["observed"]:
+            print()
+            print(render_health(summary))
     if args.trace_out:
         from repro.obs import write_jsonl
-        write_jsonl(profile.to_records(), args.trace_out)
+        records = (result.to_trace_records() if result is not None
+                   else profile.to_records())
+        write_jsonl(records, args.trace_out)
         print(f"trace written to {args.trace_out}")
 
 
@@ -259,7 +282,7 @@ def _cmd_solve(args) -> int:
     else:
         np.set_printoptions(precision=6, suppress=False, threshold=20)
         print(f"x = {x}")
-    _emit_profile(args, res.profile)
+    _emit_profile(args, res.profile, result=res)
     return 0
 
 
@@ -340,6 +363,60 @@ def _cmd_bench_info(_args) -> int:
     print("\nrun: pytest benchmarks/ --benchmark-only "
           "[REPRO_BENCH_FULL=1 for paper sizes]")
     return 0
+
+
+def _trace_input(paths) -> list[dict]:
+    """Load one JSONL trace, or merge several per-rank files."""
+    from repro.obs import merge_rank_traces, read_jsonl
+    if len(paths) == 1:
+        return read_jsonl(paths[0])
+    return merge_rank_traces(paths)
+
+
+def _cmd_trace_report(args) -> int:
+    import json as _json
+
+    from repro.obs import analyze_records
+    report = analyze_records(_trace_input(args.trace))
+    if args.json:
+        print(_json.dumps(report.to_dict(), indent=2, sort_keys=True))
+    else:
+        print(report.render())
+    return 0
+
+
+def _cmd_trace_timeline(args) -> int:
+    from repro.obs import write_chrome_trace
+    write_chrome_trace(_trace_input(args.trace), args.output)
+    print(f"chrome trace written to {args.output} "
+          f"(open in chrome://tracing or https://ui.perfetto.dev)")
+    return 0
+
+
+def _cmd_bench_ingest(args) -> int:
+    from repro.bench import history
+    results = history.load_results(args.results_dir)
+    if not results:
+        print("no BENCH_*.json results found", file=sys.stderr)
+        return 1
+    path = args.history or history.history_path(args.results_dir)
+    count = history.append_history(results, args.label, path)
+    print(f"ingested {len(results)} benchmark(s), {count} metric(s) "
+          f"into {path} as run {args.label!r}")
+    return 0
+
+
+def _cmd_bench_diff(args) -> int:
+    from repro.bench import history
+    results = history.load_results(args.results_dir)
+    path = args.history or history.history_path(args.results_dir)
+    baseline = history.load_baseline(path)
+    threshold = (args.threshold if args.threshold is not None
+                 else history.DEFAULT_THRESHOLD)
+    entries = history.diff_results(results, baseline,
+                                   threshold=threshold)
+    print(history.render_diff(entries, show_all=args.show_all))
+    return 1 if any(e.regression for e in entries) else 0
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -433,6 +510,60 @@ def build_parser() -> argparse.ArgumentParser:
     add_matrix_args(p)
     p.add_argument("--nproc", type=int, default=1)
     p.set_defaults(func=_cmd_tune)
+
+    p = sub.add_parser("trace",
+                       help="analyze / export recorded JSONL traces")
+    tsub = p.add_subparsers(dest="trace_command", required=True)
+    pt = tsub.add_parser(
+        "report",
+        help="critical path, per-rank utilization/imbalance, and "
+             "achieved-vs-modeled flop efficiency")
+    pt.add_argument("trace", nargs="+",
+                    help="JSONL trace file(s) from --trace-out; "
+                         "several files merge time-ordered")
+    pt.add_argument("--json", action="store_true",
+                    help="emit the report as JSON instead of text")
+    pt.set_defaults(func=_cmd_trace_report)
+    pt = tsub.add_parser(
+        "timeline",
+        help="export to Chrome trace-event JSON "
+             "(chrome://tracing / Perfetto)")
+    pt.add_argument("trace", nargs="+",
+                    help="JSONL trace file(s); several files merge "
+                         "time-ordered")
+    pt.add_argument("-o", "--output", required=True,
+                    help="output .json path for the Chrome trace")
+    pt.set_defaults(func=_cmd_trace_timeline)
+
+    p = sub.add_parser("bench",
+                       help="benchmark history and regression diffing")
+    bsub = p.add_subparsers(dest="bench_command", required=True)
+    pb = bsub.add_parser(
+        "ingest",
+        help="append current BENCH_*.json results to the history "
+             "baseline")
+    pb.add_argument("--results-dir", default=None,
+                    help="directory holding BENCH_*.json "
+                         "(default benchmarks/results)")
+    pb.add_argument("--history", default=None,
+                    help="history JSONL path "
+                         "(default <results-dir>/BENCH_history.jsonl)")
+    pb.add_argument("--label", default="current",
+                    help="run label recorded on every ingested metric")
+    pb.set_defaults(func=_cmd_bench_ingest)
+    pb = bsub.add_parser(
+        "diff",
+        help="diff current BENCH_*.json against the baseline; exits "
+             "nonzero on regression")
+    pb.add_argument("--results-dir", default=None)
+    pb.add_argument("--history", default=None)
+    pb.add_argument("--threshold", type=float, default=None,
+                    help="relative regression threshold for gated "
+                         "metrics (default 0.15)")
+    pb.add_argument("--all", action="store_true", dest="show_all",
+                    help="show every compared metric, not just "
+                         "regressions")
+    pb.set_defaults(func=_cmd_bench_diff)
 
     p = sub.add_parser("bench-info",
                        help="list paper artifacts and their benches")

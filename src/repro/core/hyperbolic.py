@@ -20,9 +20,11 @@ import math
 
 import numpy as np
 
+import repro.obs as obs
 from repro.blas import primitives as blas
 from repro.core.signature import hyperbolic_norm_squared, signature_vector
 from repro.errors import BreakdownError, ShapeError
+from repro.obs import health
 
 __all__ = ["HyperbolicHouseholder", "reflector_annihilating"]
 
@@ -173,6 +175,8 @@ def reflector_annihilating(u: np.ndarray, w: np.ndarray, j: int, *,
         raise BreakdownError(
             f"pivot column has (numerically) zero hyperbolic norm "
             f"(uᵀWu = {h:.3e}, ‖u‖² = {unorm2:.3e})")
+    if obs.enabled():
+        health.record_rotation_margin(abs(h) / unorm2, breakdown_tol)
     wjj = float(w[j])
     if wjj * h <= 0.0:
         raise BreakdownError(

@@ -26,7 +26,9 @@ from __future__ import annotations
 
 import numpy as np
 
+import repro.obs as obs
 from repro.errors import InvalidOptionError
+from repro.obs import health
 
 __all__ = [
     "PRECISIONS",
@@ -140,6 +142,8 @@ def refinement_admissible(cond: float, precision: str, *,
     """
     if precision == "fp64":
         return True
-    if not np.isfinite(cond):
-        return False
-    return cond * precision_eps(precision) <= limit
+    admitted = (np.isfinite(cond)
+                and cond * precision_eps(precision) <= limit)
+    if obs.enabled():
+        health.record_admission(precision, float(cond), admitted)
+    return admitted

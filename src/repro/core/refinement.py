@@ -34,6 +34,7 @@ import numpy as np
 
 import repro.obs as obs
 from repro.errors import ShapeError
+from repro.obs import health
 from repro.toeplitz.block_toeplitz import SymmetricBlockToeplitz
 from repro.toeplitz.matvec import BlockCirculantEmbedding
 from repro.utils.lintools import as_panel
@@ -205,6 +206,8 @@ def refine(factorization, t: SymmetricBlockToeplitz, b: np.ndarray, *,
                 break
         sp.set(iterations=len(corr_norms), converged=converged,
                final_residual=res_norms[-1])
+        if traced:
+            health.record_refinement(res_norms, converged)
     return RefinementResult(
         x=x,
         iterations=len(corr_norms),
@@ -296,6 +299,8 @@ def _refine_block(factorization, emb: BlockCirculantEmbedding,
         sp.set(iterations=len(corr_norms), converged=converged,
                final_residual=res_norms[-1], solve_calls=solve_calls,
                solve_columns=solve_columns)
+        if traced:
+            health.record_refinement(res_norms, converged)
     return RefinementResult(
         x=x,
         iterations=len(corr_norms),

@@ -41,6 +41,7 @@ from repro.core.precision import (
 )
 from repro.core.schur_spd import _apply_reflector_pair
 from repro.errors import BreakdownError, SingularMinorError
+from repro.obs import health
 from repro.toeplitz.block_toeplitz import SymmetricBlockToeplitz
 from repro.utils.lintools import as_panel, from_panel, \
     solve_upper_triangular
@@ -339,6 +340,8 @@ def schur_indefinite_factor(t: SymmetricBlockToeplitz | Generator, *,
                 perturb_threshold=perturb_threshold, scale0=scale0,
                 events_p=events_p, events_i=events_i, elim_dtype=elim)
             transform_norms.append(step_norm)
+            if obs.enabled():
+                health.record_growth_factor(i, step_norm)
             # fp32: keep the decaying generator out of the subnormal
             # range (subnormal sgemm runs ~30× slower).
             flush_tiny(upper)
@@ -348,6 +351,8 @@ def schur_indefinite_factor(t: SymmetricBlockToeplitz | Generator, *,
         sp.set(perturbations=len(events_p), interchanges=len(events_i),
                max_transform_norm=(max(transform_norms)
                                    if transform_norms else 0.0))
+    if obs.enabled():
+        health.record_indefinite_events(len(events_p), len(events_i))
     return IndefiniteFactorization(r, d, m, p,
                                    perturbations=events_p,
                                    interchanges=events_i,

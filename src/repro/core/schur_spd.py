@@ -49,6 +49,7 @@ from repro.errors import (
     NotPositiveDefiniteError,
     ShapeError,
 )
+from repro.obs import health
 from repro.toeplitz.block_toeplitz import SymmetricBlockToeplitz
 from repro.utils.lintools import as_panel, from_panel, \
     solve_upper_triangular
@@ -341,6 +342,10 @@ def schur_spd_factor(t: SymmetricBlockToeplitz | Generator, *,
         if counter is not None:
             sp.set(counted_flops=counter.total,
                    counted_flops_by_phase=dict(counter.by_category))
+        if obs.enabled():
+            diag = np.abs(np.diag(r))
+            health.record_pivot_spread(float(diag.min()),
+                                       float(diag.max()))
     return SPDFactorization(r, m, p, opts,
                             reflectors=collected or [],
                             precision=opts.precision)

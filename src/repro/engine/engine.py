@@ -207,6 +207,22 @@ class ExecutionResult:
     #: Always-collected timing/flop summary for this execution.
     record: ExecutionRecord | None = None
 
+    def to_trace_records(self) -> list[dict]:
+        """Full trace of this execution: span records + the summary.
+
+        The profile's span tree (when observability was on) followed by
+        the always-on :class:`ExecutionRecord` as a root-level
+        ``kind="execution"`` record — the shape ``repro trace report``
+        needs to pair per-phase timings with modeled/counted flop
+        totals.  Works with observability off too (summary only).
+        """
+        records: list[dict] = []
+        if self.profile is not None:
+            records = obs.span_records(self.profile.root)
+        if self.record is not None:
+            records.append(self.record.to_record(rec_id=len(records)))
+        return records
+
 
 # ----------------------------------------------------------------------
 # Execution

@@ -14,7 +14,14 @@ reproduction observable the same way in *production* terms:
 * :mod:`repro.obs.schema` / :mod:`repro.obs.export` — one flat record
   schema shared by real spans and the simulated machine's
   :class:`~repro.machine.trace.Trace`, serialized as JSONL for the
-  benchmark harness and CI artifacts.
+  benchmark harness and CI artifacts;
+* :mod:`repro.obs.analyze` — critical-path, per-rank utilization /
+  imbalance and achieved-vs-modeled flop reports over any trace;
+* :mod:`repro.obs.timeline` — Chrome trace-event export
+  (``chrome://tracing`` / Perfetto);
+* :mod:`repro.obs.health` — numerical-health gauges (rotation margins,
+  §8.2 growth factors, admission decisions, refinement convergence)
+  with a breakdown early-warning summary.
 
 Enable per-process with ``REPRO_OBS=1``, programmatically with
 :func:`enable`, or per-run with the CLI ``--profile`` flag; execution
@@ -54,11 +61,15 @@ from repro.obs.metrics import (
     set_default_registry,
 )
 from repro.obs.export import (
+    merge_rank_traces,
     read_jsonl,
     span_records,
     trace_records,
     write_jsonl,
 )
+from repro.obs.analyze import TraceReport, analyze_file, analyze_records
+from repro.obs.timeline import chrome_trace, write_chrome_trace
+from repro.obs.health import health_summary, render_health
 
 __all__ = [
     "COMM_KINDS",
@@ -87,8 +98,16 @@ __all__ = [
     "default_registry",
     "render_prometheus",
     "set_default_registry",
+    "merge_rank_traces",
     "read_jsonl",
     "span_records",
     "trace_records",
     "write_jsonl",
+    "TraceReport",
+    "analyze_file",
+    "analyze_records",
+    "chrome_trace",
+    "write_chrome_trace",
+    "health_summary",
+    "render_health",
 ]

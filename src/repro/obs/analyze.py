@@ -1,0 +1,388 @@
+"""Trace analysis: critical path, rank utilization, flop efficiency.
+
+The paper's whole evaluation is observational — per-PE phase breakdowns
+(Figure 5's distributions), achieved vs modeled flop rates (Figures
+6–10) — and this module computes the same three reports from any JSONL
+trace in the unified schema (:mod:`repro.obs.schema`), whether the
+records came from the in-process span tracer, the simulated machine, or
+the real multiprocess backend:
+
+* **critical path** — the longest chain of nested spans (tree traces)
+  or the busiest rank's kind breakdown (flat per-PE traces): what a
+  faster implementation must shorten;
+* **per-rank utilization** — busy (:data:`~repro.obs.schema.COMPUTE_KINDS`),
+  communication (:data:`~repro.obs.schema.COMM_KINDS`) and idle seconds
+  per rank against the makespan, plus the max/mean busy **imbalance**
+  factor (1.0 = perfectly balanced);
+* **flop efficiency** — achieved MFLOP/s from the flop attributes the
+  engine stamps on spans (``model_flops``/``counted_flops``) or from
+  per-execution summary records, and the counted/modeled ratio — the
+  roofline-style achieved-vs-modeled comparison.
+
+Entry points: :func:`analyze_records` / :func:`analyze_file` →
+:class:`TraceReport` (``render()`` for the CLI, ``to_dict()`` for
+machine consumption).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.obs.export import read_jsonl
+from repro.obs.schema import COMM_KINDS, COMPUTE_KINDS, KIND_EXECUTION
+
+__all__ = [
+    "CriticalPathEntry",
+    "RankUtilization",
+    "FlopReport",
+    "TraceReport",
+    "analyze_records",
+    "analyze_file",
+]
+
+
+@dataclass(frozen=True)
+class CriticalPathEntry:
+    """One hop of the critical path."""
+
+    name: str
+    kind: str
+    duration: float          #: seconds spent in this hop
+    self_time: float         #: seconds not covered by the next hop
+    rank: int | None = None
+    depth: int = 0           #: nesting level (flat breakdowns stay at 1)
+
+
+@dataclass(frozen=True)
+class RankUtilization:
+    """One rank's (or the single serial lane's) time breakdown."""
+
+    rank: int | None
+    busy: float              #: seconds in COMPUTE_KINDS
+    comm: float              #: seconds in COMM_KINDS
+    idle: float              #: makespan − busy − comm (≥ 0)
+    utilization: float       #: busy / makespan
+
+
+@dataclass(frozen=True)
+class FlopReport:
+    """Achieved-vs-modeled flop summary (paper Figures 6–10 shape)."""
+
+    model_flops: float | None
+    counted_flops: float | None
+    seconds: float
+    achieved_mflops: float | None   #: counted (or model) flops / time
+    counted_over_model: float | None
+
+    @property
+    def available(self) -> bool:
+        return self.model_flops is not None or \
+            self.counted_flops is not None
+
+
+@dataclass(frozen=True)
+class TraceReport:
+    """Everything :func:`analyze_records` extracts from one trace."""
+
+    makespan: float
+    num_records: int
+    sources: tuple[str, ...]
+    critical_path: tuple[CriticalPathEntry, ...]
+    ranks: tuple[RankUtilization, ...]
+    imbalance: float | None          #: max busy / mean busy (None: serial)
+    flops: FlopReport
+
+    def to_dict(self) -> dict:
+        return {
+            "makespan": self.makespan,
+            "num_records": self.num_records,
+            "sources": list(self.sources),
+            "critical_path": [
+                {"name": e.name, "kind": e.kind, "duration": e.duration,
+                 "self_time": e.self_time, "rank": e.rank,
+                 "depth": e.depth}
+                for e in self.critical_path],
+            "ranks": [
+                {"rank": r.rank, "busy": r.busy, "comm": r.comm,
+                 "idle": r.idle, "utilization": r.utilization}
+                for r in self.ranks],
+            "imbalance": self.imbalance,
+            "flops": {
+                "model_flops": self.flops.model_flops,
+                "counted_flops": self.flops.counted_flops,
+                "seconds": self.flops.seconds,
+                "achieved_mflops": self.flops.achieved_mflops,
+                "counted_over_model": self.flops.counted_over_model,
+            },
+        }
+
+    def render(self) -> str:
+        """Human-readable report (the CLI ``trace report`` output)."""
+        lines = [
+            f"trace report ({self.num_records} records, "
+            f"sources: {', '.join(self.sources) or 'none'})",
+            f"  makespan: {_fmt_s(self.makespan)}",
+            "critical path:",
+        ]
+        total = self.critical_path[0].duration if self.critical_path \
+            else 0.0
+        for e in self.critical_path:
+            where = f" [rank {e.rank}]" if e.rank is not None else ""
+            share = f" ({100.0 * e.duration / total:.0f}%)" if total else ""
+            lines.append(f"  {'  ' * e.depth}{e.name}{where}: "
+                         f"{_fmt_s(e.duration)}{share}  "
+                         f"self {_fmt_s(e.self_time)}")
+        if not self.critical_path:
+            lines.append("  (empty trace)")
+        lines.append("per-rank utilization:")
+        for r in self.ranks:
+            lane = "serial" if r.rank is None else f"rank {r.rank}"
+            lines.append(
+                f"  {lane:<8} busy {_fmt_s(r.busy)}  comm "
+                f"{_fmt_s(r.comm)}  idle {_fmt_s(r.idle)}  "
+                f"util {100.0 * r.utilization:5.1f}%")
+        if self.imbalance is not None:
+            lines.append(f"  imbalance (max/mean busy): "
+                         f"{self.imbalance:.2f}x")
+        lines.append("flop efficiency:")
+        f = self.flops
+        if f.available:
+            if f.model_flops is not None:
+                lines.append(f"  modeled flops:  {f.model_flops:,.0f}")
+            if f.counted_flops is not None:
+                lines.append(f"  counted flops:  {f.counted_flops:,.0f}")
+            if f.counted_over_model is not None:
+                lines.append(f"  counted / modeled: "
+                             f"{f.counted_over_model:.3f}")
+            if f.achieved_mflops is not None:
+                lines.append(f"  achieved rate:  "
+                             f"{f.achieved_mflops:,.1f} MFLOP/s "
+                             f"over {_fmt_s(f.seconds)}")
+        else:
+            lines.append("  n/a (no flop attributes in this trace — "
+                         "simulated event traces carry timing only)")
+        return "\n".join(lines)
+
+
+def _fmt_s(seconds: float) -> str:
+    if seconds >= 1.0:
+        return f"{seconds:.3f}s"
+    if seconds >= 1e-3:
+        return f"{seconds * 1e3:.2f}ms"
+    return f"{seconds * 1e6:.1f}us"
+
+
+def _duration(rec: dict) -> float:
+    return max(0.0, rec["end"] - rec["start"])
+
+
+# ----------------------------------------------------------------------
+# Critical path
+# ----------------------------------------------------------------------
+def _critical_path(records: list[dict]) -> list[CriticalPathEntry]:
+    """Longest root-to-leaf chain by duration.
+
+    Span trees (engine / mp-backend profiles) descend from the
+    longest-duration root into the longest-duration child at each
+    level.  Flat per-rank traces (the simulator: every record is a
+    root) have no tree to descend; instead the rank that owns the
+    makespan *is* the critical path, reported as its per-kind
+    aggregation — which matches the classical definition for a
+    barrier-synchronized SPMD schedule (the slowest PE paces everyone).
+    """
+    children: dict[int, list[dict]] = {}
+    roots: list[dict] = []
+    for rec in records:
+        if rec["parent"] is None:
+            roots.append(rec)
+        else:
+            children.setdefault(rec["parent"], []).append(rec)
+    if not roots:
+        return []
+    # Per-execution summary records duplicate their span tree's wall
+    # time; the path should descend the tree, not end on the summary.
+    span_roots = [r for r in roots if r["kind"] != KIND_EXECUTION]
+    if span_roots:
+        roots = span_roots
+    if children:
+        path: list[CriticalPathEntry] = []
+        node = max(roots, key=_duration)
+        depth = 0
+        while node is not None:
+            kids = children.get(node["id"], [])
+            longest = max(kids, key=_duration) if kids else None
+            dur = _duration(node)
+            self_time = dur - (_duration(longest) if longest is not None
+                               else 0.0)
+            path.append(CriticalPathEntry(
+                name=node["name"], kind=node["kind"], duration=dur,
+                self_time=max(0.0, self_time), rank=node["rank"],
+                depth=depth))
+            node = longest
+            depth += 1
+        return path
+    # Flat trace: aggregate the busiest rank's events by kind.
+    by_rank: dict[int | None, list[dict]] = {}
+    for rec in roots:
+        by_rank.setdefault(rec["rank"], []).append(rec)
+    crit_rank = max(by_rank,
+                    key=lambda rk: max(r["end"] for r in by_rank[rk]))
+    events = by_rank[crit_rank]
+    span = (max(r["end"] for r in events)
+            - min(r["start"] for r in events))
+    path = [CriticalPathEntry(name=f"rank {crit_rank}", kind="rank",
+                              duration=span, self_time=0.0,
+                              rank=crit_rank, depth=0)]
+    by_kind: dict[str, float] = {}
+    for rec in events:
+        by_kind[rec["kind"]] = by_kind.get(rec["kind"], 0.0) \
+            + _duration(rec)
+    for kind, dur in sorted(by_kind.items(), key=lambda kv: -kv[1]):
+        path.append(CriticalPathEntry(name=kind, kind=kind,
+                                      duration=dur, self_time=dur,
+                                      rank=crit_rank, depth=1))
+    return path
+
+
+# ----------------------------------------------------------------------
+# Utilization / imbalance
+# ----------------------------------------------------------------------
+def _leaf_intervals(records: list[dict]) -> list[dict]:
+    """Records whose time is not double counted by a descendant.
+
+    For span trees, a parent's interval includes its children's; only
+    leaves (and the synthetic phase records, which are always leaves)
+    carry chargeable time.  Flat traces are all leaves already.
+    """
+    has_child = {rec["parent"] for rec in records
+                 if rec["parent"] is not None}
+    return [rec for rec in records if rec["id"] not in has_child]
+
+
+def _utilization(records: list[dict], makespan: float
+                 ) -> tuple[list[RankUtilization], float | None]:
+    leaves = _leaf_intervals(records)
+    per_rank: dict[int | None, dict[str, float]] = {}
+    for rec in leaves:
+        acc = per_rank.setdefault(rec["rank"], {"busy": 0.0, "comm": 0.0})
+        if rec["kind"] in COMPUTE_KINDS:
+            acc["busy"] += _duration(rec)
+        elif rec["kind"] in COMM_KINDS:
+            acc["comm"] += _duration(rec)
+    # Unranked leaves fold into the serial lane only when no ranks
+    # exist: in a mixed trace (engine spans + per-PE records) the
+    # engine-side bookkeeping is not a lane of the parallel schedule.
+    ranked = {rk for rk in per_rank if rk is not None}
+    if ranked:
+        per_rank = {rk: acc for rk, acc in per_rank.items()
+                    if rk is not None}
+    utils: list[RankUtilization] = []
+    for rank in sorted(per_rank, key=lambda rk: (-1 if rk is None else rk)):
+        acc = per_rank[rank]
+        idle = max(0.0, makespan - acc["busy"] - acc["comm"])
+        utils.append(RankUtilization(
+            rank=rank, busy=acc["busy"], comm=acc["comm"], idle=idle,
+            utilization=(acc["busy"] / makespan) if makespan > 0 else 0.0))
+    imbalance: float | None = None
+    if len(utils) > 1:
+        busies = [u.busy for u in utils]
+        mean = sum(busies) / len(busies)
+        if mean > 0:
+            imbalance = max(busies) / mean
+    return utils, imbalance
+
+
+# ----------------------------------------------------------------------
+# Flop efficiency
+# ----------------------------------------------------------------------
+def _flop_report(records: list[dict], makespan: float) -> FlopReport:
+    """Aggregate flop attributes without double counting.
+
+    Per-execution summary records (``kind == "execution"``) already
+    total their span tree's flops, so when any are present they are
+    used exclusively.  Otherwise span attributes are summed, skipping
+    spans whose ancestors already carried the same attribute (the
+    engine stamps ``model_flops`` once per top-level operation).
+    """
+    execs = [r for r in records if r["kind"] == KIND_EXECUTION]
+    model = counted = 0.0
+    seen_model = seen_counted = False
+    seconds = makespan
+    if execs:
+        sec = 0.0
+        for rec in execs:
+            attrs = rec.get("attrs", {})
+            if isinstance(attrs.get("model_flops"), (int, float)):
+                model += attrs["model_flops"]
+                seen_model = True
+            if isinstance(attrs.get("counted_flops"), (int, float)):
+                counted += attrs["counted_flops"]
+                seen_counted = True
+            sec += _duration(rec)
+        seconds = sec or makespan
+    else:
+        by_id = {rec["id"]: rec for rec in records}
+
+        def ancestor_has(rec: dict, key: str) -> bool:
+            parent = rec["parent"]
+            while parent is not None:
+                anc = by_id.get(parent)
+                if anc is None:
+                    return False
+                if isinstance(anc.get("attrs", {}).get(key),
+                              (int, float)):
+                    return True
+                parent = anc["parent"]
+            return False
+
+        for rec in records:
+            attrs = rec.get("attrs", {})
+            mf = attrs.get("model_flops")
+            if isinstance(mf, (int, float)) and \
+                    not ancestor_has(rec, "model_flops"):
+                model += mf
+                seen_model = True
+            cf = attrs.get("counted_flops")
+            if isinstance(cf, (int, float)) and \
+                    not ancestor_has(rec, "counted_flops"):
+                counted += cf
+                seen_counted = True
+    best = counted if seen_counted else (model if seen_model else None)
+    achieved = (best / seconds / 1e6
+                if best is not None and seconds > 0 else None)
+    ratio = (counted / model
+             if seen_model and seen_counted and model > 0 else None)
+    return FlopReport(
+        model_flops=model if seen_model else None,
+        counted_flops=counted if seen_counted else None,
+        seconds=seconds,
+        achieved_mflops=achieved,
+        counted_over_model=ratio)
+
+
+# ----------------------------------------------------------------------
+# Entry points
+# ----------------------------------------------------------------------
+def analyze_records(records: list[dict]) -> TraceReport:
+    """Compute the full :class:`TraceReport` for in-memory records."""
+    records = list(records)
+    if records:
+        start = min(r["start"] for r in records)
+        end = max(r["end"] for r in records)
+        makespan = max(0.0, end - start)
+    else:
+        makespan = 0.0
+    ranks, imbalance = _utilization(records, makespan)
+    return TraceReport(
+        makespan=makespan,
+        num_records=len(records),
+        sources=tuple(sorted({r["source"] for r in records})),
+        critical_path=tuple(_critical_path(records)),
+        ranks=tuple(ranks),
+        imbalance=imbalance,
+        flops=_flop_report(records, makespan))
+
+
+def analyze_file(path: str) -> TraceReport:
+    """Analyze a JSONL trace file (any source)."""
+    return analyze_records(read_jsonl(path))

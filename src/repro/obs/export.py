@@ -10,6 +10,8 @@ artifact.
 from __future__ import annotations
 
 import json
+import math
+import os
 
 from repro.obs.schema import (
     SCHEMA_VERSION,
@@ -22,14 +24,34 @@ from repro.obs.schema import (
 __all__ = [
     "span_records",
     "trace_records",
+    "merge_rank_traces",
     "write_jsonl",
     "read_jsonl",
 ]
 
 
+def _finite(value: float):
+    """JSON has no NaN/Infinity literals: map them to null / strings.
+
+    ``json.dumps`` would otherwise emit the JavaScript-only tokens
+    ``NaN``/``Infinity``, which strict parsers (and our own
+    :func:`read_jsonl`) reject — a NaN residual gauge must not poison a
+    whole trace file.
+    """
+    if math.isnan(value):
+        return None
+    if math.isinf(value):
+        return "Infinity" if value > 0 else "-Infinity"
+    return value
+
+
 def _json_safe(value):
     """Coerce numpy scalars / odd attribute values to JSON-ready ones."""
-    if isinstance(value, (str, int, float, bool)) or value is None:
+    if isinstance(value, bool) or value is None:
+        return value
+    if isinstance(value, float):
+        return _finite(value)
+    if isinstance(value, (str, int)):
         return value
     if isinstance(value, (list, tuple)):
         return [_json_safe(v) for v in value]
@@ -38,7 +60,7 @@ def _json_safe(value):
     item = getattr(value, "item", None)
     if callable(item):
         try:
-            return item()
+            return _json_safe(item())
         except (TypeError, ValueError):
             pass
     return str(value)
@@ -103,11 +125,55 @@ def trace_records(trace, *, source: str = SOURCE_SIMULATOR) -> list[dict]:
     ]
 
 
+def merge_rank_traces(sources, out_path: str | None = None) -> list[dict]:
+    """Merge per-rank trace streams into one time-ordered record list.
+
+    The real multiprocess backend produces one record stream per PE;
+    leaving them as one file per rank makes every downstream consumer
+    (the trace report, the Chrome exporter) re-implement the merge.
+    ``sources`` is an iterable of JSONL paths *or* of record lists;
+    records are interleaved by start time (ties: longer interval —
+    i.e. the enclosing span — first), re-numbered with globally unique
+    ids, and parent links are remapped so each stream's span trees stay
+    intact.  When ``out_path`` is given the merged stream is also
+    written as JSONL.
+    """
+    tagged: list[tuple[int, dict]] = []
+    for tag, src in enumerate(sources):
+        records = (read_jsonl(os.fspath(src))
+                   if isinstance(src, (str, os.PathLike))
+                   else list(src))
+        tagged.extend((tag, rec) for rec in records)
+    order = sorted(range(len(tagged)),
+                   key=lambda i: (tagged[i][1]["start"],
+                                  -tagged[i][1]["end"]))
+    id_map = {(tagged[i][0], tagged[i][1]["id"]): new_id
+              for new_id, i in enumerate(order)}
+    merged: list[dict] = []
+    for new_id, i in enumerate(order):
+        tag, rec = tagged[i]
+        rec = dict(rec)
+        rec["id"] = new_id
+        if rec["parent"] is not None:
+            rec["parent"] = id_map[(tag, rec["parent"])]
+        merged.append(rec)
+    if out_path is not None:
+        write_jsonl(merged, out_path)
+    return merged
+
+
 def write_jsonl(records, path: str) -> str:
-    """Write records as JSON lines; returns ``path``."""
+    """Write records as JSON lines; returns ``path``.
+
+    Every record is passed through the same NaN/Inf-safe coercion the
+    span exporter applies to attributes, and ``allow_nan=False`` makes
+    any remaining non-finite float a hard error rather than an invalid
+    file.
+    """
     with open(path, "w", encoding="utf-8") as fh:
         for record in records:
-            fh.write(json.dumps(record, sort_keys=True) + "\n")
+            fh.write(json.dumps(_json_safe(record), sort_keys=True,
+                                allow_nan=False) + "\n")
     return path
 
 

@@ -1,0 +1,96 @@
+"""Chrome trace-event export: render distributed schedules visually.
+
+Converts unified-schema trace records (:mod:`repro.obs.schema`) into
+the Chrome trace-event JSON format, so ``chrome://tracing`` and
+Perfetto (https://ui.perfetto.dev) render the paper's Figure-5-style
+schedules — one swim lane per PE, nested bars for span trees — with no
+custom viewer.
+
+Mapping:
+
+* every record becomes one complete ("X") event with microsecond
+  ``ts``/``dur`` relative to the trace's earliest start;
+* the record ``source`` becomes the process (``pid``) and the ``rank``
+  the thread (``tid``) — so an mp-backend trace shows one lane per PE
+  and an engine profile a single lane;
+* metadata ("M") events name the processes and lanes;
+* record ``attrs`` pass through as event ``args`` (NaN/Inf-sanitized),
+  which Perfetto shows in the selection panel.
+
+Entry points: :func:`chrome_trace` (dict) and
+:func:`write_chrome_trace` (file), surfaced as the CLI
+``repro trace timeline``.
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.obs.export import _json_safe, read_jsonl
+
+__all__ = ["chrome_trace", "write_chrome_trace"]
+
+#: Stable pid assignment per record source (engine lanes first).
+_SOURCE_PIDS = {"engine": 1, "multiprocess": 2, "simulator": 3}
+
+
+def _pid(source: str) -> int:
+    return _SOURCE_PIDS.get(source, 9)
+
+
+def chrome_trace(records) -> dict:
+    """Build a Chrome trace-event document from schema records.
+
+    Returns ``{"traceEvents": [...], "displayTimeUnit": "ms"}`` — the
+    JSON-object form of the format, which both ``chrome://tracing`` and
+    Perfetto accept.  Timestamps are microseconds from the earliest
+    record start (the format's native unit).
+    """
+    records = list(records)
+    t0 = min((r["start"] for r in records), default=0.0)
+    events: list[dict] = []
+    seen_procs: set[int] = set()
+    seen_lanes: set[tuple[int, int]] = set()
+    for rec in records:
+        pid = _pid(rec["source"])
+        tid = rec["rank"] if rec["rank"] is not None else 0
+        if pid not in seen_procs:
+            seen_procs.add(pid)
+            events.append({
+                "ph": "M", "pid": pid, "tid": 0,
+                "name": "process_name",
+                "args": {"name": rec["source"]},
+            })
+        if (pid, tid) not in seen_lanes:
+            seen_lanes.add((pid, tid))
+            lane = (f"rank {tid}" if rec["rank"] is not None
+                    else "main")
+            events.append({
+                "ph": "M", "pid": pid, "tid": tid,
+                "name": "thread_name",
+                "args": {"name": lane},
+            })
+        events.append({
+            "ph": "X",
+            "pid": pid,
+            "tid": tid,
+            "name": rec["name"],
+            "cat": rec["kind"],
+            "ts": (rec["start"] - t0) * 1e6,
+            "dur": max(0.0, rec["end"] - rec["start"]) * 1e6,
+            "args": _json_safe(rec.get("attrs", {})),
+        })
+    return {"traceEvents": events, "displayTimeUnit": "ms"}
+
+
+def write_chrome_trace(records, path: str) -> str:
+    """Write :func:`chrome_trace` output as JSON; returns ``path``.
+
+    Accepts in-memory records or a JSONL trace path.
+    """
+    if isinstance(records, str):
+        records = read_jsonl(records)
+    doc = chrome_trace(records)
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(doc, fh, allow_nan=False)
+    return path

@@ -59,7 +59,7 @@ from repro.errors import (
     NotPositiveDefiniteError,
     ShapeError,
 )
-from repro.obs.export import span_records
+from repro.obs.export import merge_rank_traces, span_records
 from repro.obs.schema import SOURCE_MULTIPROCESS
 from repro.obs.spans import Span
 from repro.parallel import costs
@@ -441,18 +441,14 @@ class MPRun:
 
         Same record shape as the engine span exporter and the simulated
         machine's trace — ``source`` is ``"multiprocess"`` and ``rank``
-        is set on every record.
+        is set on every record.  The per-rank streams are interleaved
+        by start time (:func:`repro.obs.export.merge_rank_traces`), so
+        the output reads as one global timeline rather than rank 0's
+        whole history followed by rank 1's.
         """
-        records: list[dict] = []
-        for sp in self.worker_spans():
-            recs = span_records(sp, source=SOURCE_MULTIPROCESS)
-            offset = len(records)
-            for rec in recs:
-                rec["id"] += offset
-                if rec["parent"] is not None:
-                    rec["parent"] += offset
-            records.extend(recs)
-        return records
+        return merge_rank_traces(
+            span_records(sp, source=SOURCE_MULTIPROCESS)
+            for sp in self.worker_spans())
 
 
 # ----------------------------------------------------------------------

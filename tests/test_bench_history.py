@@ -1,0 +1,196 @@
+"""Tests for the benchmark history / regression-diff harness."""
+
+import json
+import os
+
+import pytest
+
+from repro.bench import history
+from repro.cli import main
+
+
+@pytest.fixture
+def results_dir(tmp_path):
+    """A results directory with two benchmark artifacts."""
+    d = str(tmp_path / "results")
+    os.makedirs(d)
+    with open(os.path.join(d, "BENCH_alpha.json"), "w") as fh:
+        json.dump({
+            "timings": {"speedup": 8.0, "cache_on_seconds": 0.05},
+            "cache": {"hits": 9, "misses": 1, "evictions": 0},
+        }, fh)
+    with open(os.path.join(d, "BENCH_beta.json"), "w") as fh:
+        json.dump({
+            "cells": [
+                {"nproc": 1, "speedup_vs_serial": 0.9,
+                 "shift_words_total": 100},
+                {"nproc": 2, "speedup_vs_serial": 0.5,
+                 "shift_words_total": 200},
+            ],
+        }, fh)
+    return d
+
+
+def _write_metric(d, bench, path_keys, value):
+    path = os.path.join(d, f"BENCH_{bench}.json")
+    with open(path) as fh:
+        data = json.load(fh)
+    node = data
+    for key in path_keys[:-1]:
+        node = node[key]
+    node[path_keys[-1]] = value
+    with open(path, "w") as fh:
+        json.dump(data, fh)
+
+
+class TestFlatten:
+    def test_nested_dicts_and_lists(self):
+        flat = history.flatten_metrics({
+            "a": {"b": 1, "c": [10.0, {"d": 2}]},
+            "skip": "text", "flag": True,
+        })
+        assert flat == {"a.b": 1.0, "a.c.0": 10.0, "a.c.1.d": 2.0}
+
+    def test_direction_rules(self):
+        assert history._direction("timings.speedup") == "higher"
+        assert history._direction("cache.hits") == "higher"
+        assert history._direction("cache.misses") == "lower"
+        assert history._direction("cells.1.shift_words_total") == "lower"
+        # wall-clock and flops are informational, never gated
+        assert history._direction("timings.cache_on_seconds") == "info"
+        assert history._direction("model_flops_factorization") == "info"
+        assert history._direction(
+            "observability.disabled_overhead_pct") == "info"
+
+
+class TestIngestDiff:
+    def test_round_trip_no_regression(self, results_dir):
+        results = history.load_results(results_dir)
+        assert set(results) == {"alpha", "beta"}
+        path = history.history_path(results_dir)
+        count = history.append_history(results, "r1", path)
+        assert count == len(history.load_baseline(path))
+        entries = history.diff_results(results,
+                                       history.load_baseline(path))
+        assert entries
+        assert not any(e.regression for e in entries)
+
+    def test_injected_20pct_regression_flags(self, results_dir):
+        results = history.load_results(results_dir)
+        path = history.history_path(results_dir)
+        history.append_history(results, "r1", path)
+        _write_metric(results_dir, "alpha", ["timings", "speedup"],
+                      8.0 * 0.8)
+        entries = history.diff_results(
+            history.load_results(results_dir),
+            history.load_baseline(path))
+        bad = [e for e in entries if e.regression]
+        assert [e.label for e in bad] == ["alpha:timings.speedup"]
+        assert bad[0].change == pytest.approx(-0.2)
+
+    def test_lower_better_regression(self, results_dir):
+        results = history.load_results(results_dir)
+        path = history.history_path(results_dir)
+        history.append_history(results, "r1", path)
+        _write_metric(results_dir, "alpha", ["cache", "misses"], 2)
+        _write_metric(results_dir, "alpha", ["cache", "evictions"], 1)
+        entries = history.diff_results(
+            history.load_results(results_dir),
+            history.load_baseline(path))
+        bad = sorted(e.metric for e in entries if e.regression)
+        # misses doubled; evictions rose from a zero baseline
+        assert bad == ["cache.evictions", "cache.misses"]
+
+    def test_seconds_never_gate(self, results_dir):
+        results = history.load_results(results_dir)
+        path = history.history_path(results_dir)
+        history.append_history(results, "r1", path)
+        _write_metric(results_dir, "alpha",
+                      ["timings", "cache_on_seconds"], 5.0)
+        entries = history.diff_results(
+            history.load_results(results_dir),
+            history.load_baseline(path))
+        assert not any(e.regression for e in entries)
+
+    def test_latest_run_wins(self, results_dir):
+        results = history.load_results(results_dir)
+        path = history.history_path(results_dir)
+        history.append_history(results, "r1", path)
+        _write_metric(results_dir, "alpha", ["timings", "speedup"], 4.0)
+        newer = history.load_results(results_dir)
+        history.append_history(newer, "r2", path)
+        baseline = history.load_baseline(path)
+        assert baseline[("alpha", "timings.speedup")] == 4.0
+        # against the r2 baseline the slower speedup is no regression
+        entries = history.diff_results(newer, baseline)
+        assert not any(e.regression for e in entries)
+
+    def test_new_metrics_are_not_regressions(self, results_dir):
+        results = history.load_results(results_dir)
+        path = history.history_path(results_dir)
+        history.append_history(results, "r1", path)
+        _write_metric(results_dir, "alpha", ["brand_new_speedup"], 0.1)
+        entries = history.diff_results(
+            history.load_results(results_dir),
+            history.load_baseline(path))
+        assert not any(e.metric == "brand_new_speedup" for e in entries)
+
+    def test_threshold_override(self, results_dir):
+        results = history.load_results(results_dir)
+        path = history.history_path(results_dir)
+        history.append_history(results, "r1", path)
+        _write_metric(results_dir, "alpha", ["timings", "speedup"], 7.5)
+        current = history.load_results(results_dir)
+        baseline = history.load_baseline(path)
+        loose = history.diff_results(current, baseline, threshold=0.15)
+        tight = history.diff_results(current, baseline, threshold=0.01)
+        assert not any(e.regression for e in loose)
+        assert any(e.regression for e in tight)
+
+    def test_bad_history_version_rejected(self, results_dir):
+        path = history.history_path(results_dir)
+        with open(path, "w") as fh:
+            fh.write(json.dumps({"v": 99, "run": "x", "bench": "a",
+                                 "metric": "m", "value": 1.0}) + "\n")
+        with pytest.raises(ValueError, match="version"):
+            history.load_baseline(path)
+
+
+class TestCli:
+    def test_ingest_then_diff_exit_codes(self, results_dir, capsys):
+        assert main(["bench", "ingest", "--results-dir", results_dir,
+                     "--label", "base"]) == 0
+        assert main(["bench", "diff", "--results-dir",
+                     results_dir]) == 0
+        _write_metric(results_dir, "alpha", ["timings", "speedup"],
+                      8.0 * 0.8)
+        assert main(["bench", "diff", "--results-dir",
+                     results_dir]) == 1
+        out = capsys.readouterr().out
+        assert "REGRESSION" in out
+        assert "alpha:timings.speedup" in out
+
+    def test_diff_all_shows_info_metrics(self, results_dir, capsys):
+        main(["bench", "ingest", "--results-dir", results_dir,
+              "--label", "base"])
+        assert main(["bench", "diff", "--results-dir", results_dir,
+                     "--all"]) == 0
+        out = capsys.readouterr().out
+        assert "cache_on_seconds" in out
+
+    def test_ingest_empty_dir_fails(self, tmp_path, capsys):
+        empty = str(tmp_path / "empty")
+        os.makedirs(empty)
+        assert main(["bench", "ingest", "--results-dir", empty]) == 1
+
+    def test_committed_baseline_passes(self):
+        """The repo's own BENCH_history.jsonl must accept the committed
+        BENCH_*.json artifacts (the CI bench-diff step)."""
+        repo_results = os.path.join(
+            os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
+            "benchmarks", "results")
+        if not os.path.exists(os.path.join(repo_results,
+                                           "BENCH_history.jsonl")):
+            pytest.skip("no committed baseline")
+        assert main(["bench", "diff", "--results-dir",
+                     repo_results]) == 0

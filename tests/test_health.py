@@ -1,0 +1,196 @@
+"""Tests for numerical-health telemetry: gauges, hooks, zero overhead."""
+
+import numpy as np
+import pytest
+
+import repro.engine as engine
+import repro.obs as obs
+from repro.core.precision import refinement_admissible
+from repro.core.refinement import refine
+from repro.core.schur_indefinite import schur_indefinite_factor
+from repro.core.schur_spd import schur_spd_factor
+from repro.engine import FactorizationCache, set_default_cache
+from repro.obs import health
+from repro.obs.metrics import MetricsRegistry
+from repro.toeplitz import kms_toeplitz, paper_example_matrix
+
+
+@pytest.fixture
+def traced():
+    registry = MetricsRegistry()
+    prev_registry = obs.set_default_registry(registry)
+    prev_cache = set_default_cache(FactorizationCache())
+    obs.enable()
+    yield registry
+    obs.disable()
+    obs.set_default_registry(prev_registry)
+    set_default_cache(prev_cache)
+
+
+@pytest.fixture
+def untraced():
+    registry = MetricsRegistry()
+    prev_registry = obs.set_default_registry(registry)
+    was = obs.enabled()
+    obs.disable()
+    yield registry
+    if was:
+        obs.enable()
+    obs.set_default_registry(prev_registry)
+
+
+# ----------------------------------------------------------------------
+# Hooks fire when enabled
+# ----------------------------------------------------------------------
+class TestHooksEnabled:
+    def test_spd_factor_records_margins_and_pivots(self, traced):
+        schur_spd_factor(kms_toeplitz(64, 0.5))
+        snap = traced.snapshot()
+        assert snap["repro_health_reflectors_total"] == 63
+        assert 0 < snap["repro_health_rotation_margin_min"]
+        assert snap["repro_health_rotation_margin_ratio_min"] > 1.0
+        assert 0 < snap["repro_health_pivot_ratio_min"] <= 1.0
+
+    def test_margin_min_tracks_smallest(self, traced):
+        # near-singular KMS (rho -> 1) has much thinner margins than a
+        # well-conditioned one; the gauge keeps the run minimum
+        schur_spd_factor(kms_toeplitz(32, 0.1))
+        wide = traced.snapshot()["repro_health_rotation_margin_min"]
+        schur_spd_factor(kms_toeplitz(32, 0.999))
+        thin = traced.snapshot()["repro_health_rotation_margin_min"]
+        assert thin < wide
+
+    def test_indefinite_records_growth_and_events(self, traced):
+        # the paper's eq.-50 example has a singular leading minor:
+        # a perturbation must be recorded and growth spikes to ~2/sqrt(δ)
+        t = paper_example_matrix()
+        fact = schur_indefinite_factor(t)
+        assert fact.perturbed
+        snap = traced.snapshot()
+        assert snap["repro_health_perturbations_total"] >= 1
+        assert snap["repro_health_growth_factor_max"] == pytest.approx(
+            fact.max_transform_norm)
+        assert snap["repro_health_growth_steps_total"] == \
+            fact.num_blocks - 1
+
+    def test_admission_decisions_recorded(self, traced):
+        assert refinement_admissible(10.0, "fp32")
+        assert not refinement_admissible(1e12, "fp32")
+        snap = traced.snapshot()
+        key_t = ('repro_health_admission_total'
+                 '{admitted="true",precision="fp32"}')
+        key_f = ('repro_health_admission_total'
+                 '{admitted="false",precision="fp32"}')
+        assert snap[key_t] == 1
+        assert snap[key_f] == 1
+        assert snap["repro_health_cond_estimate"] == 1e12
+
+    def test_fp64_admission_not_recorded(self, traced):
+        assert refinement_admissible(1e30, "fp64")
+        assert not any("admission" in k for k in traced.snapshot())
+
+    def test_refinement_contraction_recorded(self, traced):
+        t = paper_example_matrix()
+        fact = schur_indefinite_factor(t)
+        res = refine(fact, t, np.ones(t.order))
+        assert res.converged
+        snap = traced.snapshot()
+        # δ = ∛ε perturbation ⇒ strong contraction per sweep (§8.2)
+        assert 0 < snap["repro_health_refinement_contraction"] < 0.5
+        assert snap['repro_health_refinements_total{converged="true"}'] \
+            == 1
+
+
+# ----------------------------------------------------------------------
+# Zero overhead when disabled
+# ----------------------------------------------------------------------
+class TestDisabled:
+    def test_no_gauges_recorded_while_disabled(self, untraced):
+        t = paper_example_matrix()
+        schur_spd_factor(kms_toeplitz(64, 0.5))
+        fact = schur_indefinite_factor(t)
+        refine(fact, t, np.ones(t.order))
+        refinement_admissible(10.0, "fp32")
+        assert untraced.snapshot() == {}
+
+    def test_direct_hook_calls_are_noops_while_disabled(self, untraced):
+        health.record_rotation_margin(0.5, 1e-14)
+        health.record_growth_factor(1, 100.0)
+        health.record_pivot_spread(0.1, 1.0)
+        health.record_indefinite_events(3, 2)
+        health.record_admission("fp32", 10.0, True)
+        health.record_refinement([1.0, 0.1], True)
+        assert untraced.snapshot() == {}
+
+    def test_disabled_guard_cost_is_tiny(self, untraced):
+        # the disabled path is one module-global boolean check: bound
+        # its per-call cost loosely (CI machines are noisy) — the real
+        # budget gate lives in benchmarks/bench_engine_cache.py
+        import time
+        calls = 50_000
+        t0 = time.perf_counter()
+        for _ in range(calls):
+            health.record_rotation_margin(0.5, 1e-14)
+        per_call = (time.perf_counter() - t0) / calls
+        assert per_call < 5e-6, per_call
+
+
+# ----------------------------------------------------------------------
+# Summary / early warnings
+# ----------------------------------------------------------------------
+class TestSummary:
+    def test_clean_run_has_no_warnings(self, traced):
+        schur_spd_factor(kms_toeplitz(64, 0.5))
+        summary = health.health_summary()
+        assert summary["observed"]
+        assert summary["warnings"] == []
+        assert "no early warnings" in health.render_health(summary)
+
+    def test_perturbation_and_growth_warn(self, traced):
+        t = paper_example_matrix()
+        schur_indefinite_factor(t)
+        summary = health.health_summary()
+        text = " ".join(summary["warnings"])
+        assert "perturbation" in text
+        assert summary["perturbations"] >= 1
+        rendered = health.render_health(summary)
+        assert "early warnings" in rendered
+        assert "!" in rendered
+
+    def test_margin_ratio_warning(self):
+        reg = MetricsRegistry()
+        reg.gauge("repro_health_rotation_margin_ratio_min").set(2.0)
+        summary = health.health_summary(reg.snapshot())
+        assert any("breakdown tolerance" in w
+                   for w in summary["warnings"])
+
+    def test_rejection_and_nonconvergence_warn(self):
+        reg = MetricsRegistry()
+        reg.counter("repro_health_admission_total").inc(
+            2, precision="fp32", admitted="false")
+        reg.counter("repro_health_refinements_total").inc(
+            1, converged="false")
+        summary = health.health_summary(reg.snapshot())
+        text = " ".join(summary["warnings"])
+        assert "rejection" in text
+        assert "did not converge" in text
+        assert summary["admission_rejections"] == 2
+
+    def test_contraction_warning(self):
+        reg = MetricsRegistry()
+        reg.gauge("repro_health_refinement_contraction_max").set(0.9)
+        summary = health.health_summary(reg.snapshot())
+        assert any("marginal" in w for w in summary["warnings"])
+
+    def test_summary_accepts_profile_metrics(self, traced):
+        t = kms_toeplitz(48, 0.5)
+        pl = engine.plan(t, assume="spd")
+        res = engine.execute(pl, np.ones(48))
+        summary = health.health_summary(res.profile.metrics)
+        assert summary["observed"]
+        assert summary["reflectors"] > 0
+
+    def test_empty_snapshot_not_observed(self):
+        summary = health.health_summary({})
+        assert not summary["observed"]
+        assert summary["warnings"] == []

@@ -293,6 +293,34 @@ class TestExport:
         obs.write_jsonl(records, path)
         assert obs.read_jsonl(path) == records
 
+    def test_nan_inf_attrs_round_trip(self, tmp_path):
+        # regression: json.dumps emits bare NaN/Infinity tokens by
+        # default, which are invalid JSON and break downstream readers
+        from repro.obs.export import _json_safe
+        from repro.obs.schema import make_record
+        rec = make_record(
+            source="engine", rec_id=0, parent=None, name="s",
+            kind="span", rank=None, start=0.0, end=1.0,
+            attrs={"nan": float("nan"), "inf": float("inf"),
+                   "ninf": float("-inf"), "np_nan": np.float64("nan"),
+                   "ok": 1.5, "nested": [float("nan"), {"x": np.inf}]})
+        path = str(tmp_path / "nan.jsonl")
+        obs.write_jsonl([rec], path)
+        # every line must parse under a strict (no NaN tokens) decoder
+        with open(path, "r", encoding="utf-8") as fh:
+            for line in fh:
+                json.loads(line, parse_constant=lambda tok: pytest.fail(
+                    f"invalid bare JSON constant {tok!r}"))
+        attrs = obs.read_jsonl(path)[0]["attrs"]
+        assert attrs["nan"] is None
+        assert attrs["np_nan"] is None
+        assert attrs["inf"] == "Infinity"
+        assert attrs["ninf"] == "-Infinity"
+        assert attrs["ok"] == 1.5
+        assert attrs["nested"] == [None, {"x": "Infinity"}]
+        safe = _json_safe({"a": np.float32("nan")})
+        assert safe == {"a": None}
+
     def test_read_rejects_unknown_version(self, tmp_path):
         path = tmp_path / "bad.jsonl"
         path.write_text('{"v": 99}\n')

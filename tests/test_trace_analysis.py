@@ -1,0 +1,304 @@
+"""Tests for trace analysis, the Chrome timeline export, and the CLI."""
+
+import json
+
+import numpy as np
+import pytest
+
+import repro.engine as engine
+import repro.obs as obs
+from repro.cli import main
+from repro.engine import FactorizationCache, set_default_cache
+from repro.obs.analyze import analyze_file, analyze_records
+from repro.obs.export import merge_rank_traces, read_jsonl, write_jsonl
+from repro.obs.schema import make_record
+from repro.obs.timeline import chrome_trace, write_chrome_trace
+from repro.obs.metrics import MetricsRegistry
+from repro.parallel import simulate_factorization
+from repro.parallel.mp_backend import multiprocess_available
+from repro.toeplitz import kms_toeplitz
+
+requires_mp = pytest.mark.skipif(
+    not multiprocess_available()[0],
+    reason=f"multiprocess backend unavailable: "
+           f"{multiprocess_available()[1]}")
+
+
+@pytest.fixture
+def traced():
+    registry = MetricsRegistry()
+    prev_registry = obs.set_default_registry(registry)
+    prev_cache = set_default_cache(FactorizationCache())
+    obs.enable()
+    yield registry
+    obs.disable()
+    obs.set_default_registry(prev_registry)
+    set_default_cache(prev_cache)
+
+
+def _engine_records(traced, n=128, nrhs=3):
+    t = kms_toeplitz(n, 0.5)
+    pl = engine.plan(t, assume="spd")
+    rng = np.random.default_rng(0)
+    res = engine.execute(pl, rng.standard_normal((n, nrhs)))
+    assert res.profile is not None
+    return res.to_trace_records()
+
+
+def _sim_records(n=64, nproc=4):
+    run = simulate_factorization(kms_toeplitz(n, 0.5), nproc=nproc,
+                                 collect=False, trace=True)
+    return run.report.trace.to_records()
+
+
+# ----------------------------------------------------------------------
+# analyze
+# ----------------------------------------------------------------------
+class TestAnalyze:
+    def test_engine_trace_report(self, traced):
+        report = analyze_records(_engine_records(traced))
+        assert report.makespan > 0
+        # critical path descends the span tree from engine.execute
+        assert report.critical_path[0].name == "engine.execute"
+        assert len(report.critical_path) >= 2
+        assert report.critical_path[1].depth == 1
+        durations = [e.duration for e in report.critical_path]
+        assert durations == sorted(durations, reverse=True)
+        # engine trace is a single serial lane
+        assert len(report.ranks) == 1
+        assert report.ranks[0].rank is None
+        assert report.imbalance is None
+        # summary record feeds the flop report
+        assert report.flops.available
+        assert report.flops.model_flops > 0
+        assert report.flops.achieved_mflops > 0
+
+    def test_execution_record_not_critical_path_root(self, traced):
+        records = _engine_records(traced)
+        assert any(r["kind"] == "execution" for r in records)
+        report = analyze_records(records)
+        assert report.critical_path[0].kind != "execution"
+
+    def test_simulated_trace_report(self):
+        report = analyze_records(_sim_records(nproc=4))
+        # one utilization lane per PE, makespan-paced critical rank
+        assert [r.rank for r in report.ranks] == [0, 1, 2, 3]
+        assert report.imbalance is not None and report.imbalance >= 1.0
+        assert report.critical_path[0].kind == "rank"
+        assert all(e.depth == 1 for e in report.critical_path[1:])
+        for r in report.ranks:
+            assert r.busy + r.comm + r.idle == pytest.approx(
+                report.makespan, rel=1e-6)
+        # simulated traces carry no flop attrs: n/a, not a crash
+        assert not report.flops.available
+        assert "n/a" in report.render()
+
+    def test_render_mentions_all_sections(self, traced):
+        text = analyze_records(_engine_records(traced)).render()
+        for needle in ("critical path", "per-rank utilization",
+                       "flop efficiency", "makespan"):
+            assert needle in text
+
+    def test_analyze_file_round_trip(self, traced, tmp_path):
+        path = str(tmp_path / "t.jsonl")
+        write_jsonl(_engine_records(traced), path)
+        report = analyze_file(path)
+        assert report.num_records == len(read_jsonl(path))
+
+    def test_empty_trace(self):
+        report = analyze_records([])
+        assert report.makespan == 0.0
+        assert report.critical_path == ()
+        assert "(empty trace)" in report.render()
+
+    def test_to_dict_is_json_ready(self, traced):
+        doc = analyze_records(_engine_records(traced)).to_dict()
+        json.dumps(doc)
+        assert doc["flops"]["model_flops"] > 0
+
+
+# ----------------------------------------------------------------------
+# timeline
+# ----------------------------------------------------------------------
+class TestTimeline:
+    def test_chrome_trace_structure(self):
+        doc = chrome_trace(_sim_records(nproc=2))
+        assert set(doc) == {"traceEvents", "displayTimeUnit"}
+        xs = [e for e in doc["traceEvents"] if e["ph"] == "X"]
+        ms = [e for e in doc["traceEvents"] if e["ph"] == "M"]
+        assert xs and ms
+        for e in xs:
+            assert e["ts"] >= 0.0 and e["dur"] >= 0.0
+            assert isinstance(e["pid"], int)
+            assert isinstance(e["tid"], int)
+        # metadata names both the process and each rank lane
+        names = {e["name"] for e in ms}
+        assert names == {"process_name", "thread_name"}
+        lanes = {e["tid"] for e in xs}
+        assert lanes == {0, 1}
+
+    def test_write_chrome_trace_validates_as_json(self, tmp_path):
+        path = str(tmp_path / "chrome.json")
+        write_chrome_trace(_sim_records(), path)
+        with open(path, "r", encoding="utf-8") as fh:
+            doc = json.load(fh)
+        assert doc["traceEvents"]
+
+    def test_accepts_jsonl_path(self, tmp_path):
+        src = str(tmp_path / "t.jsonl")
+        write_jsonl(_sim_records(), src)
+        out = str(tmp_path / "chrome.json")
+        write_chrome_trace(src, out)
+        assert json.load(open(out))["traceEvents"]
+
+    def test_nan_attrs_survive(self, tmp_path):
+        rec = make_record(source="engine", rec_id=0, parent=None,
+                          name="s", kind="span", rank=None,
+                          start=0.0, end=1.0,
+                          attrs={"bad": float("nan")})
+        path = str(tmp_path / "chrome.json")
+        write_chrome_trace([rec], path)
+        doc = json.load(open(path))
+        assert doc["traceEvents"][-1]["args"]["bad"] is None
+
+
+# ----------------------------------------------------------------------
+# real multiprocess backend end to end
+# ----------------------------------------------------------------------
+@requires_mp
+class TestMultiprocessTrace:
+    def test_mp_trace_reports_per_rank(self, traced, tmp_path):
+        t = kms_toeplitz(96, 0.5)
+        pl = engine.plan(t, assume="spd", nproc=2,
+                         backend="multiprocess")
+        fres = engine.factor(pl)
+        assert fres.factorization.backend == "multiprocess"
+        records = fres.factorization.run.to_records()
+        # merged stream: time-ordered, globally unique ids
+        ids = [r["id"] for r in records]
+        assert ids == list(range(len(records)))
+        starts = [r["start"] for r in records]
+        assert starts == sorted(starts)
+        report = analyze_records(records)
+        assert [r.rank for r in report.ranks] == [0, 1]
+        assert report.imbalance is not None
+        # per-PE phase breakdown feeds busy + comm time
+        assert all(r.busy > 0 for r in report.ranks)
+        assert all(r.comm > 0 for r in report.ranks)
+        doc = chrome_trace(records)
+        lanes = {e["tid"] for e in doc["traceEvents"] if e["ph"] == "X"}
+        assert lanes == {0, 1}
+
+
+# ----------------------------------------------------------------------
+# CLI
+# ----------------------------------------------------------------------
+class TestCli:
+    @pytest.fixture
+    def matrix_file(self, tmp_path):
+        path = str(tmp_path / "row.npy")
+        np.save(path, 0.5 ** np.arange(64))
+        return path
+
+    def test_trace_report_engine(self, matrix_file, tmp_path, capsys):
+        trace = str(tmp_path / "t.jsonl")
+        assert main(["solve", matrix_file, "--nrhs", "2",
+                     "--trace-out", trace]) == 0
+        assert main(["trace", "report", trace]) == 0
+        out = capsys.readouterr().out
+        assert "critical path" in out
+        assert "flop efficiency" in out
+
+    def test_trace_report_simulated(self, matrix_file, tmp_path, capsys):
+        trace = str(tmp_path / "sim.jsonl")
+        assert main(["simulate", matrix_file, "--nproc", "4",
+                     "--trace-out", trace]) == 0
+        assert main(["trace", "report", trace]) == 0
+        out = capsys.readouterr().out
+        assert "rank 3" in out
+        assert "imbalance" in out
+
+    def test_trace_report_json(self, matrix_file, tmp_path, capsys):
+        trace = str(tmp_path / "t.jsonl")
+        main(["solve", matrix_file, "--nrhs", "1", "--trace-out", trace])
+        assert main(["trace", "report", trace, "--json"]) == 0
+        out = capsys.readouterr().out
+        doc = json.loads(out[out.index("{"):])
+        assert "critical_path" in doc
+
+    def test_trace_timeline(self, matrix_file, tmp_path, capsys):
+        trace = str(tmp_path / "sim.jsonl")
+        main(["simulate", matrix_file, "--nproc", "2",
+              "--trace-out", trace])
+        out_path = str(tmp_path / "chrome.json")
+        assert main(["trace", "timeline", trace, "-o", out_path]) == 0
+        assert json.load(open(out_path))["traceEvents"]
+
+    def test_trace_report_merges_multiple_files(self, tmp_path, capsys):
+        a = [make_record(source="multiprocess", rec_id=0, parent=None,
+                         name="compute", kind="compute", rank=0,
+                         start=0.0, end=1.0)]
+        b = [make_record(source="multiprocess", rec_id=0, parent=None,
+                         name="compute", kind="compute", rank=1,
+                         start=0.5, end=1.5)]
+        pa, pb = str(tmp_path / "a.jsonl"), str(tmp_path / "b.jsonl")
+        write_jsonl(a, pa)
+        write_jsonl(b, pb)
+        assert main(["trace", "report", pa, pb]) == 0
+        out = capsys.readouterr().out
+        assert "rank 0" in out and "rank 1" in out
+
+
+# ----------------------------------------------------------------------
+# merge_rank_traces
+# ----------------------------------------------------------------------
+class TestMergeRankTraces:
+    def test_merge_orders_and_remaps_parents(self, tmp_path):
+        a = [
+            make_record(source="multiprocess", rec_id=0, parent=None,
+                        name="pe", kind="span", rank=0,
+                        start=0.0, end=2.0),
+            make_record(source="multiprocess", rec_id=1, parent=0,
+                        name="compute", kind="compute", rank=0,
+                        start=1.0, end=1.5),
+        ]
+        b = [
+            make_record(source="multiprocess", rec_id=0, parent=None,
+                        name="pe", kind="span", rank=1,
+                        start=0.5, end=2.0),
+            make_record(source="multiprocess", rec_id=1, parent=0,
+                        name="compute", kind="compute", rank=1,
+                        start=0.75, end=1.75),
+        ]
+        merged = merge_rank_traces([a, b])
+        assert [r["id"] for r in merged] == [0, 1, 2, 3]
+        starts = [r["start"] for r in merged]
+        assert starts == sorted(starts)
+        # each child still points at its own stream's root
+        for rec in merged:
+            if rec["parent"] is not None:
+                parent = merged[rec["parent"]]
+                assert parent["rank"] == rec["rank"]
+                assert parent["start"] <= rec["start"]
+
+    def test_merge_reads_files_and_writes_out(self, tmp_path):
+        recs = [make_record(source="simulator", rec_id=0, parent=None,
+                            name="compute", kind="compute", rank=0,
+                            start=0.0, end=1.0)]
+        src = str(tmp_path / "r0.jsonl")
+        out = str(tmp_path / "merged.jsonl")
+        write_jsonl(recs, src)
+        merged = merge_rank_traces([src, src], out_path=out)
+        assert len(merged) == 2
+        assert read_jsonl(out) == merged
+
+    def test_tie_breaks_enclosing_span_first(self):
+        child = make_record(source="engine", rec_id=1, parent=0,
+                            name="inner", kind="span", rank=None,
+                            start=0.0, end=0.5)
+        root = make_record(source="engine", rec_id=0, parent=None,
+                           name="outer", kind="span", rank=None,
+                           start=0.0, end=1.0)
+        merged = merge_rank_traces([[child, root]])
+        assert merged[0]["name"] == "outer"
+        assert merged[1]["parent"] == 0
