@@ -11,11 +11,15 @@ Commands
     ``--nproc NP`` the factorization runs distributed —
     ``--backend multiprocess`` on real worker processes,
     ``--backend simulated`` (default) on the T3D model; ``--dist-b``
-    picks the Version 1/2/3 data distribution.
+    picks the Version 1/2/3 data distribution, ``--schedule lookahead``
+    the Section-7 pipelined schedule, ``--transport`` the fabric.
 ``solve <matrix> [<rhs>] [-o x.npy]``
     Solve ``T x = b`` with the automatic SPD → indefinite+refinement
     pipeline (or ``--method gko`` / ``levinson``); accepts the same
-    ``--nproc``/``--backend``/``--dist-b`` distribution flags.  The RHS
+    ``--nproc``/``--backend``/``--dist-b``/``--schedule``/
+    ``--transport`` distribution flags — distributed plans keep the
+    triangular solves distributed too (the report names the solve
+    backend).  The RHS
     may be a 2-D ``n × k`` panel (batched level-3 solve path), or be
     synthesized with ``--nrhs k``; ``--profile`` then reports the
     per-panel solve throughput.  ``--precision fp32|mixed`` (also on
@@ -150,8 +154,23 @@ def _report_backend(fact, pl) -> None:
     line = (f"distributed: backend={backend}, NP={fact.nproc}, "
             f"Version {pl.distribution_version} "
             f"(b={pl.distribution_b}), {clock}")
+    if getattr(pl, "schedule", "bulk") != "bulk":
+        line += f", schedule={pl.schedule}"
     if fact.fell_back:
         line += f"\n  (multiprocess unavailable: {fact.fallback_reason})"
+    solve_route = getattr(fact, "last_solve_backend", "")
+    if solve_route:
+        sline = f"distributed solve: {solve_route}"
+        srun = getattr(fact, "last_solve_run", None)
+        swall = getattr(srun, "wall_seconds", None)
+        if swall is not None:
+            sline += f", {swall * 1e3:.3f} ms wall"
+        elif getattr(srun, "makespan", None) is not None:
+            sline += f", {srun.makespan * 1e3:.3f} ms virtual"
+        reason = getattr(fact, "last_solve_fallback_reason", "")
+        if reason:
+            sline += f"\n  (distributed solve unavailable: {reason})"
+        line += "\n" + sline
     print(line)
 
 
@@ -162,6 +181,7 @@ def _cmd_factor(args) -> int:
     pl = engine.plan(t, representation=args.representation,
                      use_cache=not args.no_cache, nproc=args.nproc,
                      distribution_b=args.dist_b, backend=args.backend,
+                     schedule=args.schedule, transport=args.transport,
                      precision=args.precision)
     if args.explain:
         print(pl.describe())
@@ -241,6 +261,7 @@ def _cmd_solve(args) -> int:
         t, algorithm=None if args.method == "auto" else args.method,
         use_cache=not args.no_cache, nproc=args.nproc,
         distribution_b=args.dist_b, backend=args.backend,
+        schedule=args.schedule, transport=args.transport,
         precision=args.precision)
     if args.explain:
         print(pl.describe())
@@ -463,11 +484,23 @@ def build_parser() -> argparse.ArgumentParser:
                        dest="dist_b", metavar="B",
                        help="distribution parameter b (b≥1: Versions "
                             "1/2; b<1 ⇒ Version 3)")
+        p.add_argument("--schedule", default="bulk",
+                       choices=["bulk", "lookahead"],
+                       help="distributed per-step schedule: the "
+                            "barrier-synchronized bulk loop, or the "
+                            "Section-7 lookahead pipeline (Version 1, "
+                            "NP ≥ 2) that overlaps the serial "
+                            "generator build with application work")
+        p.add_argument("--transport", default="shared_memory",
+                       help="named transport the multiprocess "
+                            "backend's shared segments run over "
+                            "(default: shared_memory)")
         p.add_argument("--precision", default="fp64",
                        choices=["fp64", "fp32", "mixed"],
                        help="factorization working precision; fp32/"
                             "mixed factor reduced and recover fp64 via "
-                            "refinement (serial plans only)")
+                            "refinement (distributed plans factor at "
+                            "fp64)")
 
     p = sub.add_parser("factor", help="factor the matrix")
     add_matrix_args(p)

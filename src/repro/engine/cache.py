@@ -39,31 +39,43 @@ __all__ = [
 def _estimate_nbytes(obj) -> int:
     """Byte footprint of the ndarrays reachable from a factorization.
 
-    Walks the object's attributes (and one level of list/tuple/dict
-    containers) summing ``ndarray.nbytes``; non-array payload is counted
-    at a flat 64 bytes per attribute so empty results still have nonzero
-    size.
+    Walks attributes (``__dict__`` and ``__slots__``) and list / tuple /
+    dict containers to *any* nesting depth, summing ``ndarray.nbytes``;
+    cycles and shared references are counted once.  Non-array leaves are
+    counted at a flat 64 bytes so empty results still have nonzero size.
+    The unbounded walk matters: factorization objects nest (a
+    distributed result holds a run holding per-worker payloads holding
+    arrays), and a depth cutoff made ``max_bytes`` eviction blind to
+    everything below it.
     """
     seen: set[int] = set()
 
-    def walk(v, depth: int) -> int:
+    def walk(v) -> int:
         if id(v) in seen:
             return 0
         seen.add(id(v))
         if isinstance(v, np.ndarray):
             return int(v.nbytes)
-        if depth <= 0:
-            return 64
         if isinstance(v, (list, tuple)):
-            return sum(walk(x, depth - 1) for x in v)
+            return sum(walk(x) for x in v)
         if isinstance(v, dict):
-            return sum(walk(x, depth - 1) for x in v.values())
+            return sum(walk(x) for x in v.values())
+        total = 0
         attrs = getattr(v, "__dict__", None)
         if attrs:
-            return sum(walk(x, depth - 1) for x in attrs.values())
-        return 64
+            total += sum(walk(x) for x in attrs.values())
+        for klass in type(v).__mro__:
+            slots = getattr(klass, "__slots__", ())
+            if isinstance(slots, str):
+                slots = (slots,)
+            for name in slots:
+                try:
+                    total += walk(getattr(v, name))
+                except AttributeError:
+                    pass
+        return total if total else 64
 
-    return walk(obj, 3)
+    return walk(obj)
 
 
 @dataclass(frozen=True)

@@ -512,8 +512,17 @@ def _spd_solve(op, b, pl, fact, **_kwargs):
     if not obs.enabled():
         return fact.solve(b), fact
     with obs.span("triangular_solve",
-                  model_flops=_triangular_solve_flops(pl.order, b)):
-        return fact.solve(b), fact
+                  model_flops=_triangular_solve_flops(pl.order, b)) as sp:
+        x = fact.solve(b)
+        # Distributed factorizations route the solve through a backend
+        # (simulated sweeps or real worker processes) — record which.
+        route = getattr(fact, "last_solve_backend", "")
+        if route:
+            sp.set(solve_backend=route)
+            reason = getattr(fact, "last_solve_fallback_reason", "")
+            if reason:
+                sp.set(solve_fallback_reason=reason)
+        return x, fact
 
 
 def _indefinite_factor(op, pl: SolverPlan):

@@ -32,6 +32,9 @@ __all__ = ["MachineSpec", "SolverPlan", "plan"]
 
 _ASSUME_VALUES = ("auto", "spd", "indefinite")
 _BACKEND_VALUES = ("simulated", "multiprocess")
+# Must match repro.parallel.mp_backend.SCHEDULES (kept literal to avoid
+# a plan-time import of the parallel package).
+_SCHEDULE_VALUES = ("bulk", "lookahead")
 # Kept as a local literal (rather than importing repro.core.precision)
 # to avoid a plan-time import of the core package; must match
 # repro.core.precision.PRECISIONS.
@@ -45,7 +48,8 @@ _PRECISION_VALUES = ("fp64", "fp32", "mixed")
 #: same operator never share a cache entry.
 _PLAN_KEY_FIELDS = ("algorithm", "representation", "block_size", "panel",
                     "in_place", "perturb", "delta", "nproc",
-                    "distribution_b", "backend", "precision")
+                    "distribution_b", "backend", "schedule", "transport",
+                    "precision")
 
 
 @dataclass(frozen=True)
@@ -91,6 +95,14 @@ class SolverPlan:
     #: (real OS processes over shared memory, with graceful fallback to
     #: the simulator when unavailable).
     backend: str = "simulated"
+    #: Per-step schedule of a distributed factorization: ``"bulk"``
+    #: (the paper's barrier-synchronized loop) or ``"lookahead"`` (the
+    #: Section-7 pipelined schedule — Version 1 layout, NP ≥ 2 — that
+    #: overlaps the serial generator build with application work).
+    schedule: str = "bulk"
+    #: Transport the real backend's segments/collectives run over (see
+    #: :func:`repro.parallel.transport.available_transports`).
+    transport: str = "shared_memory"
     #: Working precision of the factorization: ``"fp64"``, ``"fp32"``
     #: (single-precision factor + fp64 refinement recovery at solve
     #: time) or ``"mixed"`` (fp32 hyperbolic elimination, fp64
@@ -152,7 +164,12 @@ class SolverPlan:
             lines.append(
                 f"  distribution    Version {self.distribution_version} "
                 f"(b={self.distribution_b}), NP={self.nproc}")
-            lines.append(f"  backend         {self.backend}")
+            backend = self.backend
+            if self.backend == "multiprocess":
+                backend += f" ({self.transport})"
+            lines.append(f"  backend         {backend}")
+            if self.schedule != "bulk":
+                lines.append(f"  schedule        {self.schedule}")
         if self.predicted_seconds is not None:
             lines.append(f"  predicted time  "
                          f"{self.predicted_seconds * 1e3:.3f} ms")
@@ -232,6 +249,8 @@ def plan(op, *, assume: str = "auto", machine: MachineSpec | None = None,
          probe: bool = True, nproc: int | None = None,
          distribution_b: float | None = None,
          backend: str = "simulated",
+         schedule: str = "bulk",
+         transport: str = "shared_memory",
          precision: str = "fp64") -> SolverPlan:
     """Produce a :class:`SolverPlan` for ``op``.
 
@@ -245,6 +264,7 @@ def plan(op, *, assume: str = "auto", machine: MachineSpec | None = None,
                         in_place=in_place, perturb=perturb, delta=delta,
                         use_cache=use_cache, probe=probe, nproc=nproc,
                         distribution_b=distribution_b, backend=backend,
+                        schedule=schedule, transport=transport,
                         precision=precision)
         sp.set(algorithm=pl.algorithm, order=pl.order,
                block_size=pl.block_size)
@@ -261,6 +281,8 @@ def _make_plan(op, *, assume: str = "auto",
                probe: bool = True, nproc: int | None = None,
                distribution_b: float | None = None,
                backend: str = "simulated",
+               schedule: str = "bulk",
+               transport: str = "shared_memory",
                precision: str = "fp64") -> SolverPlan:
     """Produce a :class:`SolverPlan` for ``op``.
 
@@ -300,6 +322,16 @@ def _make_plan(op, *, assume: str = "auto",
         Where a distributed factorization runs.  ``"multiprocess"``
         uses real worker processes over shared memory and degrades to
         the simulator (with a recorded reason) when unavailable.
+    schedule : {"bulk", "lookahead"}
+        Per-step schedule of the distributed factorization.
+        ``"lookahead"`` runs the Section-7 pipelined schedule that
+        overlaps the serial generator build with application work;
+        it requires the Version 1 distribution (``b = 1``) and
+        ``nproc ≥ 2``.
+    transport : str
+        Named transport the real backend's shared segments run over
+        (``"shared_memory"`` by default; see
+        :func:`repro.parallel.transport.available_transports`).
     precision : {"fp64", "fp32", "mixed"}
         Working precision of the factorization.  Reduced-precision
         plans factor faster and route every solve through blocked
@@ -321,6 +353,15 @@ def _make_plan(op, *, assume: str = "auto",
         raise InvalidOptionError(
             f"unknown precision={precision!r}; expected one of "
             f"{_PRECISION_VALUES}")
+    if schedule not in _SCHEDULE_VALUES:
+        raise InvalidOptionError(
+            f"unknown schedule={schedule!r}; expected one of "
+            f"{_SCHEDULE_VALUES}")
+    from repro.parallel.transport import available_transports
+    if transport not in available_transports():
+        raise InvalidOptionError(
+            f"unknown transport={transport!r}; registered: "
+            f"{available_transports()}")
     if nproc is not None and nproc < 1:
         raise ShapeError(f"nproc must be positive, got {nproc}")
 
@@ -356,6 +397,15 @@ def _make_plan(op, *, assume: str = "auto",
         raise InvalidOptionError(
             "reduced-precision factorization is serial-only: the "
             "distributed backends run fp64; drop precision or nproc")
+    if schedule == "lookahead":
+        if nproc < 2:
+            raise InvalidOptionError(
+                "schedule='lookahead' needs nproc >= 2 (the pipelined "
+                "schedule overlaps work across PEs)")
+        if dist_b is not None and dist_b != 1:
+            raise InvalidOptionError(
+                "schedule='lookahead' is implemented for the Version 1 "
+                f"distribution (b=1); got b={dist_b}")
 
     # --- algorithm selection ------------------------------------------
     fallback: str | None = None
@@ -397,5 +447,6 @@ def _make_plan(op, *, assume: str = "auto",
         fallback=fallback, panel=panel, in_place=in_place,
         perturb=perturb, delta=delta, use_cache=use_cache,
         nproc=nproc, distribution_b=dist_b, backend=backend,
+        schedule=schedule, transport=transport,
         precision=precision, predicted_seconds=predicted, note=note,
         operator=target)

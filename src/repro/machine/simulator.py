@@ -36,6 +36,11 @@ class RankReport:
     by_category: dict[str, float] = field(default_factory=dict)
     messages_sent: int = 0
     words_sent: int = 0
+    #: words received through broadcasts (the root's payload size is
+    #: charged to every participating rank)
+    bcast_words: int = 0
+    #: words this rank contributed to sum-reductions
+    reduce_words: int = 0
     result: Any = None
 
     def charge(self, seconds: float, category: str) -> None:
@@ -85,6 +90,18 @@ class MachineReport:
         communication volume.
         """
         return {r.rank: r.words_sent for r in self.ranks}
+
+    def broadcast_words_by_rank(self) -> dict[int, int]:
+        """Broadcast words received per rank (§6.3 transform panels in
+        the factorization programs, ``y_i``/``x_i`` pieces in the solve
+        program).  The real multiprocess backend counts the same
+        quantity per PE."""
+        return {r.rank: r.bcast_words for r in self.ranks}
+
+    def reduce_words_by_rank(self) -> dict[int, int]:
+        """Words contributed per rank to sum-reductions (the backward
+        solve sweep's row sums)."""
+        return {r.rank: r.reduce_words for r in self.ranks}
 
 
 class _RankState:
@@ -284,6 +301,8 @@ class Machine:
                     words = op.words
             cost = self.network.broadcast_time(words, self.nproc)
             results = {r: payload for r, _ in collective}
+            for r2, _op2 in collective:
+                states[r2].report.bcast_words += words
             category = first_op.category
         elif isinstance(first_op, Reduce):
             roots = {op.root for _, op in collective}
@@ -300,6 +319,8 @@ class Machine:
             cost = self.network.broadcast_time(words, self.nproc)
             results = {r: (total if r == root else None)
                        for r, _ in collective}
+            for r2, op2 in collective:
+                states[r2].report.reduce_words += op2.words
             category = first_op.category
         else:
             cost = self.network.barrier_time(self.nproc)

@@ -30,7 +30,12 @@ from repro.parallel.distributions import (
     SpreadLayout,
     make_layout,
 )
-from repro.parallel.driver import simulate_factorization, simulate_solve, SimulatedRun
+from repro.parallel.driver import (
+    simulate_factorization,
+    simulate_solve,
+    simulate_triangular_solve,
+    SimulatedRun,
+)
 from repro.parallel.analytic import analytic_factor_time, AnalyticBreakdown
 from repro.parallel.backends import (
     BACKENDS,
@@ -39,8 +44,18 @@ from repro.parallel.backends import (
 )
 from repro.parallel.mp_backend import (
     MPRun,
+    MPSolveRun,
+    SCHEDULES,
     mp_factorization,
+    mp_triangular_solve,
     multiprocess_available,
+)
+from repro.parallel.transport import (
+    Transport,
+    SharedMemoryTransport,
+    available_transports,
+    get_transport,
+    register_transport,
 )
 
 __all__ = [
@@ -49,6 +64,7 @@ __all__ = [
     "make_layout",
     "simulate_factorization",
     "simulate_solve",
+    "simulate_triangular_solve",
     "SimulatedRun",
     "analytic_factor_time",
     "AnalyticBreakdown",
@@ -56,6 +72,14 @@ __all__ = [
     "DistributedFactorization",
     "factor_distributed",
     "MPRun",
+    "MPSolveRun",
+    "SCHEDULES",
     "mp_factorization",
+    "mp_triangular_solve",
     "multiprocess_available",
+    "Transport",
+    "SharedMemoryTransport",
+    "available_transports",
+    "get_transport",
+    "register_transport",
 ]

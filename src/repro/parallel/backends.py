@@ -18,25 +18,39 @@ factorization (``fallback_reason``) and on the enclosing span — the run
 still succeeds, just on the model instead of the metal.
 
 Either way the result is a :class:`DistributedFactorization`: the
-gathered triangular factor ``R`` with the same ``solve``/``logdet``
-surface as the serial :class:`~repro.core.schur_spd.SPDFactorization`,
-so engine caching and the solve stage are backend-agnostic.
+triangular factor ``R`` with the same ``solve``/``logdet`` surface as
+the serial :class:`~repro.core.schur_spd.SPDFactorization`, so engine
+caching and the solve stage are backend-agnostic.  ``solve`` keeps the
+data plane distributed: it routes vector and panel right-hand sides
+through the backend's triangular-solve program (the simulated sweeps of
+:func:`~repro.parallel.driver.simulate_triangular_solve` or the real
+worker processes of
+:func:`~repro.parallel.mp_backend.mp_triangular_solve`), degrading to
+the gathered serial sweep only when the distributed path cannot run —
+with the reason recorded on ``last_solve_fallback_reason``.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 import numpy as np
 
 import repro.obs as obs
 from repro.errors import (
+    DistributionError,
     InvalidOptionError,
     MultiprocessUnavailableError,
+    NotPositiveDefiniteError,
 )
-from repro.parallel.driver import simulate_factorization
+from repro.parallel.distributions import BlockCyclicLayout
+from repro.parallel.driver import (
+    simulate_factorization,
+    simulate_triangular_solve,
+)
 from repro.parallel.mp_backend import (
     mp_factorization,
+    mp_triangular_solve,
     multiprocess_available,
 )
 from repro.utils.lintools import as_panel, from_panel, \
@@ -70,6 +84,17 @@ class DistributedFactorization:
     requested_backend: str
     fallback_reason: str = ""
     run: object | None = None
+    #: Transport the multiprocess data plane runs over.
+    transport: str = "shared_memory"
+    #: Which path the most recent :meth:`solve` took (``"simulated"``,
+    #: ``"multiprocess"`` or ``"serial"``) and, for ``"serial"``, why
+    #: the distributed sweeps could not run.
+    last_solve_backend: str = field(default="", compare=False)
+    last_solve_fallback_reason: str = field(default="", compare=False)
+    #: Backend-native result of the most recent distributed solve
+    #: (:class:`~repro.parallel.mp_backend.MPSolveRun` or the simulated
+    #: :class:`~repro.machine.simulator.MachineReport`).
+    last_solve_run: object = field(default=None, compare=False)
 
     @property
     def order(self) -> int:
@@ -80,20 +105,98 @@ class DistributedFactorization:
         """Whether the requested backend was substituted."""
         return self.backend != self.requested_backend
 
-    def solve(self, b: np.ndarray) -> np.ndarray:
-        """Solve ``T X = B`` (vector or ``n × k`` panel) via
-        ``Rᵀ (R X) = B`` — level-3 sweeps over the whole panel."""
+    # ------------------------------------------------------------------
+    def _solve_route(self) -> tuple[str, str]:
+        """``(route, reason)`` — which triangular-solve path to take.
+
+        The distributed sweeps need whole block columns (Versions 1/2)
+        and a backend run to solve against; anything else degrades to
+        the gathered serial sweep with the reason recorded.
+        """
+        if self.run is None:
+            return "serial", "no backend run attached"
+        layout = getattr(self.run, "layout", None)
+        if not isinstance(layout, BlockCyclicLayout):
+            return "serial", ("Version 3 spread layout "
+                              "(solve needs whole block columns)")
+        if self.nproc < 2:
+            return "serial", "single PE"
+        if self.backend == "multiprocess":
+            ok, why = multiprocess_available(transport=self.transport)
+            if not ok:
+                return "serial", why
+            return "multiprocess", ""
+        if getattr(self.run, "report", None) is not None:
+            return "simulated", ""
+        return "serial", "backend run carries no per-PE results"
+
+    def _solve_serial(self, b: np.ndarray) -> np.ndarray:
         panel, single = as_panel(b, self.order)
         y = solve_upper_triangular(self.r, panel, trans=True)
         return from_panel(solve_upper_triangular(self.r, y), single)
+
+    def solve(self, b: np.ndarray) -> np.ndarray:
+        """Solve ``T X = B`` (vector or ``n × k`` panel).
+
+        The factor stays distributed: the solve runs as the
+        forward/backward SPMD sweeps on the same backend that factored
+        (per-PE level-3 updates, one small collective pair per block
+        row), so distributed plans no longer gather ``R`` into a serial
+        sweep.  Falls back to the gathered serial sweep — recording why
+        on ``last_solve_fallback_reason`` — when the distributed path
+        cannot run (spread layout, missing run, backend unavailable).
+        """
+        route, reason = self._solve_route()
+        with obs.span("solve.distributed", backend=route,
+                      nproc=self.nproc) as sp:
+            if route == "multiprocess":
+                try:
+                    srun = mp_triangular_solve(
+                        self.r, self.run.layout, b,
+                        block_size=self.block_size,
+                        transport=self.transport)
+                    self.last_solve_backend = "multiprocess"
+                    self.last_solve_fallback_reason = ""
+                    self.last_solve_run = srun
+                    sp.set(wall_seconds=srun.wall_seconds,
+                           nrhs=srun.nrhs)
+                    return srun.x
+                except (MultiprocessUnavailableError,
+                        DistributionError) as exc:
+                    route, reason = "serial", str(exc)
+                    sp.set(backend=route)
+            if route == "simulated":
+                x, rep = simulate_triangular_solve(self.run, b)
+                self.last_solve_backend = "simulated"
+                self.last_solve_fallback_reason = ""
+                self.last_solve_run = rep
+                sp.set(simulated_seconds=rep.makespan)
+                return x
+            self.last_solve_backend = "serial"
+            self.last_solve_fallback_reason = reason
+            self.last_solve_run = None
+            sp.set(fallback_reason=reason)
+            return self._solve_serial(b)
 
     def reconstruct(self) -> np.ndarray:
         """Dense ``Rᵀ R`` (diagnostic)."""
         return self.r.T @ self.r
 
     def logdet(self) -> float:
-        """``log det T = 2 Σ log R_ii``."""
-        return 2.0 * float(np.sum(np.log(np.abs(np.diag(self.r)))))
+        """``log det T = 2 Σ log R_ii``.
+
+        A valid SPD factor has a strictly positive diagonal; anything
+        else means the factorization failed upstream, so this raises
+        :class:`NotPositiveDefiniteError` (matching the serial path)
+        instead of silently folding the sign away with ``abs``.
+        """
+        d = np.diag(self.r)
+        if d.size == 0 or np.min(d) <= 0.0 or not np.all(np.isfinite(d)):
+            raise NotPositiveDefiniteError(
+                "distributed factor has a nonpositive diagonal entry — "
+                "the factorization did not complete as SPD "
+                f"(min diag = {np.min(d) if d.size else float('nan')!r})")
+        return 2.0 * float(np.sum(np.log(d)))
 
 
 def _from_run(run, pl, *, backend: str, reason: str
@@ -102,7 +205,8 @@ def _from_run(run, pl, *, backend: str, reason: str
         r=run.r, block_size=run.block_size, num_blocks=run.num_blocks,
         representation=run.representation, nproc=pl.nproc,
         backend=backend, requested_backend=pl.backend,
-        fallback_reason=reason, run=run)
+        fallback_reason=reason, run=run,
+        transport=getattr(pl, "transport", "shared_memory"))
 
 
 def factor_distributed(op, pl) -> DistributedFactorization:
@@ -117,11 +221,13 @@ def factor_distributed(op, pl) -> DistributedFactorization:
     if pl.backend not in BACKENDS:
         raise InvalidOptionError(
             f"unknown backend {pl.backend!r}; expected one of {BACKENDS}")
+    schedule = getattr(pl, "schedule", "bulk")
     with obs.span("factor.distributed", backend=pl.backend,
-                  nproc=pl.nproc) as sp:
+                  nproc=pl.nproc, schedule=schedule) as sp:
         reason = ""
         if pl.backend == "multiprocess":
-            ok, why = multiprocess_available()
+            ok, why = multiprocess_available(
+                transport=getattr(pl, "transport", "shared_memory"))
             if ok:
                 try:
                     run = mp_factorization(op, plan=pl)
@@ -140,6 +246,6 @@ def factor_distributed(op, pl) -> DistributedFactorization:
                     "Multiprocess-backend requests served by the "
                     "simulator instead"
                 ).inc(1)
-        run = simulate_factorization(op, plan=pl)
+        run = simulate_factorization(op, plan=pl, program=schedule)
         sp.set(version=run.layout.version, simulated_seconds=run.time)
         return _from_run(run, pl, backend="simulated", reason=reason)

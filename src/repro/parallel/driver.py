@@ -25,7 +25,8 @@ from repro.parallel.distributions import (
 from repro.parallel.spmd import block_cyclic_program, spread_program
 from repro.toeplitz.block_toeplitz import SymmetricBlockToeplitz
 
-__all__ = ["SimulatedRun", "simulate_factorization", "simulate_solve"]
+__all__ = ["SimulatedRun", "simulate_factorization",
+           "simulate_triangular_solve", "simulate_solve"]
 
 
 @dataclass
@@ -202,6 +203,54 @@ def simulate_factorization(t: SymmetricBlockToeplitz,
                         representation=representation)
 
 
+def simulate_triangular_solve(run: SimulatedRun, b: np.ndarray, *,
+                              node_model=None,
+                              network: T3DNetworkParameters | None = None,
+                              topology=None,
+                              trace: bool = False
+                              ) -> tuple[np.ndarray, MachineReport]:
+    """Solve ``RᵀR x = b`` from an existing simulated factorization run.
+
+    The factor stays distributed exactly as the run left it: each PE's
+    ``{(i, j): R_ij}`` result dict feeds the triangular-solve program of
+    :mod:`repro.parallel.spmd_solve` directly.  ``b`` may be a vector or
+    an ``n × k`` panel.  Versions 1/2 layouts only (the solve sweeps
+    assume whole block columns) — this is the routing target of
+    :meth:`repro.parallel.backends.DistributedFactorization.solve` for
+    the simulated backend.
+
+    Returns ``(x, solve_report)`` with ``x`` shaped like ``b``.
+    """
+    from repro.parallel.spmd_solve import triangular_solve_program
+
+    layout = run.layout
+    if not isinstance(layout, BlockCyclicLayout):
+        raise DistributionError(
+            "the distributed solve supports Versions 1/2 "
+            "(whole block columns)")
+    if node_model is None:
+        node_model = t3d_node_model()
+    if network is None:
+        network = T3DNetworkParameters()
+    nproc = layout.nproc
+    m, p = run.block_size, run.num_blocks
+    b = np.asarray(b, dtype=np.float64)
+    single = b.ndim == 1
+    r_blocks = {rank: res or {} for rank, res in
+                enumerate(run.report.results)}
+    machine = Machine(nproc, network=network,
+                      topology=topology or Torus3D(nproc), trace=trace)
+    solve_report = machine.run(
+        triangular_solve_program, layout=layout, m=m, p=p,
+        r_blocks=r_blocks, b=b, node_model=node_model)
+    n = m * p
+    x = np.zeros(n) if single else np.zeros((n, b.shape[1]))
+    for res in solve_report.results:
+        for j, xj in res.items():
+            x[j * m:(j + 1) * m] = xj
+    return x, solve_report
+
+
 def simulate_solve(t: SymmetricBlockToeplitz, b: np.ndarray, nproc: int, *,
                    bdist: float = 1,
                    representation: str = "vy2",
@@ -214,13 +263,12 @@ def simulate_solve(t: SymmetricBlockToeplitz, b: np.ndarray, nproc: int, *,
 
     Runs the distributed factorization (keeping the factor distributed,
     one column-block dict per PE) followed by the distributed triangular
-    solves of :mod:`repro.parallel.spmd_solve`.  Versions 1/2 layouts
-    only (the solve sweeps assume whole block columns).
+    solves of :mod:`repro.parallel.spmd_solve`.  ``b`` may be a vector
+    or an ``n × k`` panel.  Versions 1/2 layouts only (the solve sweeps
+    assume whole block columns).
 
     Returns ``(x, factorization_run, solve_report)``.
     """
-    from repro.parallel.spmd_solve import triangular_solve_program
-
     if bdist < 1:
         raise DistributionError(
             "the distributed solve supports Versions 1/2 (b ≥ 1)")
@@ -229,22 +277,11 @@ def simulate_solve(t: SymmetricBlockToeplitz, b: np.ndarray, nproc: int, *,
         node_model = t3d_node_model()
     if network is None:
         network = T3DNetworkParameters()
-    b = np.asarray(b, dtype=np.float64)
     run = simulate_factorization(
         t, nproc, layout=layout, representation=representation,
         node_model=node_model, network=network, topology=topology,
         collect=True, trace=trace)
-    m, p = run.block_size, run.num_blocks
-    r_blocks = {rank: res or {} for rank, res in
-                enumerate(run.report.results)}
-    machine = Machine(nproc, network=network,
-                      topology=topology or Torus3D(nproc), trace=trace)
-    solve_report = machine.run(
-        triangular_solve_program, layout=layout, m=m, p=p,
-        r_blocks=r_blocks, b=b, node_model=node_model)
-    n = m * p
-    x = np.zeros(n)
-    for res in solve_report.results:
-        for j, xj in res.items():
-            x[j * m:(j + 1) * m] = xj
+    x, solve_report = simulate_triangular_solve(
+        run, b, node_model=node_model, network=network,
+        topology=topology, trace=trace)
     return x, run, solve_report

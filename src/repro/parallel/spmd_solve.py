@@ -15,8 +15,11 @@ After the distributed factorization, PE ``r`` holds the column blocks
 One small collective pair per block row — the classic limited-
 parallelism distributed triangular solve; its simulated cost is exactly
 why the paper (and practice) amortize one factorization over many
-right-hand sides.  The numerics are real and checked against the serial
-solution.
+right-hand sides.  ``b`` may be a vector or an ``n × k`` panel: the
+panel case moves ``m·k`` words per collective and turns every per-PE
+update into a level-3 product, which is the distributed face of the
+batched-RHS story.  The numerics are real and checked against the
+serial solution.
 """
 
 from __future__ import annotations
@@ -44,35 +47,42 @@ def triangular_solve_program(ctx, *, layout: BlockCyclicLayout, m: int,
     """SPMD program solving ``RᵀR x = b`` from distributed ``R`` columns.
 
     ``r_blocks`` maps each rank to its ``{(i, j): m×m}`` dict from the
-    factorization run; ``b`` is replicated (it is only ``O(n)``).
-    Returns each rank's ``{j: x_j}`` solution pieces.
+    factorization run; ``b`` — a vector or an ``n × k`` panel — is
+    replicated (it is only ``O(n·k)``).  Returns each rank's
+    ``{j: x_j}`` solution pieces, shaped like the input (``(m,)`` per
+    block for a vector, ``(m, k)`` for a panel).
     """
     rank, _nproc = ctx.rank, ctx.nproc
     mine = r_blocks[rank]
     my_cols = layout.blocks_of(rank, p)
     n = m * p
-    if b.shape[0] != n:
-        raise ShapeError(f"b has {b.shape[0]} rows, expected {n}")
+    b = np.asarray(b, dtype=np.float64)
+    single = b.ndim == 1
+    bp = b[:, None] if single else b
+    if bp.shape[0] != n:
+        raise ShapeError(f"b has {bp.shape[0]} rows, expected {n}")
+    k = bp.shape[1]
+    words = m * k
 
     # ---------------- forward sweep: Rᵀ y = b ----------------------------
-    acc = {j: np.zeros(m) for j in my_cols}
-    y = np.zeros(n)
+    acc = {j: np.zeros((m, k)) for j in my_cols}
+    y = np.zeros((n, k))
     for i in range(p):
         owner = layout.owner(i)
         payload = None
         if rank == owner:
             rii = mine[(i, i)]
             payload = solve_upper_triangular(
-                rii, b[i * m:(i + 1) * m] - acc[i], trans=True)
-            yield _charge_flops(node_model, m * m, m)
-        yi = yield Broadcast(root=owner, payload=payload, words=m,
+                rii, bp[i * m:(i + 1) * m] - acc[i], trans=True)
+            yield _charge_flops(node_model, m * m * k, m)
+        yi = yield Broadcast(root=owner, payload=payload, words=words,
                              category="broadcast")
         y[i * m:(i + 1) * m] = yi
         flops = 0
         for j in my_cols:
             if j > i:
                 acc[j] += mine[(i, j)].T @ yi
-                flops += 2 * m * m
+                flops += 2 * m * m * k
         if flops:
             yield _charge_flops(node_model, flops, m)
     yield Barrier()
@@ -80,26 +90,30 @@ def triangular_solve_program(ctx, *, layout: BlockCyclicLayout, m: int,
     # ---------------- backward sweep: R x = y ----------------------------
     # pending[i] (local) accumulates Σ_{j>i, j local} R[i, j] x_j; the
     # full row sum is reduced to owner(i) just before x_i is solved.
-    pending = {i: np.zeros(m) for i in range(p)}
-    x = np.zeros(n)
+    pending = {i: np.zeros((m, k)) for i in range(p)}
+    x = np.zeros((n, k))
     for i in range(p - 1, -1, -1):
         total = yield Reduce(root=layout.owner(i), payload=pending[i],
-                             words=m)
+                             words=words)
         payload = None
         if rank == layout.owner(i):
             rii = mine[(i, i)]
             payload = solve_upper_triangular(
                 rii, y[i * m:(i + 1) * m] - total)
-            yield _charge_flops(node_model, m * m, m)
+            yield _charge_flops(node_model, m * m * k, m)
         xi = yield Broadcast(root=layout.owner(i), payload=payload,
-                             words=m, category="broadcast")
+                             words=words, category="broadcast")
         x[i * m:(i + 1) * m] = xi
         if i in my_cols:
             flops = 0
             for big_i in range(i):
                 pending[big_i] += mine[(big_i, i)] @ xi
-                flops += 2 * m * m
+                flops += 2 * m * m * k
             if flops:
                 yield _charge_flops(node_model, flops, m)
     yield Barrier()
-    return {j: x[j * m:(j + 1) * m].copy() for j in my_cols}
+    out = {}
+    for j in my_cols:
+        piece = x[j * m:(j + 1) * m].copy()
+        out[j] = piece[:, 0] if single else piece
+    return out

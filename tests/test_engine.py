@@ -332,6 +332,46 @@ class TestCache:
         assert ("k",) not in cache
         assert len(cache) == 0
 
+    def test_nbytes_counts_nested_payloads(self):
+        """Arrays buried arbitrarily deep must count toward the byte
+        budget (a depth cutoff used to blind eviction to them)."""
+        from repro.engine.cache import _estimate_nbytes
+
+        class Inner:
+            def __init__(self):
+                self.big = np.zeros(1000)          # 8000 bytes
+
+        class Run:
+            def __init__(self):
+                self.workers = [{"payload": {"arrays": [Inner()]}}]
+
+        class Fact:
+            def __init__(self):
+                self.r = np.zeros((10, 10))        # 800 bytes
+                self.run = Run()
+
+        est = _estimate_nbytes(Fact())
+        assert est >= 8800
+        # shared references count once, and cycles terminate
+        shared = np.zeros(500)
+        cyclic = Fact()
+        cyclic.a, cyclic.b = shared, shared
+        cyclic.me = cyclic
+        est2 = _estimate_nbytes(cyclic)
+        assert 8800 + 4000 <= est2 < 8800 + 2 * 4000 + 1000
+
+    def test_oversized_nested_value_not_cached(self):
+        """The byte gate sees nested arrays, so a factorization whose
+        bulk hides below one container level is still rejected."""
+        cache = FactorizationCache(max_bytes=1000)
+
+        class Fact:
+            def __init__(self):
+                self.meta = {"run": {"workers": [np.zeros(1000)]}}
+
+        cache.put(("k",), Fact())
+        assert ("k",) not in cache
+
     def test_clear_and_reset(self):
         cache = FactorizationCache()
         cache.put(("k",), np.zeros(4))
