@@ -1,0 +1,139 @@
+"""Serving-layer coalescing: concurrent requests vs a sequential loop.
+
+PR 4 bought a 6.7× panel-solve speedup at k = 32 — but only for callers
+that *arrive* with a panel.  The serve layer's claim is that concurrent
+single-RHS traffic can be coalesced into those panels at the request
+boundary.  This bench measures that claim end to end: 64 requests
+against one warm-cached n ≈ 2048 SPD operator, driven from 16 client
+threads through the :class:`~repro.serve.BatchDispatcher` (latency
+budget 4 ms, panel cap 32), against the same 64 solves issued as a
+sequential single-RHS loop.
+
+Asserted: coalesced throughput ≥ 3× the sequential loop, every
+response matching its uncoalesced solve to ≤ 1e-10, and real
+coalescing (mean panel width > 4).  Results land in
+``BENCH_serve.json`` (a CI artifact; ``serve.speedup`` is gated in the
+bench-history diff).
+"""
+
+import concurrent.futures
+import time
+
+import numpy as np
+
+import repro.engine as engine
+from repro.bench import format_table, write_json_result, write_result
+from repro.bench.runner import full_scale
+from repro.engine import FactorizationCache, set_default_cache
+from repro.serve import BatchDispatcher
+from repro.toeplitz import ar_block_toeplitz
+
+REQUESTS = 64
+CONCURRENCY = 16
+MAX_BATCH_K = 32
+MAX_WAIT_MS = 4.0
+PARITY = 1e-10
+SPEEDUP_FLOOR = 3.0
+
+
+def _wall(fn, repeats=3):
+    best = np.inf
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - t0)
+    return best
+
+
+def run_serve_bench(p_blocks, m):
+    t = ar_block_toeplitz(p_blocks, m, seed=0)
+    n = t.order
+    pl = engine.plan(t)
+    engine.execute(pl, np.ones(n))          # pay the factorization once
+    rng = np.random.default_rng(1)
+    bs = [rng.standard_normal(n) for _ in range(REQUESTS)]
+
+    # The uncoalesced reference: the same solves, one at a time.
+    reference = [engine.execute(pl, b).x for b in bs]
+    sequential_seconds = _wall(
+        lambda: [engine.execute(pl, b) for b in bs])
+
+    # The served path: REQUESTS solves from CONCURRENCY client threads.
+    def coalesced_once():
+        with BatchDispatcher(max_wait_ms=MAX_WAIT_MS,
+                             max_batch_k=MAX_BATCH_K,
+                             max_queue_depth=2 * REQUESTS) as disp:
+            with concurrent.futures.ThreadPoolExecutor(
+                    max_workers=CONCURRENCY) as pool:
+                futs = list(pool.map(
+                    lambda b: disp.submit(pl, b), bs))
+            resps = [f.result(timeout=60) for f in futs]
+            return resps, disp.stats()
+
+    best = np.inf
+    resps = stats = None
+    for _ in range(3):
+        t0 = time.perf_counter()
+        out = coalesced_once()
+        elapsed = time.perf_counter() - t0
+        if elapsed < best:
+            best, (resps, stats) = elapsed, out
+    coalesced_seconds = best
+
+    parity = max(float(np.max(np.abs(r.x - ref)))
+                 for r, ref in zip(resps, reference))
+    return t, {
+        "requests": REQUESTS,
+        "concurrency": CONCURRENCY,
+        "max_batch_k": MAX_BATCH_K,
+        "max_wait_ms": MAX_WAIT_MS,
+        "coalesced_seconds": coalesced_seconds,
+        "sequential_seconds": sequential_seconds,
+        "speedup": sequential_seconds / coalesced_seconds,
+        "coalesced_requests_per_s": REQUESTS / coalesced_seconds,
+        "sequential_requests_per_s": REQUESTS / sequential_seconds,
+        "batches": stats.batches,
+        "mean_batch_k": stats.mean_batch_k,
+        "parity": parity,
+        "latency_p50_seconds": stats.latency_p50_seconds,
+        "latency_p99_seconds": stats.latency_p99_seconds,
+    }
+
+
+def test_serve_coalescing_throughput(benchmark):
+    previous = set_default_cache(FactorizationCache())
+    try:
+        p_blocks, m = (512, 8) if full_scale() else (512, 4)
+        t, cell = benchmark.pedantic(
+            run_serve_bench, args=(p_blocks, m), rounds=1, iterations=1)
+    finally:
+        set_default_cache(previous)
+
+    text = format_table(
+        ["requests", "clients", "batches", "mean_k", "coalesced_ms",
+         "sequential_ms", "speedup", "parity"],
+        [[cell["requests"], cell["concurrency"], cell["batches"],
+          f"{cell['mean_batch_k']:.1f}",
+          f"{cell['coalesced_seconds'] * 1e3:.2f}",
+          f"{cell['sequential_seconds'] * 1e3:.2f}",
+          f"{cell['speedup']:.1f}x",
+          f"{cell['parity']:.1e}"]],
+        title=(f"Cross-request coalescing vs sequential loop, "
+               f"n={t.order} (warm factorization cache, "
+               f"latency budget {cell['max_wait_ms']:g} ms)"))
+    write_result("serve", text)
+
+    write_json_result("serve", {
+        "workload": {"num_blocks": t.num_blocks,
+                     "block_size": t.block_size, "order": t.order,
+                     "matrix": "ar(seed=0)",
+                     "full_scale": full_scale()},
+        "serve": cell,
+    })
+
+    # every coalesced response matches its uncoalesced solve
+    assert cell["parity"] <= PARITY, cell
+    # the dispatcher actually coalesced (not 64 batches of one)
+    assert cell["mean_batch_k"] > 4.0, cell
+    # throughput: coalesced ≥ 3× the sequential single-RHS loop
+    assert cell["speedup"] >= SPEEDUP_FLOOR, cell

@@ -42,6 +42,14 @@ Commands
     Maintain ``BENCH_history.jsonl`` from the ``BENCH_*.json``
     benchmark artifacts and diff the current results against the
     committed baseline (nonzero exit on regression).
+``serve <matrix> [--port P]``
+    Run the matrix as a solver service: a TCP front end
+    (newline-delimited JSON) over the micro-batching dispatcher that
+    coalesces concurrent requests sharing a factorization into one
+    panel solve (``--max-wait-ms`` latency budget, ``--max-batch-k``
+    panel cap, ``--max-queue-depth`` admission bound).  ``--selftest K``
+    starts the server on an ephemeral port, drives K concurrent client
+    requests through it, prints the coalescing stats, and exits.
 ``bench-info``
     List the paper figures/tables and the benchmark that regenerates
     each.
@@ -350,6 +358,70 @@ def _cmd_tune(args) -> int:
     return 0
 
 
+def _cmd_serve(args) -> int:
+    from repro.serve import SolverService, start_tcp_server
+    _want_profile(args)
+    t = _load_matrix(args.matrix, args.block_size)
+    service = SolverService(max_wait_ms=args.max_wait_ms,
+                            max_batch_k=args.max_batch_k,
+                            max_queue_depth=args.max_queue_depth,
+                            workers=args.workers)
+    pl = service.register(args.op, t,
+                          representation=args.representation,
+                          precision=args.precision,
+                          warm=not args.no_warm)
+    if args.explain:
+        print(pl.describe())
+    port = 0 if args.selftest else args.port
+    handle = start_tcp_server(service, host=args.host, port=port)
+    print(f"serving operator {args.op!r} (n={t.order}, "
+          f"m={t.block_size}) on {handle.host}:{handle.port} — "
+          f"max_wait_ms={args.max_wait_ms:g}, "
+          f"max_batch_k={args.max_batch_k}, "
+          f"max_queue_depth={args.max_queue_depth}")
+    try:
+        if args.selftest:
+            return _serve_selftest(args, handle, service)
+        import time as _time
+        while True:  # pragma: no cover - interactive loop
+            _time.sleep(3600)
+    except KeyboardInterrupt:  # pragma: no cover - interactive
+        print("shutting down (draining in-flight batches)")
+        return 0
+    finally:
+        handle.close()
+        service.close(drain=True)
+
+
+def _serve_selftest(args, handle, service) -> int:
+    """Drive K concurrent requests through the TCP path, then report."""
+    import concurrent.futures
+
+    from repro.serve import TCPClient
+    from repro.utils.rng import default_rng
+    k = args.selftest
+    order = service.plan_for(args.op).order
+    panel = default_rng(0).standard_normal((order, k))
+
+    def one(j: int):
+        with TCPClient(handle.host, handle.port) as client:
+            return client.solve(args.op, panel[:, j])
+
+    with concurrent.futures.ThreadPoolExecutor(max_workers=k) as pool:
+        responses = list(pool.map(one, range(k)))
+    stats = service.stats()
+    widths = sorted({r.record.batch_k for r in responses})
+    print(f"selftest: {k} concurrent requests → {stats.batches} "
+          f"batch(es), mean panel width {stats.mean_batch_k:.1f} "
+          f"(widths seen: {widths})")
+    print(f"latency p50 {stats.latency_p50_seconds * 1e3:.3f} ms, "
+          f"p99 {stats.latency_p99_seconds * 1e3:.3f} ms")
+    ok = (stats.completed == k and stats.failed == 0)
+    print("selftest " + ("passed" if ok else
+                         f"FAILED: {stats.failed} request(s) failed"))
+    return 0 if ok else 1
+
+
 def _cmd_bench_info(_args) -> int:
     rows = [
         ("Figure 6 / Exp 1", "bench_fig6_exp1.py",
@@ -597,6 +669,45 @@ def build_parser() -> argparse.ArgumentParser:
                     help="show every compared metric, not just "
                          "regressions")
     pb.set_defaults(func=_cmd_bench_diff)
+
+    p = sub.add_parser(
+        "serve",
+        help="run the matrix as a coalescing solver service over TCP")
+    add_matrix_args(p)
+    p.add_argument("--op", default="default", metavar="NAME",
+                   help="operator name requests address "
+                        "(default: 'default')")
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--port", type=int, default=8571,
+                   help="TCP port (0 picks a free one; default 8571)")
+    p.add_argument("--max-wait-ms", type=float, default=2.0,
+                   metavar="MS",
+                   help="latency budget: longest a request waits for "
+                        "batch-mates before its panel dispatches")
+    p.add_argument("--max-batch-k", type=int, default=32, metavar="K",
+                   help="panel-width cap per coalesced batch")
+    p.add_argument("--max-queue-depth", type=int, default=256,
+                   metavar="N",
+                   help="admission bound; submits past it fast-fail "
+                        "with ServiceOverloadError")
+    p.add_argument("--workers", type=int, default=2,
+                   help="threads executing dispatched batches")
+    p.add_argument("--representation", default="vy2",
+                   choices=["vy1", "vy2", "yty", "unblocked", "dense"])
+    p.add_argument("--precision", default="fp64",
+                   choices=["fp64", "fp32", "mixed"])
+    p.add_argument("--no-warm", action="store_true",
+                   help="skip prepaying the factorization at startup")
+    p.add_argument("--explain", action="store_true",
+                   help="print the solver plan before serving")
+    p.add_argument("--profile", action="store_true",
+                   help="enable observability (service metrics become "
+                        "available via the 'metrics' command)")
+    p.add_argument("--selftest", type=int, default=None, metavar="K",
+                   help="start on an ephemeral port, drive K "
+                        "concurrent TCP requests, print coalescing "
+                        "stats, exit")
+    p.set_defaults(func=_cmd_serve, trace_out=None)
 
     p = sub.add_parser("bench-info",
                        help="list paper artifacts and their benches")

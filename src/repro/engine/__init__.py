@@ -34,6 +34,7 @@ from repro.engine.engine import (
     FactorResult,
     algorithms,
     execute,
+    execute_many,
     factor,
     get_algorithm,
     register_algorithm,
@@ -56,6 +57,7 @@ __all__ = [
     "FactorResult",
     "algorithms",
     "execute",
+    "execute_many",
     "factor",
     "get_algorithm",
     "register_algorithm",

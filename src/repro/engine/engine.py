@@ -36,6 +36,7 @@ __all__ = [
     "FactorResult",
     "algorithms",
     "execute",
+    "execute_many",
     "factor",
     "get_algorithm",
     "register_algorithm",
@@ -414,6 +415,45 @@ def execute(pl: SolverPlan, b, *,
         sp.set(wall_seconds=wall, rhs_per_second=rec.rhs_per_second)
     return dataclasses.replace(res, profile=obs.profile_from(sp),
                                record=rec)
+
+
+def execute_many(pl: SolverPlan, bs, *,
+                 cache: FactorizationCache | None = None,
+                 **solve_kwargs) -> list[ExecutionResult]:
+    """Coalesce many single-RHS solves into one panel execution.
+
+    ``bs`` is a sequence of 1-D right-hand sides against the same plan.
+    They are stacked into one ``n × k`` panel, solved with a single
+    :func:`execute` (one pair of level-3 triangular sweeps instead of
+    ``k`` back-substitutions — the Section 6.5 shape argument applied to
+    the solve phase), and split back into one :class:`ExecutionResult`
+    per input.  The per-result ``record`` is the shared panel record:
+    its ``nrhs`` says how many right-hand sides the execution actually
+    coalesced.  A single-element ``bs`` degenerates to the plain
+    sequential :func:`execute` path, bit for bit.
+
+    This is the batch entry the request dispatcher in
+    :mod:`repro.serve` drives; it is equally usable directly.
+    """
+    bs = [np.asarray(b, dtype=np.float64) for b in bs]
+    if not bs:
+        raise InvalidOptionError("execute_many needs at least one "
+                                 "right-hand side")
+    for b in bs:
+        if b.ndim != 1:
+            raise InvalidOptionError(
+                "execute_many coalesces single right-hand sides; got a "
+                f"{b.ndim}-D array (pass panels straight to execute)")
+        if b.shape[0] != pl.order:
+            raise InvalidOptionError(
+                f"right-hand side length {b.shape[0]} does not match "
+                f"plan order {pl.order}")
+    if len(bs) == 1:
+        return [execute(pl, bs[0], cache=cache, **solve_kwargs)]
+    panel = np.stack(bs, axis=1)
+    res = execute(pl, panel, cache=cache, **solve_kwargs)
+    return [dataclasses.replace(res, x=res.x[:, j])
+            for j in range(len(bs))]
 
 
 def solve(op, b, *, cache: FactorizationCache | None = None,

@@ -157,6 +157,8 @@ class SolverPlan:
         if self.precision != "fp64":
             lines.append(f"  precision       {self.precision} "
                          "(fp64 recovery via refinement)")
+        else:
+            lines.append("  precision       fp64")
         cache = "on" if self.use_cache else "off"
         lines.append(f"  cache           {cache} "
                      f"(fingerprint {self.fingerprint[:12]}…)")
@@ -164,12 +166,12 @@ class SolverPlan:
             lines.append(
                 f"  distribution    Version {self.distribution_version} "
                 f"(b={self.distribution_b}), NP={self.nproc}")
-            backend = self.backend
-            if self.backend == "multiprocess":
-                backend += f" ({self.transport})"
-            lines.append(f"  backend         {backend}")
-            if self.schedule != "bulk":
-                lines.append(f"  schedule        {self.schedule}")
+            lines.append(f"  backend         {self.backend}")
+            lines.append(f"  schedule        {self.schedule}")
+            lines.append(f"  transport       {self.transport}"
+                         + ("" if self.backend == "multiprocess"
+                            else " (takes effect with the multiprocess "
+                                 "backend)"))
         if self.predicted_seconds is not None:
             lines.append(f"  predicted time  "
                          f"{self.predicted_seconds * 1e3:.3f} ms")

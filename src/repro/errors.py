@@ -80,6 +80,34 @@ class DistributionError(ReproError, ValueError):
     """Invalid data-distribution parameters (Version 1/2/3 layouts)."""
 
 
+class ServiceOverloadError(ReproError, RuntimeError):
+    """The solver service's admission control rejected a request.
+
+    Raised by :meth:`repro.serve.BatchDispatcher.submit` when the number
+    of queued requests has reached the configured ``max_queue_depth``.
+    Fast-fail by design: shedding load at the door keeps queue wait
+    bounded for the requests already admitted.  Clients should back off
+    and retry.
+    """
+
+
+class DeadlineExceededError(ReproError, TimeoutError):
+    """A queued solve request's deadline expired before it was batched.
+
+    The request never reached the numeric layer; no partial work is
+    returned.  Raised asynchronously through the request's future.
+    """
+
+
+class ServiceClosedError(ReproError, RuntimeError):
+    """The solver service is shutting down and not accepting requests.
+
+    In-flight and queued work submitted before shutdown still completes
+    when the service drains (``close(drain=True)``); only new
+    submissions fail.
+    """
+
+
 class MultiprocessUnavailableError(ReproError, RuntimeError):
     """The real multiprocess backend cannot run on this platform.
 

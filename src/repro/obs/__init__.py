@@ -32,9 +32,11 @@ from repro.obs.schema import (
     COMM_KINDS,
     COMPUTE_KINDS,
     KIND_EXECUTION,
+    KIND_REQUEST,
     SCHEMA_VERSION,
     SOURCE_ENGINE,
     SOURCE_MULTIPROCESS,
+    SOURCE_SERVE,
     SOURCE_SIMULATOR,
     is_compute_kind,
     make_record,
@@ -75,10 +77,12 @@ __all__ = [
     "COMM_KINDS",
     "COMPUTE_KINDS",
     "KIND_EXECUTION",
+    "KIND_REQUEST",
     "SCHEMA_VERSION",
     "make_record",
     "SOURCE_ENGINE",
     "SOURCE_MULTIPROCESS",
+    "SOURCE_SERVE",
     "SOURCE_SIMULATOR",
     "is_compute_kind",
     "Profile",

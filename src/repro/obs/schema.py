@@ -24,9 +24,11 @@ __all__ = [
     "COMPUTE_KINDS",
     "COMM_KINDS",
     "KIND_EXECUTION",
+    "KIND_REQUEST",
     "SOURCE_ENGINE",
     "SOURCE_SIMULATOR",
     "SOURCE_MULTIPROCESS",
+    "SOURCE_SERVE",
     "is_compute_kind",
     "make_record",
 ]
@@ -54,10 +56,20 @@ COMM_KINDS = ("shift", "broadcast", "barrier", "put", "recv", "gather")
 #: per-solve throughput without re-aggregating the span tree.
 KIND_EXECUTION = "execution"
 
+#: Per-request summary records emitted by the solver service (one per
+#: request that completed through :mod:`repro.serve`): queue wait, the
+#: batch it was coalesced into and that batch's panel width, end-to-end
+#: latency.  Like :data:`KIND_EXECUTION` it is a summary, not a compute
+#: kind — the numeric work appears separately as the batch's
+#: ``engine.execute`` records.
+KIND_REQUEST = "request"
+
 SOURCE_ENGINE = "engine"
 SOURCE_SIMULATOR = "simulator"
 #: Records exported by the real multiprocess backend's per-PE workers.
 SOURCE_MULTIPROCESS = "multiprocess"
+#: Records exported by the solver service's request dispatcher.
+SOURCE_SERVE = "serve"
 
 
 def is_compute_kind(kind: str) -> bool:

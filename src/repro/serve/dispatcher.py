@@ -1,0 +1,538 @@
+"""Micro-batching dispatcher: turn concurrent traffic into panels.
+
+The throughput levers this package already built — the
+``FactorizationCache`` (factor once, solve many) and level-3 panel
+solves (one ``dtrsm`` pair for ``k`` right-hand sides) — both want the
+same thing from a serving layer: requests that share a factorization
+should reach the engine *together*, as one ``n × k`` panel.  That is
+O'Leary's block-method argument applied at the request boundary, and
+the paper's Section 6.5 lesson (trade a little latency for level-3
+shape) applied to traffic instead of flops.
+
+:class:`BatchDispatcher` implements it:
+
+* requests are grouped by ``plan.cache_key()`` — operator fingerprint
+  plus every factorization-relevant plan knob — so only solves that can
+  share a factorization and a panel ever coalesce;
+* a group is dispatched when it reaches ``max_batch_k`` columns or its
+  oldest request has waited ``max_wait_ms`` (the latency budget),
+  whichever comes first; a batch of one takes the plain sequential
+  :func:`repro.engine.execute` path bit for bit;
+* admission control bounds the queue: past ``max_queue_depth`` pending
+  requests, :meth:`submit` fast-fails with
+  :class:`~repro.errors.ServiceOverloadError` instead of letting queue
+  wait grow without bound;
+* per-request deadlines (``timeout_s``) are enforced while queued —
+  an expired request fails with
+  :class:`~repro.errors.DeadlineExceededError` without touching the
+  numeric layer;
+* :meth:`close` stops admissions and (by default) *drains*: everything
+  already queued is dispatched immediately and every in-flight batch
+  completes before the call returns.
+
+Every completed request carries a :class:`ServeRecord` (batch id, queue
+wait, coalesced width, end-to-end latency) next to the batch's shared
+:class:`~repro.engine.ExecutionRecord`; records export into the unified
+trace schema (``kind="request"``, ``source="serve"``) and the
+dispatcher publishes service-level counters/gauges — queue depth, batch
+occupancy, p50/p99 latency — through the :mod:`repro.obs` metric
+registry whenever observability is enabled.
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+import time
+from collections import deque
+from concurrent.futures import Future, ThreadPoolExecutor
+from dataclasses import dataclass
+
+import numpy as np
+
+import repro.obs as obs
+from repro.engine.plan import SolverPlan
+from repro.errors import (
+    DeadlineExceededError,
+    ServiceClosedError,
+    ServiceOverloadError,
+    ShapeError,
+)
+
+__all__ = [
+    "BatchDispatcher",
+    "ServeRecord",
+    "ServeResponse",
+    "ServeStats",
+]
+
+
+def _percentile(samples: list[float], q: float) -> float:
+    """Nearest-rank percentile of a non-empty sorted sample list."""
+    idx = min(len(samples) - 1, max(0, int(round(q * (len(samples) - 1)))))
+    return samples[idx]
+
+
+@dataclass(frozen=True)
+class ServeRecord:
+    """Per-request serving summary, always collected.
+
+    The service-side counterpart of the engine's
+    :class:`~repro.engine.ExecutionRecord`: where the execution record
+    describes the (possibly shared) numeric work, this one describes
+    what serving did to *this* request — how long it queued, which
+    batch it rode in and how wide that panel was.
+    """
+
+    request_id: int
+    batch_id: int
+    #: How many requests the batch coalesced (1 = sequential path).
+    batch_k: int
+    #: Seconds spent queued before the batch was dispatched.
+    queue_seconds: float
+    #: End-to-end seconds from submit to response.
+    wall_seconds: float
+    algorithm: str
+    cache_hit: bool
+    order: int
+    #: ``perf_counter`` timestamp of the submit (span clock).
+    start: float = 0.0
+
+    def to_record(self, *, rec_id: int = 0,
+                  parent: int | None = None) -> dict:
+        """Export as one unified trace-schema record
+        (:func:`repro.obs.make_record`, kind ``"request"``)."""
+        return obs.make_record(
+            source=obs.SOURCE_SERVE, rec_id=rec_id, parent=parent,
+            name="serve.request", kind=obs.KIND_REQUEST, rank=None,
+            start=self.start, end=self.start + self.wall_seconds,
+            attrs={
+                "request_id": self.request_id,
+                "batch_id": self.batch_id,
+                "batch_k": self.batch_k,
+                "queue_seconds": self.queue_seconds,
+                "algorithm": self.algorithm,
+                "cache_hit": self.cache_hit,
+                "order": self.order,
+            })
+
+
+@dataclass(frozen=True)
+class ServeResponse:
+    """What a completed solve request resolves to."""
+
+    x: np.ndarray
+    #: Per-request serving summary (queue wait, batch id, coalesced k).
+    record: ServeRecord
+    #: The coalesced batch's shared engine record (``nrhs`` = panel
+    #: width the execution actually ran; ``None`` only for responses
+    #: rebuilt from a wire format that dropped it).
+    execution: "object | None" = None
+
+
+@dataclass(frozen=True)
+class ServeStats:
+    """Snapshot of the dispatcher counters."""
+
+    submitted: int
+    completed: int
+    failed: int
+    overloads: int
+    deadline_expirations: int
+    batches: int
+    coalesced_requests: int
+    queue_depth: int
+    in_flight_batches: int
+    latency_p50_seconds: float
+    latency_p99_seconds: float
+
+    @property
+    def mean_batch_k(self) -> float:
+        """Average coalesced panel width per dispatched batch."""
+        return (self.coalesced_requests / self.batches
+                if self.batches else 0.0)
+
+
+class _Request:
+    __slots__ = ("req_id", "plan", "b", "deadline", "future", "enqueued")
+
+    def __init__(self, req_id: int, plan: SolverPlan, b: np.ndarray,
+                 deadline: float | None):
+        self.req_id = req_id
+        self.plan = plan
+        self.b = b
+        self.deadline = deadline
+        self.future: Future = Future()
+        self.enqueued = time.perf_counter()
+
+
+class BatchDispatcher:
+    """Coalesce concurrent single-RHS solve requests into panel executes.
+
+    Parameters
+    ----------
+    max_wait_ms : float
+        Latency budget: the longest a request may sit queued waiting
+        for batch-mates before its group is dispatched anyway.
+    max_batch_k : int
+        Panel-width cap; a group dispatches as soon as it has this many
+        requests.
+    max_queue_depth : int
+        Admission bound on the total queued (not yet dispatched)
+        requests; :meth:`submit` past it raises
+        :class:`~repro.errors.ServiceOverloadError`.
+    workers : int
+        Threads executing batches (batches of *different* groups run
+        concurrently; numpy/BLAS releases the GIL in the kernels).
+    cache : FactorizationCache, optional
+        Explicit cache handed to the engine (default: the plan-selected
+        process-wide cache).
+    latency_window : int
+        Number of recent request latencies the p50/p99 gauges are
+        computed over.
+    """
+
+    def __init__(self, *, max_wait_ms: float = 2.0, max_batch_k: int = 32,
+                 max_queue_depth: int = 256, workers: int = 2,
+                 cache=None, latency_window: int = 512):
+        if max_batch_k < 1:
+            raise ShapeError(f"max_batch_k must be >= 1, got {max_batch_k}")
+        if max_queue_depth < 1:
+            raise ShapeError(
+                f"max_queue_depth must be >= 1, got {max_queue_depth}")
+        if max_wait_ms < 0:
+            raise ShapeError(
+                f"max_wait_ms must be >= 0, got {max_wait_ms}")
+        self.max_wait_seconds = max_wait_ms / 1e3
+        self.max_batch_k = int(max_batch_k)
+        self.max_queue_depth = int(max_queue_depth)
+        self._cache = cache
+        self._lock = threading.Lock()
+        self._wake = threading.Condition(self._lock)
+        self._queues: dict[tuple, deque[_Request]] = {}
+        self._pending = 0
+        self._in_flight = 0
+        self._closing = False
+        self._req_ids = itertools.count()
+        self._batch_ids = itertools.count()
+        self._latencies: deque[float] = deque(maxlen=latency_window)
+        self._submitted = 0
+        self._completed = 0
+        self._failed = 0
+        self._overloads = 0
+        self._expired = 0
+        self._batches = 0
+        self._coalesced = 0
+        self._executor = ThreadPoolExecutor(
+            max_workers=workers, thread_name_prefix="repro-serve")
+        self._batcher = threading.Thread(
+            target=self._run, name="repro-serve-batcher", daemon=True)
+        self._batcher.start()
+
+    # ------------------------------------------------------------------
+    # Submission
+    # ------------------------------------------------------------------
+    def submit(self, plan: SolverPlan, b, *,
+               timeout_s: float | None = None) -> Future:
+        """Enqueue one single-RHS solve; returns a future of
+        :class:`ServeResponse`.
+
+        Requests against plans with equal ``cache_key()`` (same
+        operator fingerprint, same factorization knobs) may be
+        coalesced into one panel execution.  ``timeout_s`` arms a
+        deadline covering the *queued* phase; raises
+        :class:`~repro.errors.ServiceOverloadError` /
+        :class:`~repro.errors.ServiceClosedError` synchronously on
+        admission failure.
+        """
+        b = np.asarray(b, dtype=np.float64)
+        if b.ndim != 1:
+            raise ShapeError(
+                "the dispatcher takes single right-hand sides (1-D); "
+                f"got shape {b.shape} — panels already batch, call "
+                "engine.execute directly")
+        if b.shape[0] != plan.order:
+            raise ShapeError(
+                f"right-hand side length {b.shape[0]} does not match "
+                f"plan order {plan.order}")
+        deadline = (None if timeout_s is None
+                    else time.perf_counter() + float(timeout_s))
+        with self._wake:
+            if self._closing:
+                raise ServiceClosedError(
+                    "solver service is shut down; no new requests")
+            if self._pending >= self.max_queue_depth:
+                self._overloads += 1
+                if obs.enabled():
+                    obs.default_registry().counter(
+                        "repro_serve_requests_total",
+                        "Requests submitted to the solver service"
+                    ).inc(1, status="overload")
+                    self._publish_gauges_locked()
+                raise ServiceOverloadError(
+                    f"queue depth {self._pending} at the admission bound "
+                    f"({self.max_queue_depth}); retry with backoff")
+            req = _Request(next(self._req_ids), plan, b, deadline)
+            self._queues.setdefault(plan.cache_key(), deque()).append(req)
+            self._pending += 1
+            self._submitted += 1
+            if obs.enabled():
+                obs.default_registry().counter(
+                    "repro_serve_requests_total",
+                    "Requests submitted to the solver service"
+                ).inc(1, status="admitted")
+                self._publish_gauges_locked()
+            self._wake.notify_all()
+        return req.future
+
+    # ------------------------------------------------------------------
+    # Batching loop
+    # ------------------------------------------------------------------
+    def _run(self) -> None:
+        while True:
+            with self._wake:
+                batch = None
+                while batch is None:
+                    self._expire_locked()
+                    batch = self._pop_ready_locked()
+                    if batch is not None:
+                        break
+                    if self._closing and self._pending == 0:
+                        return
+                    self._wake.wait(self._next_wakeup_locked())
+            self._dispatch(batch)
+
+    def _expire_locked(self) -> None:
+        """Fail queued requests whose deadline has passed."""
+        now = time.perf_counter()
+        for key in list(self._queues):
+            queue = self._queues[key]
+            kept = deque(r for r in queue
+                         if r.deadline is None or r.deadline > now)
+            expired = len(queue) - len(kept)
+            if not expired:
+                continue
+            for r in queue:
+                if r.deadline is not None and r.deadline <= now:
+                    self._fail_request_locked(
+                        r, DeadlineExceededError(
+                            f"request {r.req_id} spent "
+                            f"{now - r.enqueued:.3f}s queued, past its "
+                            "deadline"),
+                        status="deadline")
+                    self._expired += 1
+            if kept:
+                self._queues[key] = kept
+            else:
+                del self._queues[key]
+
+    def _fail_request_locked(self, req: _Request, exc: Exception, *,
+                             status: str) -> None:
+        self._pending -= 1
+        self._failed += 1
+        if req.future.set_running_or_notify_cancel():
+            req.future.set_exception(exc)
+        if obs.enabled():
+            obs.default_registry().counter(
+                "repro_serve_requests_total",
+                "Requests submitted to the solver service"
+            ).inc(1, status=status)
+            self._publish_gauges_locked()
+
+    def _pop_ready_locked(self) -> list[_Request] | None:
+        """Pop the most-overdue ready group, up to ``max_batch_k``."""
+        now = time.perf_counter()
+        best_key, best_age = None, -1.0
+        for key, queue in self._queues.items():
+            age = now - queue[0].enqueued
+            ready = (self._closing or len(queue) >= self.max_batch_k
+                     or age >= self.max_wait_seconds)
+            if ready and age > best_age:
+                best_key, best_age = key, age
+        if best_key is None:
+            return None
+        queue = self._queues[best_key]
+        batch = [queue.popleft()
+                 for _ in range(min(len(queue), self.max_batch_k))]
+        if not queue:
+            del self._queues[best_key]
+        return batch
+
+    def _next_wakeup_locked(self) -> float | None:
+        """Seconds until the next batch-ready or deadline event."""
+        now = time.perf_counter()
+        horizon = None
+        for queue in self._queues.values():
+            t = queue[0].enqueued + self.max_wait_seconds
+            horizon = t if horizon is None else min(horizon, t)
+            for r in queue:
+                if r.deadline is not None:
+                    horizon = min(horizon, r.deadline)
+        if horizon is None:
+            return None
+        return max(0.0, horizon - now)
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    def _dispatch(self, batch: list[_Request]) -> None:
+        batch_id = next(self._batch_ids)
+        with self._wake:
+            self._pending -= len(batch)
+            self._in_flight += 1
+            self._batches += 1
+            self._coalesced += len(batch)
+            if obs.enabled():
+                reg = obs.default_registry()
+                reg.counter(
+                    "repro_serve_batches_total",
+                    "Coalesced batches dispatched to the engine").inc(1)
+                reg.gauge(
+                    "repro_serve_batch_occupancy",
+                    "Coalesced panel width of the most recent batch"
+                ).set(len(batch))
+                self._publish_gauges_locked()
+        self._executor.submit(self._run_batch, batch, batch_id)
+
+    def _run_batch(self, batch: list[_Request], batch_id: int) -> None:
+        from repro.engine.engine import execute_many
+        live = [r for r in batch
+                if r.future.set_running_or_notify_cancel()]
+        finished = False
+        try:
+            responses: list[ServeResponse] = []
+            if live:
+                dispatched = time.perf_counter()
+                results = execute_many(live[0].plan,
+                                       [r.b for r in live],
+                                       cache=self._cache)
+                done = time.perf_counter()
+                for r, res in zip(live, results):
+                    rec = ServeRecord(
+                        request_id=r.req_id, batch_id=batch_id,
+                        batch_k=len(live),
+                        queue_seconds=dispatched - r.enqueued,
+                        wall_seconds=done - r.enqueued,
+                        algorithm=res.algorithm,
+                        cache_hit=res.cache_hit,
+                        order=r.plan.order, start=r.enqueued)
+                    responses.append(ServeResponse(
+                        x=res.x, record=rec, execution=res.record))
+            # Count before resolving: a caller holding its reply must
+            # already be visible in stats()/metrics.
+            self._finish_batch(live, error=None)
+            finished = True
+            for r, resp in zip(live, responses):
+                r.future.set_result(resp)
+        except BaseException as exc:  # noqa: BLE001 - forwarded to futures
+            if not finished:
+                self._finish_batch(live, error=exc)
+            for r in live:
+                if not r.future.done():
+                    r.future.set_exception(exc)
+
+    def _finish_batch(self, live: list[_Request],
+                      error: BaseException | None) -> None:
+        with self._wake:
+            self._in_flight -= 1
+            if error is None:
+                self._completed += len(live)
+                for r in live:
+                    self._latencies.append(
+                        time.perf_counter() - r.enqueued)
+            else:
+                self._failed += len(live)
+            if obs.enabled():
+                obs.default_registry().counter(
+                    "repro_serve_requests_total",
+                    "Requests submitted to the solver service"
+                ).inc(len(live),
+                      status="ok" if error is None else "error")
+                self._publish_gauges_locked()
+            self._wake.notify_all()
+
+    # ------------------------------------------------------------------
+    # Introspection / shutdown
+    # ------------------------------------------------------------------
+    def _latency_percentiles_locked(self) -> tuple[float, float]:
+        if not self._latencies:
+            return 0.0, 0.0
+        ordered = sorted(self._latencies)
+        return _percentile(ordered, 0.50), _percentile(ordered, 0.99)
+
+    def _publish_gauges_locked(self) -> None:
+        reg = obs.default_registry()
+        reg.gauge("repro_serve_queue_depth",
+                  "Requests queued awaiting a batch").set(self._pending)
+        reg.gauge("repro_serve_in_flight_batches",
+                  "Batches currently executing").set(self._in_flight)
+        p50, p99 = self._latency_percentiles_locked()
+        reg.gauge("repro_serve_latency_p50_seconds",
+                  "Median end-to-end request latency "
+                  "(sliding window)").set(p50)
+        reg.gauge("repro_serve_latency_p99_seconds",
+                  "99th-percentile end-to-end request latency "
+                  "(sliding window)").set(p99)
+
+    def stats(self) -> ServeStats:
+        """Consistent snapshot of the service counters."""
+        with self._lock:
+            p50, p99 = self._latency_percentiles_locked()
+            return ServeStats(
+                submitted=self._submitted, completed=self._completed,
+                failed=self._failed, overloads=self._overloads,
+                deadline_expirations=self._expired,
+                batches=self._batches,
+                coalesced_requests=self._coalesced,
+                queue_depth=self._pending,
+                in_flight_batches=self._in_flight,
+                latency_p50_seconds=p50, latency_p99_seconds=p99)
+
+    @property
+    def closed(self) -> bool:
+        with self._lock:
+            return self._closing
+
+    def close(self, *, drain: bool = True, timeout: float | None = 30.0
+              ) -> None:
+        """Stop admissions and shut down.
+
+        With ``drain=True`` (the default) everything already queued is
+        dispatched immediately — the latency budget no longer applies —
+        and the call returns once every in-flight batch has completed,
+        so no admitted request is ever dropped.  With ``drain=False``
+        queued requests fail with
+        :class:`~repro.errors.ServiceClosedError` (in-flight batches
+        still complete).  Idempotent.
+        """
+        with self._wake:
+            first = not self._closing
+            self._closing = True
+            if not drain:
+                for queue in self._queues.values():
+                    for r in queue:
+                        self._fail_request_locked(
+                            r, ServiceClosedError(
+                                "solver service shut down without "
+                                "draining"),
+                            status="closed")
+                self._queues.clear()
+            self._wake.notify_all()
+        if first:
+            self._batcher.join(timeout)
+        deadline = (None if timeout is None
+                    else time.monotonic() + timeout)
+        with self._wake:
+            while self._in_flight > 0:
+                remaining = (None if deadline is None
+                             else deadline - time.monotonic())
+                if remaining is not None and remaining <= 0:
+                    break
+                self._wake.wait(remaining)
+        self._executor.shutdown(wait=True)
+
+    def __enter__(self) -> "BatchDispatcher":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close(drain=True)
