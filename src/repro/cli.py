@@ -187,7 +187,8 @@ def _cmd_factor(args) -> int:
     _want_profile(args)
     t = _load_matrix(args.matrix, args.block_size)
     pl = engine.plan(t, representation=args.representation,
-                     use_cache=not args.no_cache, nproc=args.nproc,
+                     use_cache=not args.no_cache, cache=args.cache,
+                     nproc=args.nproc,
                      distribution_b=args.dist_b, backend=args.backend,
                      schedule=args.schedule, transport=args.transport,
                      precision=args.precision)
@@ -234,6 +235,7 @@ _METHOD_MESSAGES = {
     "spd-schur": "solved with SPD block Schur factorization T = RᵀR",
     "indefinite+refine": "solved with perturbed RᵀDR + refinement",
     "gko": "solved with GKO Cauchy-like LU (partial pivoting)",
+    "gs": "solved by applying the Gohberg–Semencul form of T⁻¹",
     "levinson": "solved with block Levinson recursion",
     "pcg": "solved with preconditioned conjugate gradients",
     "dense-chol": "solved with dense LAPACK Cholesky",
@@ -267,7 +269,8 @@ def _cmd_solve(args) -> int:
     b = _solve_rhs(args, t.order)
     pl = engine.plan(
         t, algorithm=None if args.method == "auto" else args.method,
-        use_cache=not args.no_cache, nproc=args.nproc,
+        use_cache=not args.no_cache, cache=args.cache,
+        nproc=args.nproc,
         distribution_b=args.dist_b, backend=args.backend,
         schedule=args.schedule, transport=args.transport,
         precision=args.precision)
@@ -365,10 +368,12 @@ def _cmd_serve(args) -> int:
     service = SolverService(max_wait_ms=args.max_wait_ms,
                             max_batch_k=args.max_batch_k,
                             max_queue_depth=args.max_queue_depth,
-                            workers=args.workers)
+                            workers=args.workers,
+                            adaptive_wait=args.adaptive_wait)
     pl = service.register(args.op, t,
                           representation=args.representation,
                           precision=args.precision,
+                          cache=args.cache,
                           warm=not args.no_warm)
     if args.explain:
         print(pl.describe())
@@ -420,6 +425,112 @@ def _serve_selftest(args, handle, service) -> int:
     print("selftest " + ("passed" if ok else
                          f"FAILED: {stats.failed} request(s) failed"))
     return 0 if ok else 1
+
+
+def _fmt_bytes(n: float) -> str:
+    for unit in ("B", "KiB", "MiB", "GiB"):
+        if abs(n) < 1024 or unit == "GiB":
+            return (f"{n:.0f} {unit}" if unit == "B"
+                    else f"{n:.1f} {unit}")
+        n /= 1024
+    return f"{n:.1f} GiB"  # pragma: no cover - unreachable
+
+
+def _cache_store(args):
+    from repro.engine.cache_store import CacheStore, default_store
+    if args.dir:
+        return CacheStore(args.dir)
+    return default_store()
+
+
+def _cmd_cache_ls(args) -> int:
+    store = _cache_store(args)
+    entries = store.entries()
+    if not entries:
+        print(f"persistent cache at {store.root}: empty")
+        return 0
+    import time as _time
+    now = _time.time()
+    print(f"persistent cache at {store.root}:")
+    for e in entries:
+        age = max(0.0, now - e.created)
+        print(f"  {e.digest[:12]}  {e.kind:<17} "
+              f"{_fmt_bytes(e.file_bytes):>10}  "
+              f"(payload {_fmt_bytes(e.payload_bytes)}, "
+              f"age {age / 3600:.1f} h)")
+    total = sum(e.file_bytes for e in entries)
+    print(f"{len(entries)} entr{'y' if len(entries) == 1 else 'ies'}, "
+          f"{_fmt_bytes(total)} total")
+    return 0
+
+
+def _cmd_cache_info(args) -> int:
+    from repro.errors import InvalidOptionError
+    store = _cache_store(args)
+    matches = [e for e in store.entries()
+               if e.digest.startswith(args.digest)]
+    if not matches:
+        raise InvalidOptionError(
+            f"no cache entry matches digest prefix {args.digest!r} "
+            f"under {store.root}")
+    for e in matches:
+        print(f"entry {e.digest}")
+        print(f"  path        {e.path}")
+        print(f"  kind        {e.kind}")
+        print(f"  file size   {_fmt_bytes(e.file_bytes)}")
+        print(f"  payload     {_fmt_bytes(e.payload_bytes)}")
+        print(f"  stamp       {e.stamp}")
+        if e.describe:
+            for k, v in sorted(e.describe.items()):
+                print(f"  {k:<11} {v}")
+        if e.key:
+            print(f"  key         {e.key}")
+    return 0
+
+
+def _cmd_cache_prune(args) -> int:
+    from repro.errors import InvalidOptionError
+    if args.max_bytes is None and args.max_age is None:
+        raise InvalidOptionError(
+            "prune needs a budget: --max-bytes and/or --max-age")
+    store = _cache_store(args)
+    removed = store.prune(max_bytes=args.max_bytes,
+                          max_age_seconds=args.max_age)
+    stats = store.stats()
+    print(f"pruned {removed} entr{'y' if removed == 1 else 'ies'}; "
+          f"{stats.entries} left ({_fmt_bytes(stats.disk_bytes)})")
+    return 0
+
+
+def _cmd_cache_clear(args) -> int:
+    store = _cache_store(args)
+    removed = store.clear()
+    print(f"cleared {removed} entr{'y' if removed == 1 else 'ies'} "
+          f"from {store.root}")
+    return 0
+
+
+def _cmd_cache_warm(args) -> int:
+    import repro.engine as engine
+    store = _cache_store(args)
+    t = _load_matrix(args.matrix, args.block_size)
+    pl = engine.plan(
+        t, algorithm=None if args.method == "auto" else args.method,
+        representation=args.representation, precision=args.precision,
+        cache="persistent")
+    fres = engine.factor(pl, store=store)
+    path = store.path_for(pl.cache_key())
+    if fres.cache_hit:
+        print(f"already warm: {pl.algorithm} factorization for "
+              f"fingerprint {pl.fingerprint[:12]}… is cached")
+    else:
+        print(f"factored with {fres.algorithm} and published to "
+              f"{path}")
+    stats = store.stats()
+    print(f"store now holds {stats.entries} entr"
+          f"{'y' if stats.entries == 1 else 'ies'} "
+          f"({_fmt_bytes(stats.disk_bytes)})")
+    return 0
 
 
 def _cmd_bench_info(_args) -> int:
@@ -535,6 +646,12 @@ def build_parser() -> argparse.ArgumentParser:
     def add_engine_args(p):
         p.add_argument("--no-cache", action="store_true",
                        help="bypass the factorization cache")
+        p.add_argument("--cache", default=None,
+                       choices=["memory", "persistent", "off"],
+                       help="cache tiering: in-process LRU only, LRU "
+                            "backed by the on-disk store (REPRO_CACHE_DIR"
+                            " or ~/.cache/repro), or none; overrides "
+                            "--no-cache when given")
         p.add_argument("--explain", action="store_true",
                        help="print the solver plan before running it")
         p.add_argument("--profile", action="store_true",
@@ -593,7 +710,8 @@ def build_parser() -> argparse.ArgumentParser:
                         "panel (seeded; alternative to a rhs file)")
     p.add_argument("--method", default="auto",
                    choices=["auto", "spd-schur", "indefinite+refine",
-                            "gko", "levinson", "pcg", "dense-chol"])
+                            "gko", "gs", "levinson", "pcg",
+                            "dense-chol"])
     add_engine_args(p)
     p.add_argument("-o", "--output", help="write solution to .npy")
     p.set_defaults(func=_cmd_solve)
@@ -671,6 +789,52 @@ def build_parser() -> argparse.ArgumentParser:
     pb.set_defaults(func=_cmd_bench_diff)
 
     p = sub.add_parser(
+        "cache",
+        help="inspect and manage the persistent factorization store")
+    csub = p.add_subparsers(dest="cache_command", required=True)
+
+    def add_dir_arg(pc):
+        pc.add_argument("--dir", default=None, metavar="DIR",
+                        help="store root (default: REPRO_CACHE_DIR or "
+                             "~/.cache/repro/factorizations)")
+
+    pc = csub.add_parser("ls", help="list cached entries")
+    add_dir_arg(pc)
+    pc.set_defaults(func=_cmd_cache_ls)
+    pc = csub.add_parser("info",
+                         help="show one entry's metadata and key")
+    pc.add_argument("digest", help="entry digest (prefix accepted)")
+    add_dir_arg(pc)
+    pc.set_defaults(func=_cmd_cache_info)
+    pc = csub.add_parser(
+        "prune",
+        help="evict oldest entries past a size and/or age budget")
+    pc.add_argument("--max-bytes", type=int, default=None, metavar="N",
+                    help="keep total store size at or under N bytes")
+    pc.add_argument("--max-age", type=float, default=None, metavar="S",
+                    help="drop entries older than S seconds")
+    add_dir_arg(pc)
+    pc.set_defaults(func=_cmd_cache_prune)
+    pc = csub.add_parser("clear",
+                         help="remove every entry (quarantine too)")
+    add_dir_arg(pc)
+    pc.set_defaults(func=_cmd_cache_clear)
+    pc = csub.add_parser(
+        "warm",
+        help="factor a matrix into the store so later runs start warm")
+    add_matrix_args(pc)
+    pc.add_argument("--representation", default="vy2",
+                    choices=["vy1", "vy2", "yty", "unblocked", "dense"])
+    pc.add_argument("--precision", default="fp64",
+                    choices=["fp64", "fp32", "mixed"])
+    pc.add_argument("--method", default="auto",
+                    choices=["auto", "spd-schur", "indefinite+refine",
+                             "gko", "gs", "levinson", "pcg",
+                             "dense-chol"])
+    add_dir_arg(pc)
+    pc.set_defaults(func=_cmd_cache_warm)
+
+    p = sub.add_parser(
         "serve",
         help="run the matrix as a coalescing solver service over TCP")
     add_matrix_args(p)
@@ -684,6 +848,10 @@ def build_parser() -> argparse.ArgumentParser:
                    metavar="MS",
                    help="latency budget: longest a request waits for "
                         "batch-mates before its panel dispatches")
+    p.add_argument("--adaptive-wait", action="store_true",
+                   help="adapt the wait budget to traffic: decay toward "
+                        "0 while the queue is empty, grow back toward "
+                        "--max-wait-ms under sustained load")
     p.add_argument("--max-batch-k", type=int, default=32, metavar="K",
                    help="panel-width cap per coalesced batch")
     p.add_argument("--max-queue-depth", type=int, default=256,
@@ -696,6 +864,12 @@ def build_parser() -> argparse.ArgumentParser:
                    choices=["vy1", "vy2", "yty", "unblocked", "dense"])
     p.add_argument("--precision", default="fp64",
                    choices=["fp64", "fp32", "mixed"])
+    p.add_argument("--cache", default=None,
+                   choices=["memory", "persistent", "off"],
+                   help="cache tiering for the served plan; "
+                        "'persistent' warms from the on-disk store at "
+                        "startup and publishes fresh factorizations "
+                        "back for the next restart")
     p.add_argument("--no-warm", action="store_true",
                    help="skip prepaying the factorization at startup")
     p.add_argument("--explain", action="store_true",

@@ -90,6 +90,12 @@ from repro.core.gko import (
     solve_toeplitz_gko,
     toeplitz_to_cauchy,
 )
+from repro.core.gohberg_semencul import ToeplitzInverse, toeplitz_inverse
+from repro.core.compact import (
+    COMPACT_SCHEMA_VERSION,
+    CompactFactorization,
+    array_hash,
+)
 from repro.core import flops
 
 __all__ = [
@@ -147,5 +153,10 @@ __all__ = [
     "CauchyLikeLU",
     "solve_toeplitz_gko",
     "toeplitz_to_cauchy",
+    "ToeplitzInverse",
+    "toeplitz_inverse",
+    "COMPACT_SCHEMA_VERSION",
+    "CompactFactorization",
+    "array_hash",
     "flops",
 ]

@@ -133,6 +133,13 @@ class CauchyLikeLU:
     #: both reduced modes factor in complex64 — there is no hyperbolic
     #: elimination here to split from the accumulation).
     precision: str = "fp64"
+    #: The ``(ĝ, b̂, d₁, d₂)`` Cauchy-like generators the LU was built
+    #: from (complex128, as produced by :func:`toeplitz_to_cauchy`).
+    #: ``O(mn)`` data that deterministically rebuilds ``L``/``U``/``perm``
+    #: — the compact form the persistent factorization cache stores
+    #: instead of the ``O(n²)`` dense factors.  ``None`` for hand-built
+    #: instances.
+    generators: tuple | None = None
 
     @property
     def order(self) -> int:
@@ -278,6 +285,7 @@ def gko_factor(t, *, precision: str = "fp64") -> CauchyLikeLU:
     fact = cauchy_like_lu(ghat, bhat, d1, d2, block_size=tg.block_size,
                           dtype=complex_working_dtype(precision))
     fact.precision = precision
+    fact.generators = (ghat, bhat, d1, d2)
     return fact
 
 

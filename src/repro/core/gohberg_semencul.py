@@ -91,6 +91,16 @@ class ToeplitzInverse:
     def __matmul__(self, b):
         return self.matvec(np.asarray(b))
 
+    def solve(self, b: np.ndarray) -> np.ndarray:
+        """Alias of :meth:`matvec` — applying ``T⁻¹`` *is* the solve.
+
+        Gives the representation the factorization-object surface the
+        engine and refinement expect (``solve``/``dtype``), so it can
+        register as the ``"gs"`` engine algorithm and ride the
+        factorization caches.
+        """
+        return self.matvec(b)
+
     def dense(self) -> np.ndarray:
         """Dense ``T⁻¹`` (diagnostics; ``O(n²)``)."""
         return self.matvec(np.eye(self._n))

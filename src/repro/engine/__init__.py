@@ -27,6 +27,14 @@ from repro.engine.cache import (
     default_cache,
     set_default_cache,
 )
+from repro.engine.cache_store import (
+    CacheStore,
+    EntryInfo,
+    StoreStats,
+    default_store,
+    set_default_store,
+    version_stamp,
+)
 from repro.engine.engine import (
     Algorithm,
     ExecutionRecord,
@@ -51,6 +59,12 @@ __all__ = [
     "FactorizationCache",
     "default_cache",
     "set_default_cache",
+    "CacheStore",
+    "EntryInfo",
+    "StoreStats",
+    "default_store",
+    "set_default_store",
+    "version_stamp",
     "Algorithm",
     "ExecutionRecord",
     "ExecutionResult",

@@ -54,6 +54,12 @@ def _estimate_nbytes(obj) -> int:
         if id(v) in seen:
             return 0
         seen.add(id(v))
+        if isinstance(v, np.memmap):
+            # File-backed pages, not resident heap: a disk-warm dense
+            # ``R`` handed back by the persistent store must not count
+            # its virtual size against (and instantly blow) the byte
+            # budget.  The subclass check must precede the ndarray one.
+            return 64
         if isinstance(v, np.ndarray):
             return int(v.nbytes)
         if isinstance(v, (list, tuple)):

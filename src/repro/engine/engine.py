@@ -25,6 +25,7 @@ import numpy as np
 
 import repro.obs as obs
 from repro.engine.cache import FactorizationCache, default_cache
+from repro.engine.cache_store import CacheStore, default_store
 from repro.engine.plan import SolverPlan
 from repro.engine.plan import plan as make_plan
 from repro.errors import InvalidOptionError, NotPositiveDefiniteError
@@ -236,6 +237,18 @@ def _resolve_cache(pl: SolverPlan,
     return default_cache() if pl.use_cache else None
 
 
+def _resolve_store(pl: SolverPlan,
+                   store: CacheStore | None) -> CacheStore | None:
+    """Second (disk) tier: only plans on the ``cache="persistent"`` axis
+    touch it — unless the caller passes an explicit store, which wins
+    (tests and the serve warm path point at private roots this way)."""
+    if store is not None:
+        return store
+    if pl.use_cache and pl.cache == "persistent":
+        return default_store()
+    return None
+
+
 def _model_flops(pl: SolverPlan) -> float | None:
     """Closed-form factorization cost (eqs. 25–32) for Schur-type plans."""
     if pl.algorithm not in ("spd-schur", "indefinite+refine"):
@@ -252,19 +265,38 @@ def _model_flops(pl: SolverPlan) -> float | None:
 
 
 def _obtain_factorization(algo: Algorithm, pl: SolverPlan,
-                          cache: FactorizationCache | None
+                          cache: FactorizationCache | None,
+                          store: CacheStore | None = None
                           ) -> tuple[Any, bool]:
     if algo.factor is None:
         return None, False
     with obs.span("factor", algorithm=pl.algorithm) as sp:
         c = _resolve_cache(pl, cache)
-        if c is None:
-            fact, hit = algo.factor(pl.operator, pl), False
-        else:
-            fact, hit = c.get_or_create(
-                pl.cache_key(), lambda: algo.factor(pl.operator, pl))
+        st = _resolve_store(pl, store)
+        key = pl.cache_key()
+        # Tier 1: in-process LRU.
+        fact = c.get(key) if c is not None else None
+        hit = fact is not None
+        disk_hit = False
+        # Tier 2: persistent store (emits its own cache.load span).
+        if fact is None and st is not None:
+            fact = st.get(key)
+            if fact is not None:
+                hit = disk_hit = True
+                if c is not None:     # promote for this process
+                    c.put(key, fact)
+        # Tier 3: compute, then publish back to both tiers.
+        if fact is None:
+            fact = algo.factor(pl.operator, pl)
+            if c is not None:
+                c.put(key, fact)
+            if st is not None:
+                st.put(key, fact, describe={
+                    "algorithm": pl.algorithm, "order": pl.order,
+                    "block_size": pl.block_size,
+                    "precision": pl.precision})
         if obs.enabled():
-            sp.set(cache_hit=hit)
+            sp.set(cache_hit=hit, disk_hit=disk_hit)
             model = _model_flops(pl)
             if model is not None:
                 sp.set(model_flops=model)
@@ -290,11 +322,14 @@ def _require_operator(pl: SolverPlan):
 
 
 def factor(pl: SolverPlan, *,
-           cache: FactorizationCache | None = None) -> FactorResult:
-    """Factor according to the plan (through the cache when enabled).
+           cache: FactorizationCache | None = None,
+           store: CacheStore | None = None) -> FactorResult:
+    """Factor according to the plan (through the cache tiers).
 
     Falls back to ``plan.fallback`` on SPD breakdown, like
     :func:`execute`; the returned ``algorithm`` says which one ran.
+    ``store`` overrides the persistent tier the plan's ``cache`` axis
+    would otherwise select.
     """
     _require_operator(pl)
     algo = get_algorithm(pl.algorithm)
@@ -304,7 +339,7 @@ def factor(pl: SolverPlan, *,
     with obs.span("engine.factor", algorithm=pl.algorithm,
                   order=pl.order) as sp:
         try:
-            fact, hit = _obtain_factorization(algo, pl, cache)
+            fact, hit = _obtain_factorization(algo, pl, cache, store)
             fres = FactorResult(factorization=fact, algorithm=pl.algorithm,
                                 plan=pl, cache_hit=hit)
         except NotPositiveDefiniteError:
@@ -312,7 +347,7 @@ def factor(pl: SolverPlan, *,
                 raise
             sp.set(fallback=pl.fallback)
             inner = factor(pl.with_(algorithm=pl.fallback, fallback=None),
-                           cache=cache)
+                           cache=cache, store=store)
             fres = dataclasses.replace(inner, plan=pl)
     return dataclasses.replace(fres, profile=obs.profile_from(sp))
 
@@ -342,6 +377,7 @@ def _solve_model_flops(algorithm: str, order: int, nrhs: int,
 
 def execute(pl: SolverPlan, b, *,
             cache: FactorizationCache | None = None,
+            store: CacheStore | None = None,
             **solve_kwargs) -> ExecutionResult:
     """Run the plan: factor (cached), solve, record what happened.
 
@@ -364,7 +400,7 @@ def execute(pl: SolverPlan, b, *,
             counting_ctx = blas.counting()
             counter = counting_ctx.__enter__()
         try:
-            fact, hit = _obtain_factorization(algo, pl, cache)
+            fact, hit = _obtain_factorization(algo, pl, cache, store)
             with obs.span("solve", algorithm=pl.algorithm, nrhs=nrhs):
                 x, detail = algo.solve(op, b, pl, fact, **solve_kwargs)
             res = ExecutionResult(x=x, plan=pl, algorithm=pl.algorithm,
@@ -386,7 +422,7 @@ def execute(pl: SolverPlan, b, *,
                 ).inc(1, algorithm=pl.fallback)
             # The recursive call counts its own execution.
             inner = execute(pl.with_(algorithm=pl.fallback, fallback=None),
-                            b, cache=cache, **solve_kwargs)
+                            b, cache=cache, store=store, **solve_kwargs)
             res = dataclasses.replace(inner, plan=pl, fallback_used=True)
         finally:
             if counter is not None:
@@ -419,6 +455,7 @@ def execute(pl: SolverPlan, b, *,
 
 def execute_many(pl: SolverPlan, bs, *,
                  cache: FactorizationCache | None = None,
+                 store: CacheStore | None = None,
                  **solve_kwargs) -> list[ExecutionResult]:
     """Coalesce many single-RHS solves into one panel execution.
 
@@ -449,19 +486,31 @@ def execute_many(pl: SolverPlan, bs, *,
                 f"right-hand side length {b.shape[0]} does not match "
                 f"plan order {pl.order}")
     if len(bs) == 1:
-        return [execute(pl, bs[0], cache=cache, **solve_kwargs)]
+        return [execute(pl, bs[0], cache=cache, store=store,
+                        **solve_kwargs)]
     panel = np.stack(bs, axis=1)
-    res = execute(pl, panel, cache=cache, **solve_kwargs)
+    res = execute(pl, panel, cache=cache, store=store, **solve_kwargs)
     return [dataclasses.replace(res, x=res.x[:, j])
             for j in range(len(bs))]
 
 
-def solve(op, b, *, cache: FactorizationCache | None = None,
+def solve(op, b, *, cache=None,
+          store: CacheStore | None = None,
           solve_options: dict | None = None,
           **plan_kwargs) -> ExecutionResult:
-    """Convenience one-shot: ``execute(plan(op, **plan_kwargs), b)``."""
+    """Convenience one-shot: ``execute(plan(op, **plan_kwargs), b)``.
+
+    ``cache`` accepts either a :class:`FactorizationCache` instance (the
+    in-memory tier to use) or a tiering string
+    (``"memory"``/``"persistent"``/``"off"``), which is forwarded to
+    :func:`plan` as its ``cache`` axis.
+    """
+    if isinstance(cache, str):
+        plan_kwargs["cache"] = cache
+        cache = None
     pl = make_plan(op, **plan_kwargs)
-    return execute(pl, b, cache=cache, **(solve_options or {}))
+    return execute(pl, b, cache=cache, store=store,
+                   **(solve_options or {}))
 
 
 # ----------------------------------------------------------------------
@@ -614,6 +663,21 @@ def _gko_solve(op, b, pl, fact, **_kwargs):
         return fact.solve(b), fact
 
 
+def _gs_factor(op, pl: SolverPlan):
+    from repro.core.gohberg_semencul import toeplitz_inverse
+    return toeplitz_inverse(op, precision=pl.precision)
+
+
+def _gs_solve(op, b, pl, fact, **_kwargs):
+    # ``x = T⁻¹ e₀`` is computed at full accuracy even under a reduced
+    # storage precision (the inner structured solve refines in fp64), so
+    # there is no refinement path here — applying T⁻¹ *is* the solve.
+    if not obs.enabled():
+        return fact.solve(b), fact
+    with obs.span("gs_apply", order=pl.order):
+        return fact.solve(b), fact
+
+
 register_algorithm(
     "spd-schur", factor=_spd_factor, solve=_spd_solve,
     description="block Schur Cholesky T = RᵀR (Sections 2–6)")
@@ -625,3 +689,7 @@ register_algorithm(
     "gko", factor=_gko_factor, solve=_gko_solve,
     description="GKO Cauchy-like LU with partial pivoting "
                 "(nonsymmetric block Toeplitz)")
+register_algorithm(
+    "gs", factor=_gs_factor, solve=_gs_solve,
+    description="Gohberg–Semencul T⁻¹ operator (scalar symmetric; one "
+                "O(n²) structured solve, then O(n log n) per RHS)")

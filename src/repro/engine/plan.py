@@ -40,6 +40,10 @@ _SCHEDULE_VALUES = ("bulk", "lookahead")
 # repro.core.precision.PRECISIONS.
 _PRECISION_VALUES = ("fp64", "fp32", "mixed")
 
+#: The cache axis: in-process LRU only, LRU backed by the on-disk
+#: persistent store, or no caching at all.
+_CACHE_VALUES = ("memory", "persistent", "off")
+
 #: Fields that change the factorization (and hence the cache key).
 #: ``nproc``/``distribution_b``/``backend`` are included so a serial
 #: factorization, a simulated run and a real multiprocess run never
@@ -88,6 +92,12 @@ class SolverPlan:
     perturb: bool = True
     delta: float | None = None
     use_cache: bool = True
+    #: Cache tiering: ``"memory"`` (in-process LRU), ``"persistent"``
+    #: (LRU backed by the on-disk cross-process store) or ``"off"``.
+    #: Kept consistent with ``use_cache`` by :func:`plan`; deliberately
+    #: NOT part of the cache key — where a factorization is stored never
+    #: changes what it is.
+    cache: str = "memory"
     nproc: int = 1
     distribution_b: float | None = None
     #: Where a distributed (``nproc > 1``) factorization runs:
@@ -159,7 +169,7 @@ class SolverPlan:
                          "(fp64 recovery via refinement)")
         else:
             lines.append("  precision       fp64")
-        cache = "on" if self.use_cache else "off"
+        cache = self.cache if self.use_cache else "off"
         lines.append(f"  cache           {cache} "
                      f"(fingerprint {self.fingerprint[:12]}…)")
         if self.nproc > 1:
@@ -191,6 +201,9 @@ class SolverPlan:
         re-attaching the operator it was made for."""
         d = dict(d)
         d.pop("operator", None)
+        # Plans serialized before the cache axis existed: derive it.
+        d.setdefault("cache",
+                     "memory" if d.get("use_cache", True) else "off")
         return cls(operator=operator, **d)
 
 
@@ -248,6 +261,7 @@ def plan(op, *, assume: str = "auto", machine: MachineSpec | None = None,
          block_size: int | None = None, panel: int | None = None,
          in_place: bool = True, perturb: bool = True,
          delta: float | None = None, use_cache: bool = True,
+         cache: str | None = None,
          probe: bool = True, nproc: int | None = None,
          distribution_b: float | None = None,
          backend: str = "simulated",
@@ -264,7 +278,8 @@ def plan(op, *, assume: str = "auto", machine: MachineSpec | None = None,
                         algorithm=algorithm, representation=representation,
                         block_size=block_size, panel=panel,
                         in_place=in_place, perturb=perturb, delta=delta,
-                        use_cache=use_cache, probe=probe, nproc=nproc,
+                        use_cache=use_cache, cache=cache,
+                        probe=probe, nproc=nproc,
                         distribution_b=distribution_b, backend=backend,
                         schedule=schedule, transport=transport,
                         precision=precision)
@@ -280,6 +295,7 @@ def _make_plan(op, *, assume: str = "auto",
                block_size: int | None = None, panel: int | None = None,
                in_place: bool = True, perturb: bool = True,
                delta: float | None = None, use_cache: bool = True,
+               cache: str | None = None,
                probe: bool = True, nproc: int | None = None,
                distribution_b: float | None = None,
                backend: str = "simulated",
@@ -309,6 +325,13 @@ def _make_plan(op, *, assume: str = "auto",
         explicit values win over machine-tuned ones.
     use_cache : bool
         Whether executions of this plan may reuse cached factorizations.
+    cache : {"memory", "persistent", "off"}, optional
+        Cache tiering.  ``"memory"`` keeps the in-process LRU only;
+        ``"persistent"`` backs it with the on-disk cross-process store
+        (:func:`repro.engine.default_store`), so factorizations survive
+        restarts and are shared between workers; ``"off"`` disables
+        caching.  Defaults from ``use_cache`` (``True`` → ``"memory"``);
+        an explicit value wins and keeps ``use_cache`` consistent.
     probe : bool
         Disable the definiteness probe (``assume="auto"`` then always
         plans the SPD path with the fallback armed).
@@ -355,6 +378,13 @@ def _make_plan(op, *, assume: str = "auto",
         raise InvalidOptionError(
             f"unknown precision={precision!r}; expected one of "
             f"{_PRECISION_VALUES}")
+    if cache is None:
+        cache = "memory" if use_cache else "off"
+    elif cache not in _CACHE_VALUES:
+        raise InvalidOptionError(
+            f"unknown cache={cache!r}; expected one of {_CACHE_VALUES}")
+    else:
+        use_cache = cache != "off"
     if schedule not in _SCHEDULE_VALUES:
         raise InvalidOptionError(
             f"unknown schedule={schedule!r}; expected one of "
@@ -447,7 +477,7 @@ def _make_plan(op, *, assume: str = "auto",
         structural_block_size=m, order=n,
         fingerprint=target.fingerprint(), assume=assume,
         fallback=fallback, panel=panel, in_place=in_place,
-        perturb=perturb, delta=delta, use_cache=use_cache,
+        perturb=perturb, delta=delta, use_cache=use_cache, cache=cache,
         nproc=nproc, distribution_b=dist_b, backend=backend,
         schedule=schedule, transport=transport,
         precision=precision, predicted_seconds=predicted, note=note,

@@ -108,6 +108,26 @@ class ServiceClosedError(ReproError, RuntimeError):
     """
 
 
+class UnsupportedFactorizationError(ReproError, TypeError):
+    """A factorization object has no compact on-disk representation.
+
+    Raised by :func:`repro.core.compact.CompactFactorization.from_factorization`
+    for result objects the persistent cache cannot serialize (distributed
+    factorizations holding live backend state, iterative-method records,
+    …).  The store treats it as "skip the spill", never as a failure.
+    """
+
+
+class CacheStoreError(ReproError, RuntimeError):
+    """A persistent cache entry failed integrity or staleness checks.
+
+    Raised internally by :mod:`repro.engine.cache_store` when an entry's
+    zip structure, npy headers, content hashes or byte bounds do not
+    check out; the store converts it into a quarantine move plus a cache
+    miss, so corruption never crashes a solve.
+    """
+
+
 class MultiprocessUnavailableError(ReproError, RuntimeError):
     """The real multiprocess backend cannot run on this platform.
 

@@ -145,6 +145,10 @@ class ServeStats:
     in_flight_batches: int
     latency_p50_seconds: float
     latency_p99_seconds: float
+    #: The wait budget currently in force (equals the configured
+    #: ``max_wait_ms`` unless ``adaptive_wait`` is on).  Defaulted so
+    #: responses from older servers still deserialize.
+    current_wait_ms: float = 0.0
 
     @property
     def mean_batch_k(self) -> float:
@@ -173,7 +177,16 @@ class BatchDispatcher:
     ----------
     max_wait_ms : float
         Latency budget: the longest a request may sit queued waiting
-        for batch-mates before its group is dispatched anyway.
+        for batch-mates before its group is dispatched anyway.  With
+        ``adaptive_wait`` this is the *ceiling* of the live budget.
+    adaptive_wait : bool
+        Adapt the wait budget to traffic instead of holding it fixed.
+        Every dispatch adjusts it: full batches (or a still-backlogged
+        queue) double the budget up to ``max_wait_ms`` — sustained load
+        is worth a little latency for wider panels — while underfull
+        batches from an otherwise-empty queue halve it toward zero, so
+        sparse traffic stops paying the wait at all.  Off by default
+        (the fixed budget is the predictable choice for benchmarks).
     max_batch_k : int
         Panel-width cap; a group dispatches as soon as it has this many
         requests.
@@ -187,6 +200,10 @@ class BatchDispatcher:
     cache : FactorizationCache, optional
         Explicit cache handed to the engine (default: the plan-selected
         process-wide cache).
+    store : CacheStore, optional
+        Explicit persistent store handed to the engine (default: plans
+        with ``cache="persistent"`` use the process-wide default
+        store).
     latency_window : int
         Number of recent request latencies the p50/p99 gauges are
         computed over.
@@ -194,7 +211,8 @@ class BatchDispatcher:
 
     def __init__(self, *, max_wait_ms: float = 2.0, max_batch_k: int = 32,
                  max_queue_depth: int = 256, workers: int = 2,
-                 cache=None, latency_window: int = 512):
+                 cache=None, latency_window: int = 512,
+                 adaptive_wait: bool = False, store=None):
         if max_batch_k < 1:
             raise ShapeError(f"max_batch_k must be >= 1, got {max_batch_k}")
         if max_queue_depth < 1:
@@ -204,9 +222,17 @@ class BatchDispatcher:
             raise ShapeError(
                 f"max_wait_ms must be >= 0, got {max_wait_ms}")
         self.max_wait_seconds = max_wait_ms / 1e3
+        self.adaptive_wait = bool(adaptive_wait)
+        #: Live wait budget; pinned at ``max_wait_seconds`` unless
+        #: ``adaptive_wait``, in which case :meth:`_adapt_wait_locked`
+        #: moves it within ``[0, max_wait_seconds]`` per dispatch.
+        self._wait_budget = self.max_wait_seconds
         self.max_batch_k = int(max_batch_k)
         self.max_queue_depth = int(max_queue_depth)
         self._cache = cache
+        #: Explicit persistent store handed to the engine (``None``
+        #: lets each plan's ``cache`` axis pick the default store).
+        self._store = store
         self._lock = threading.Lock()
         self._wake = threading.Condition(self._lock)
         self._queues: dict[tuple, deque[_Request]] = {}
@@ -346,7 +372,7 @@ class BatchDispatcher:
         for key, queue in self._queues.items():
             age = now - queue[0].enqueued
             ready = (self._closing or len(queue) >= self.max_batch_k
-                     or age >= self.max_wait_seconds)
+                     or age >= self._wait_budget)
             if ready and age > best_age:
                 best_key, best_age = key, age
         if best_key is None:
@@ -363,7 +389,7 @@ class BatchDispatcher:
         now = time.perf_counter()
         horizon = None
         for queue in self._queues.values():
-            t = queue[0].enqueued + self.max_wait_seconds
+            t = queue[0].enqueued + self._wait_budget
             horizon = t if horizon is None else min(horizon, t)
             for r in queue:
                 if r.deadline is not None:
@@ -375,6 +401,34 @@ class BatchDispatcher:
     # ------------------------------------------------------------------
     # Execution
     # ------------------------------------------------------------------
+    def _adapt_wait_locked(self, batch_k: int) -> None:
+        """Move the wait budget toward what the traffic justifies.
+
+        Multiplicative in both directions (doubling under load, halving
+        when idle) so the budget tracks load shifts within a few
+        dispatches in either direction; a floor snap to exactly 0 makes
+        the idle steady state genuinely wait-free rather than
+        asymptotic.
+        """
+        if not self.adaptive_wait:
+            return
+        full = self.max_wait_seconds
+        if full <= 0.0:
+            return
+        if batch_k >= self.max_batch_k or self._pending > 0:
+            # Demand outruns the panel cap (or a backlog remains):
+            # waiting buys wider panels, so grow toward the ceiling.
+            self._wait_budget = min(
+                full, max(self._wait_budget * 2.0, full / 8.0))
+        else:
+            decayed = self._wait_budget * 0.5
+            self._wait_budget = 0.0 if decayed < full / 64.0 else decayed
+        if obs.enabled():
+            obs.default_registry().gauge(
+                "repro_serve_wait_budget_ms",
+                "Adaptive batching wait budget currently in force"
+            ).set(self._wait_budget * 1e3)
+
     def _dispatch(self, batch: list[_Request]) -> None:
         batch_id = next(self._batch_ids)
         with self._wake:
@@ -382,6 +436,7 @@ class BatchDispatcher:
             self._in_flight += 1
             self._batches += 1
             self._coalesced += len(batch)
+            self._adapt_wait_locked(len(batch))
             if obs.enabled():
                 reg = obs.default_registry()
                 reg.counter(
@@ -405,7 +460,8 @@ class BatchDispatcher:
                 dispatched = time.perf_counter()
                 results = execute_many(live[0].plan,
                                        [r.b for r in live],
-                                       cache=self._cache)
+                                       cache=self._cache,
+                                       store=self._store)
                 done = time.perf_counter()
                 for r, res in zip(live, results):
                     rec = ServeRecord(
@@ -486,7 +542,8 @@ class BatchDispatcher:
                 coalesced_requests=self._coalesced,
                 queue_depth=self._pending,
                 in_flight_batches=self._in_flight,
-                latency_p50_seconds=p50, latency_p99_seconds=p99)
+                latency_p50_seconds=p50, latency_p99_seconds=p99,
+                current_wait_ms=self._wait_budget * 1e3)
 
     @property
     def closed(self) -> bool:

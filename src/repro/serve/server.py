@@ -56,10 +56,15 @@ class SolverService:
 
     def __init__(self, *, max_wait_ms: float = 2.0, max_batch_k: int = 32,
                  max_queue_depth: int = 256, workers: int = 2,
-                 cache=None):
+                 cache=None, adaptive_wait: bool = False,
+                 store=None):
         self._dispatcher = BatchDispatcher(
             max_wait_ms=max_wait_ms, max_batch_k=max_batch_k,
-            max_queue_depth=max_queue_depth, workers=workers, cache=cache)
+            max_queue_depth=max_queue_depth, workers=workers, cache=cache,
+            adaptive_wait=adaptive_wait, store=store)
+        #: Explicit persistent store for warm-up at registration time
+        #: (``None`` lets each plan's ``cache`` axis decide).
+        self._store = store
         self._plans: dict[str, SolverPlan] = {}
         self._plans_lock = threading.Lock()
 
@@ -71,13 +76,17 @@ class SolverService:
         ``plan_kwargs`` go to :func:`repro.engine.plan` (algorithm,
         precision, representation, …); ``warm=True`` additionally pays
         the factorization now, so the first request hits the cache.
+        With ``cache="persistent"`` in the plan kwargs (or a ``store``
+        handed to the service), warming first consults the on-disk
+        store — a restarted service reloads yesterday's factorization
+        instead of recomputing it — and publishes fresh computes back.
         """
         pl = make_plan(operator, **plan_kwargs)
         with self._plans_lock:
             self._plans[name] = pl
         if warm:
             from repro.engine.engine import factor
-            factor(pl)
+            factor(pl, store=self._store)
         return pl
 
     def operators(self) -> tuple[str, ...]:

@@ -17,6 +17,7 @@ from typing import Sequence
 import numpy as np
 
 from repro.errors import NotBlockToeplitzError, ShapeError
+from repro.utils.fingerprint import content_fingerprint
 from repro.utils.validation import as_float_matrix, check_block_conformance
 
 __all__ = [
@@ -167,7 +168,6 @@ class SymmetricBlockToeplitz:
 
     def fingerprint(self) -> str:
         """Stable content hash of the defining blocks + structure tag."""
-        from repro.utils.fingerprint import content_fingerprint
         return content_fingerprint("sym-block-toeplitz", self._blocks)
 
     def first_scalar_row(self) -> np.ndarray:
@@ -317,7 +317,6 @@ class BlockToeplitz:
 
     def fingerprint(self) -> str:
         """Stable content hash of the defining column/row + structure tag."""
-        from repro.utils.fingerprint import content_fingerprint
         return content_fingerprint("block-toeplitz", self._col, self._row)
 
     def matvec(self, x: np.ndarray) -> np.ndarray:

@@ -21,6 +21,7 @@ import numpy as np
 import scipy.fft as sfft
 
 from repro.errors import ShapeError
+from repro.utils.fingerprint import content_fingerprint
 from repro.toeplitz.block_toeplitz import SymmetricBlockToeplitz
 
 __all__ = ["ConvolutionOperator", "toeplitz_lstsq"]
@@ -102,7 +103,6 @@ class ConvolutionOperator:
 
     def fingerprint(self) -> str:
         """Stable content hash of the taps + geometry + structure tag."""
-        from repro.utils.fingerprint import content_fingerprint
         return content_fingerprint("convolution", self.taps,
                                    meta=(self.n_in,))
 

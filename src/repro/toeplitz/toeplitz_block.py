@@ -18,6 +18,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.errors import NotBlockToeplitzError, ShapeError
+from repro.utils.fingerprint import content_fingerprint
 from repro.toeplitz.block_toeplitz import SymmetricBlockToeplitz
 
 __all__ = [
@@ -157,7 +158,6 @@ class SymmetricToeplitzBlock:
 
     def fingerprint(self) -> str:
         """Stable content hash of the defining rows/cols + structure tag."""
-        from repro.utils.fingerprint import content_fingerprint
         return content_fingerprint("sym-toeplitz-block",
                                    self._rows, self._cols)
 

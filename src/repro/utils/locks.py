@@ -1,0 +1,68 @@
+"""Advisory file locks: one shim over ``fcntl`` (POSIX) / ``msvcrt`` (Windows).
+
+The persistent factorization store (:mod:`repro.engine.cache_store`)
+shares one on-disk directory across processes.  Readers never need a
+lock — entries are published with atomic rename-into-place, so a file
+either exists completely or not at all — but *mutating* operations
+(publish, prune, clear, quarantine) serialize on an advisory lock file
+so two processes never interleave a scan with a delete.
+
+The shim degrades gracefully: on platforms with neither ``fcntl`` nor
+``msvcrt`` the lock is a no-op (single-process correctness is unaffected
+— the store's atomic-rename protocol never produces a torn entry, a
+lockless race merely lets both writers pay the serialization cost).
+"""
+
+from __future__ import annotations
+
+import contextlib
+import os
+
+try:  # POSIX
+    import fcntl as _fcntl
+except ImportError:  # pragma: no cover - platform-specific
+    _fcntl = None
+
+try:  # Windows
+    import msvcrt as _msvcrt
+except ImportError:
+    _msvcrt = None
+
+__all__ = ["file_lock"]
+
+
+def _lock_fd(fd: int) -> None:
+    if _fcntl is not None:
+        _fcntl.flock(fd, _fcntl.LOCK_EX)
+    elif _msvcrt is not None:  # pragma: no cover - Windows only
+        _msvcrt.locking(fd, _msvcrt.LK_LOCK, 1)
+
+
+def _unlock_fd(fd: int) -> None:
+    if _fcntl is not None:
+        _fcntl.flock(fd, _fcntl.LOCK_UN)
+    elif _msvcrt is not None:  # pragma: no cover - Windows only
+        os.lseek(fd, 0, os.SEEK_SET)
+        _msvcrt.locking(fd, _msvcrt.LK_UNLCK, 1)
+
+
+@contextlib.contextmanager
+def file_lock(path: str):
+    """Hold an exclusive advisory lock on ``path`` for the ``with`` body.
+
+    The lock file is created on demand (and left in place — deleting a
+    lock file another process may be blocking on is a classic race).
+    Blocks until the lock is granted; reentrant use from the same
+    process deadlocks on Windows and is allowed but pointless on POSIX,
+    so callers keep lock scopes small and non-nested.
+    """
+    os.makedirs(os.path.dirname(path) or ".", exist_ok=True)
+    fd = os.open(path, os.O_RDWR | os.O_CREAT, 0o644)
+    try:
+        _lock_fd(fd)
+        try:
+            yield
+        finally:
+            _unlock_fd(fd)
+    finally:
+        os.close(fd)

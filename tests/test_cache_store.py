@@ -1,0 +1,374 @@
+"""Tests for the persistent factorization store and compact forms.
+
+Covers the two-tier cache end to end: compact round-trips for every
+representation (≤1e-12 parity), the on-disk store's hit/stale/corrupt
+outcomes (quarantine included), concurrent writers racing on one entry,
+version-stamp invalidation, engine wiring (memory → disk → compute),
+and the memmap-aware in-memory size accounting.
+"""
+
+import multiprocessing
+import os
+import zipfile
+
+import numpy as np
+import pytest
+
+import repro.engine as engine
+import repro.obs as obs
+from repro.core import CompactFactorization
+from repro.engine import FactorizationCache, set_default_cache
+from repro.engine.cache_store import CacheStore, version_stamp
+from repro.errors import (
+    InvalidOptionError,
+    UnsupportedFactorizationError,
+)
+from repro.obs.metrics import MetricsRegistry
+from repro.toeplitz import kms_toeplitz, singular_minor_toeplitz
+
+
+@pytest.fixture(autouse=True)
+def fresh_default_cache():
+    """Give every test its own in-memory cache (restore afterwards)."""
+    previous = set_default_cache(FactorizationCache())
+    yield
+    set_default_cache(previous)
+
+
+@pytest.fixture
+def store(tmp_path):
+    return CacheStore(str(tmp_path / "factor-cache"))
+
+
+def _factor(t, **plan_kwargs):
+    pl = engine.plan(t, **plan_kwargs)
+    return pl, engine.factor(pl, cache=FactorizationCache()).factorization
+
+
+# ----------------------------------------------------------------------
+# Compact representations round-trip
+# ----------------------------------------------------------------------
+class TestCompactRoundTrip:
+    @pytest.mark.parametrize("precision", ["fp64", "fp32", "mixed"])
+    def test_spd_dense_r(self, precision):
+        t = kms_toeplitz(48, 0.5)
+        pl, fact = _factor(t, precision=precision)
+        compact = CompactFactorization.from_factorization(fact)
+        assert compact.kind == "spd-dense-r"
+        restored = compact.restore()
+        b = np.ones(48)
+        assert np.allclose(restored.solve(b), fact.solve(b),
+                           rtol=0, atol=1e-12)
+        np.testing.assert_array_equal(restored.r, fact.r)
+
+    def test_indefinite_with_events(self):
+        t = singular_minor_toeplitz(12)
+        pl, fact = _factor(t, assume="indefinite")
+        assert fact.perturbations  # the singular minor forces an event
+        compact = CompactFactorization.from_factorization(fact)
+        assert compact.kind == "indefinite-dense-r"
+        restored = compact.restore()
+        b = np.ones(t.shape[0])
+        assert np.allclose(restored.solve(b), fact.solve(b),
+                           rtol=0, atol=1e-12)
+        assert len(restored.perturbations) == len(fact.perturbations)
+        assert restored.perturbations[0] == fact.perturbations[0]
+        assert restored.transform_norms == fact.transform_norms
+
+    def test_gko_generators_compact(self):
+        t = kms_toeplitz(32, 0.5)
+        pl, fact = _factor(t, algorithm="gko")
+        compact = CompactFactorization.from_factorization(fact)
+        assert compact.kind == "gko-generators"
+        # O(mn) storage: generators, not the O(n^2) LU factors.
+        assert compact.nbytes < fact.l.nbytes / 2
+        restored = compact.restore()
+        b = np.linspace(-1, 1, 32)
+        assert np.allclose(restored.solve(b), fact.solve(b),
+                           rtol=0, atol=1e-12)
+
+    def test_gs_operator(self):
+        t = kms_toeplitz(64, 0.5)
+        pl, fact = _factor(t, algorithm="gs")
+        compact = CompactFactorization.from_factorization(fact)
+        assert compact.kind == "gs"
+        restored = compact.restore()
+        b = np.ones(64)
+        np.testing.assert_allclose(restored.solve(b), fact.solve(b),
+                                   rtol=0, atol=1e-12)
+        # O(n) storage against the O(n^2) operator it represents.
+        assert compact.nbytes <= 64 * 8 * 2
+
+    def test_unsupported_payload_raises(self):
+        with pytest.raises(UnsupportedFactorizationError):
+            CompactFactorization.from_factorization(object())
+
+    def test_content_hashes_change_with_data(self):
+        t = kms_toeplitz(16, 0.5)
+        _, fact = _factor(t, algorithm="gs")
+        compact = CompactFactorization.from_factorization(fact)
+        h = compact.content_hashes()
+        compact.arrays["x"] = compact.arrays["x"].copy()
+        compact.arrays["x"][0] += 1.0
+        assert compact.content_hashes() != h
+
+
+# ----------------------------------------------------------------------
+# Store behavior
+# ----------------------------------------------------------------------
+class TestCacheStore:
+    def test_put_get_roundtrip(self, store):
+        t = kms_toeplitz(32, 0.5)
+        pl, fact = _factor(t)
+        assert store.get(pl.cache_key()) is None  # absent
+        assert store.put(pl.cache_key(), fact, describe={"order": 32})
+        loaded = store.get(pl.cache_key())
+        assert loaded is not None
+        b = np.ones(32)
+        assert np.allclose(loaded.solve(b), fact.solve(b),
+                           rtol=0, atol=1e-12)
+        st = store.stats()
+        assert (st.writes, st.disk_hits, st.disk_misses) == (1, 1, 1)
+        assert st.entries == 1 and st.disk_bytes > 0
+        (entry,) = store.entries()
+        assert entry.describe["order"] == 32
+        assert entry.stamp == version_stamp()
+
+    def test_mmap_zero_copy_load(self, store):
+        t = kms_toeplitz(64, 0.5)
+        pl, fact = _factor(t)
+        store.put(pl.cache_key(), fact)
+        loaded = store.get(pl.cache_key())
+        assert isinstance(loaded.r, np.memmap)
+        np.testing.assert_array_equal(np.asarray(loaded.r), fact.r)
+
+    def test_stamp_mismatch_is_stale_miss(self, store):
+        t = kms_toeplitz(24, 0.5)
+        pl, fact = _factor(t)
+        store.put(pl.cache_key(), fact)
+        store._stamp = "numpy=0.0.0;scipy=0.0.0"  # simulate an upgrade
+        assert store.get(pl.cache_key()) is None
+        st = store.stats()
+        assert st.stale == 1 and st.disk_hits == 0
+        # Entry still on disk (not quarantined) until overwritten.
+        assert st.entries == 1
+        store._stamp = version_stamp()
+        assert store.get(pl.cache_key()) is not None
+
+    def test_corrupted_payload_quarantined(self, store):
+        t = kms_toeplitz(24, 0.5)
+        pl, fact = _factor(t)
+        store.put(pl.cache_key(), fact)
+        path = store.path_for(pl.cache_key())
+        with zipfile.ZipFile(path) as zf:
+            info = [i for i in zf.infolist()
+                    if i.filename.endswith(".npy")][0]
+        with open(path, "r+b") as fh:  # flip one array-data byte
+            fh.seek(info.header_offset + 26)
+            namelen = int.from_bytes(fh.read(2), "little")
+            extralen = int.from_bytes(fh.read(2), "little")
+            data_start = info.header_offset + 30 + namelen + extralen
+            fh.seek(data_start + 200)  # past the .npy header
+            byte = fh.read(1)
+            fh.seek(-1, os.SEEK_CUR)
+            fh.write(bytes([byte[0] ^ 0xFF]))
+        assert store.get(pl.cache_key()) is None
+        st = store.stats()
+        assert st.quarantined == 1 and st.entries == 0
+        assert len(os.listdir(store.quarantine_dir)) == 1
+
+    def test_truncated_entry_quarantined(self, store):
+        t = kms_toeplitz(24, 0.5)
+        pl, fact = _factor(t)
+        store.put(pl.cache_key(), fact)
+        path = store.path_for(pl.cache_key())
+        size = os.path.getsize(path)
+        with open(path, "r+b") as fh:
+            fh.truncate(size // 2)
+        assert store.get(pl.cache_key()) is None
+        assert store.stats().quarantined == 1
+        # A recompute + put replaces the quarantined entry cleanly.
+        assert store.put(pl.cache_key(), fact)
+        assert store.get(pl.cache_key()) is not None
+
+    def test_verify_detects_damage(self, store):
+        # verify() hashes everything, including arrays the hot path
+        # skips, and quarantines on the first mismatch.
+        t = kms_toeplitz(48, 0.5)
+        pl, fact = _factor(t)
+        store.put(pl.cache_key(), fact)
+        assert store.verify(pl.cache_key())
+        path = store.path_for(pl.cache_key())
+        with open(path, "r+b") as fh:
+            fh.seek(os.path.getsize(path) // 2)
+            fh.write(b"\xde\xad\xbe\xef")
+        assert not store.verify(pl.cache_key())
+        assert store.stats().quarantined == 1
+
+    def test_prune_by_age_and_size(self, store):
+        for n in (16, 24, 32):
+            pl, fact = _factor(kms_toeplitz(n, 0.5))
+            store.put(pl.cache_key(), fact)
+        assert store.stats().entries == 3
+        total = store.stats().disk_bytes
+        assert store.prune(max_bytes=total - 1) >= 1
+        assert store.stats().disk_bytes <= total - 1
+        remaining = store.stats().entries
+        assert store.prune(max_age_seconds=0.0) == remaining
+        assert store.stats().entries == 0
+        pl, fact = _factor(kms_toeplitz(16, 0.5))
+        store.put(pl.cache_key(), fact)
+        assert store.clear() == 1
+        assert store.stats().entries == 0
+
+    def test_unsupported_factorization_skipped(self, store):
+        assert not store.put(("k",), object())
+        assert store.stats().unsupported == 1
+        with pytest.raises(UnsupportedFactorizationError):
+            store.put(("k",), object(), strict=True)
+
+
+# ----------------------------------------------------------------------
+# Concurrent writers
+# ----------------------------------------------------------------------
+def _race_worker(root, barrier, out):
+    t = kms_toeplitz(48, 0.5)
+    pl = engine.plan(t, cache="persistent")
+    st = CacheStore(root)
+    barrier.wait(timeout=30)
+    res = engine.factor(pl, cache=FactorizationCache(), store=st)
+    x = res.factorization.solve(np.ones(48))
+    out.put(float(np.linalg.norm(t.dense() @ x - np.ones(48))))
+
+
+class TestConcurrentWriters:
+    def test_two_processes_race_on_one_entry(self, tmp_path):
+        ctx = multiprocessing.get_context("fork")
+        root = str(tmp_path / "shared-cache")
+        barrier = ctx.Barrier(2)
+        out = ctx.Queue()
+        procs = [ctx.Process(target=_race_worker,
+                             args=(root, barrier, out))
+                 for _ in range(2)]
+        for p in procs:
+            p.start()
+        residuals = [out.get(timeout=60) for _ in procs]
+        for p in procs:
+            p.join(timeout=60)
+            assert p.exitcode == 0
+        assert all(r < 1e-10 for r in residuals)
+        # Exactly one entry file survives; no temp droppings.
+        st = CacheStore(root)
+        assert st.stats().entries == 1
+        leftovers = [f for f in os.listdir(st.entries_dir)
+                     if f.endswith(".tmp")]
+        assert not leftovers
+        # And the surviving entry is readable from a third process' view.
+        pl = engine.plan(kms_toeplitz(48, 0.5), cache="persistent")
+        assert st.get(pl.cache_key()) is not None
+
+
+# ----------------------------------------------------------------------
+# Engine wiring: memory -> disk -> compute
+# ----------------------------------------------------------------------
+class TestEngineWiring:
+    def test_cache_axis_validation(self):
+        t = kms_toeplitz(16, 0.5)
+        pl = engine.plan(t)
+        assert pl.cache == "memory" and pl.use_cache
+        off = engine.plan(t, cache="off")
+        assert not off.use_cache and off.cache == "off"
+        from repro.engine.plan import _PLAN_KEY_FIELDS
+        assert "cache" not in _PLAN_KEY_FIELDS
+        with pytest.raises(InvalidOptionError):
+            engine.plan(t, cache="bogus")
+        # The tiering choice is not part of the identity of the result.
+        assert (engine.plan(t, cache="persistent").cache_key()
+                == pl.cache_key())
+
+    def test_disk_tier_survives_restart(self, store):
+        t = kms_toeplitz(64, 0.5)
+        pl = engine.plan(t, cache="persistent")
+        cold = engine.factor(pl, cache=FactorizationCache(), store=store)
+        assert not cold.cache_hit
+        assert store.stats().writes == 1
+        # "Restart": a fresh in-memory cache, same store.
+        warm = engine.factor(pl, cache=FactorizationCache(), store=store)
+        assert warm.cache_hit
+        assert store.stats().disk_hits == 1
+        b = np.ones(64)
+        assert np.allclose(warm.factorization.solve(b),
+                           cold.factorization.solve(b),
+                           rtol=0, atol=1e-12)
+
+    def test_memory_tier_resolves_no_store(self, store):
+        # With cache="memory" the disk tier stays out of the path
+        # (unless an explicit store is handed in, which always wins).
+        from repro.engine.engine import _resolve_store
+        t = kms_toeplitz(32, 0.5)
+        assert _resolve_store(engine.plan(t, cache="memory"), None) is None
+        assert _resolve_store(engine.plan(t, cache="off"), None) is None
+        assert _resolve_store(engine.plan(t, cache="memory"),
+                              store) is store
+        c = FactorizationCache()
+        pl = engine.plan(t, cache="memory")
+        engine.factor(pl, cache=c)
+        engine.factor(pl, cache=c)
+        assert store.stats().writes == 0
+
+    def test_disk_hit_emits_cache_load_span(self, store):
+        t = kms_toeplitz(32, 0.5)
+        pl = engine.plan(t, cache="persistent")
+        engine.factor(pl, cache=FactorizationCache(), store=store)
+        registry = MetricsRegistry()
+        prev = obs.set_default_registry(registry)
+        obs.enable()
+        try:
+            warm = engine.factor(pl, cache=FactorizationCache(),
+                                 store=store)
+        finally:
+            obs.disable()
+            obs.set_default_registry(prev)
+        assert warm.cache_hit
+        factor_span = warm.profile.root.children[0]
+        assert factor_span.name == "factor"
+        assert factor_span.attributes["disk_hit"] is True
+        loads = [c for c in factor_span.children
+                 if c.name == "cache.load"]
+        assert loads and loads[0].attributes["outcome"] == "hit"
+
+    def test_execute_end_to_end_persistent(self, store):
+        t = kms_toeplitz(48, 0.5)
+        b = np.linspace(0, 1, 48)
+        pl = engine.plan(t, cache="persistent")
+        first = engine.execute(pl, b, cache=FactorizationCache(),
+                               store=store)
+        second = engine.execute(pl, b, cache=FactorizationCache(),
+                                store=store)
+        assert second.record.cache_hit
+        np.testing.assert_allclose(second.x, first.x, rtol=0, atol=1e-12)
+
+    def test_solve_passes_store_through(self, store):
+        t = kms_toeplitz(32, 0.5)
+        b = np.ones(32)
+        res = engine.solve(t, b, cache="persistent", store=store)
+        assert store.stats().writes == 1
+        assert np.linalg.norm(t.dense() @ res.x - b) < 1e-10
+
+
+# ----------------------------------------------------------------------
+# Memory-tier accounting of mmap-backed entries
+# ----------------------------------------------------------------------
+class TestMemmapAccounting:
+    def test_estimate_counts_resident_bytes_only(self, store):
+        t = kms_toeplitz(64, 0.5)
+        pl = engine.plan(t, cache="persistent")
+        engine.factor(pl, cache=FactorizationCache(), store=store)
+        c = FactorizationCache()
+        warm = engine.factor(pl, cache=c, store=store)
+        assert isinstance(warm.factorization.r, np.memmap)
+        resident = c.stats().current_bytes
+        dense = FactorizationCache()
+        engine.factor(engine.plan(t, cache="memory"),
+                      cache=dense)  # computes; holds the real array
+        assert resident < dense.stats().current_bytes / 4

@@ -71,6 +71,6 @@ def test_readme_mentions_docs_pages():
     readme = (REPO_ROOT / "README.md").read_text(encoding="utf-8")
     for name in ("docs/api.md", "docs/algorithm.md",
                  "docs/machine_model.md", "docs/distributed.md",
-                 "docs/serving.md", "docs/benchmarks.md",
-                 "docs/observability.md"):
+                 "docs/serving.md", "docs/caching.md",
+                 "docs/benchmarks.md", "docs/observability.md"):
         assert name in readme, f"README.md does not mention {name}"

@@ -380,3 +380,82 @@ class TestServeCLI:
         assert "precision       fp64" in out
         assert "schedule        bulk" in out
         assert "transport       shared_memory" in out
+
+
+class TestAdaptiveWait:
+    def test_disabled_budget_is_constant(self, op, rng):
+        with BatchDispatcher(max_wait_ms=50.0, max_batch_k=4) as disp:
+            pl = engine.plan(op)
+            disp.submit(pl, rng.standard_normal(op.order)).result()
+            assert disp.stats().current_wait_ms == 50.0
+
+    def test_budget_decays_to_zero_when_idle(self, op, rng):
+        disp = BatchDispatcher(max_wait_ms=8.0, max_batch_k=32,
+                               adaptive_wait=True)
+        try:
+            pl = engine.plan(op)
+            # Lone requests (far below max_batch_k, nothing queued
+            # behind them) halve the budget each dispatch until it
+            # snaps to zero.
+            for _ in range(12):
+                disp.submit(pl, rng.standard_normal(op.order)).result()
+            assert disp.stats().current_wait_ms == 0.0
+        finally:
+            disp.close()
+
+    def test_budget_grows_under_load(self):
+        # Unit-test the controller itself: full batches (or a backlog)
+        # double the budget back toward the configured maximum.
+        disp = BatchDispatcher(max_wait_ms=8.0, max_batch_k=4,
+                               adaptive_wait=True)
+        try:
+            full = disp.max_wait_seconds
+            with disp._wake:
+                disp._wait_budget = 0.0
+                disp._adapt_wait_locked(disp.max_batch_k)
+                assert disp._wait_budget == pytest.approx(full / 8)
+                disp._adapt_wait_locked(disp.max_batch_k)
+                assert disp._wait_budget == pytest.approx(full / 4)
+                for _ in range(8):
+                    disp._adapt_wait_locked(disp.max_batch_k)
+                assert disp._wait_budget == pytest.approx(full)
+                # Small batch with an empty queue: decay kicks back in.
+                disp._adapt_wait_locked(1)
+                assert disp._wait_budget == pytest.approx(full / 2)
+        finally:
+            disp.close()
+
+    def test_zero_max_wait_stays_zero(self):
+        disp = BatchDispatcher(max_wait_ms=0.0, adaptive_wait=True)
+        try:
+            with disp._wake:
+                disp._adapt_wait_locked(disp.max_batch_k)
+            assert disp.stats().current_wait_ms == 0.0
+        finally:
+            disp.close()
+
+
+class TestServeWarmFromStore:
+    def test_restarted_service_loads_from_disk(self, op, rhs, tmp_path):
+        from repro.engine import FactorizationCache, set_default_cache
+        from repro.engine.cache_store import CacheStore
+
+        store = CacheStore(str(tmp_path / "serve-cache"))
+        prev = set_default_cache(FactorizationCache())
+        try:
+            with SolverService(max_wait_ms=0.0, store=store) as svc:
+                svc.register("toe", op, warm=True, cache="persistent")
+            assert store.stats().writes == 1
+
+            # "Restart": fresh process-level memory cache, same store.
+            set_default_cache(FactorizationCache())
+            with SolverService(max_wait_ms=0.0, store=store) as svc:
+                svc.register("toe", op, warm=True, cache="persistent")
+                assert store.stats().disk_hits == 1
+                resp = svc.solve("toe", rhs)
+                # First request after restart rides the warm load.
+                assert resp.record.cache_hit
+                np.testing.assert_allclose(
+                    resp.x, _reference(op, rhs), atol=1e-10)
+        finally:
+            set_default_cache(prev)
